@@ -1,0 +1,253 @@
+//! Stateless 5-tuple firewall: an ordered rule list with a default policy.
+
+use nfv_des::SimTime;
+use nfv_pkt::{Packet, Proto};
+use nfv_platform::{NfAction, PacketHandler};
+
+/// One match field: either a wildcard or a concrete value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match<T: Copy + Eq> {
+    /// Matches anything.
+    Any,
+    /// Matches exactly this value.
+    Is(T),
+}
+
+impl<T: Copy + Eq> Match<T> {
+    fn hits(self, v: T) -> bool {
+        match self {
+            Match::Any => true,
+            Match::Is(x) => x == v,
+        }
+    }
+}
+
+/// An IPv4 prefix match (`addr/len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefix {
+    /// Network address.
+    pub addr: u32,
+    /// Prefix length in bits, 0..=32 (0 = match everything).
+    pub len: u8,
+}
+
+impl Prefix {
+    /// The match-all prefix.
+    pub const ANY: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Construct, normalizing host bits away.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Does `ip` fall inside this prefix?
+    pub fn contains(self, ip: u32) -> bool {
+        ip & Self::mask(self.len) == self.addr
+    }
+}
+
+/// Verdict of a matching rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Pass the packet.
+    Allow,
+    /// Drop the packet.
+    Deny,
+}
+
+/// One firewall rule. Rules are evaluated in insertion order; the first
+/// match wins.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Source prefix.
+    pub src: Prefix,
+    /// Destination prefix.
+    pub dst: Prefix,
+    /// Source port match.
+    pub src_port: Match<u16>,
+    /// Destination port match.
+    pub dst_port: Match<u16>,
+    /// Protocol match.
+    pub proto: Match<Proto>,
+    /// Action on match.
+    pub verdict: Verdict,
+}
+
+impl Rule {
+    /// A rule matching everything, with the given verdict.
+    pub fn any(verdict: Verdict) -> Self {
+        Rule {
+            src: Prefix::ANY,
+            dst: Prefix::ANY,
+            src_port: Match::Any,
+            dst_port: Match::Any,
+            proto: Match::Any,
+            verdict,
+        }
+    }
+
+    fn hits(&self, t: &nfv_pkt::FiveTuple) -> bool {
+        self.src.contains(t.src_ip)
+            && self.dst.contains(t.dst_ip)
+            && self.src_port.hits(t.src_port)
+            && self.dst_port.hits(t.dst_port)
+            && self.proto.hits(t.proto)
+    }
+}
+
+/// The firewall NF.
+#[derive(Debug)]
+pub struct Firewall {
+    rules: Vec<Rule>,
+    default: Verdict,
+    /// Packets allowed through.
+    pub allowed: u64,
+    /// Packets denied.
+    pub denied: u64,
+}
+
+impl Firewall {
+    /// A firewall with an ordered rule list and a default verdict for
+    /// packets matching no rule.
+    pub fn new(rules: Vec<Rule>, default: Verdict) -> Self {
+        Firewall {
+            rules,
+            default,
+            allowed: 0,
+            denied: 0,
+        }
+    }
+
+    /// Evaluate a tuple without side effects.
+    pub fn classify(&self, t: &nfv_pkt::FiveTuple) -> Verdict {
+        self.rules
+            .iter()
+            .find(|r| r.hits(t))
+            .map(|r| r.verdict)
+            .unwrap_or(self.default)
+    }
+}
+
+impl PacketHandler for Firewall {
+    fn handle(&mut self, pkt: &mut Packet, _now: SimTime) -> NfAction {
+        match self.classify(&pkt.tuple) {
+            Verdict::Allow => {
+                self.allowed += 1;
+                NfAction::Forward
+            }
+            Verdict::Deny => {
+                self.denied += 1;
+                NfAction::Drop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::{ChainId, FiveTuple, FlowId};
+
+    fn pkt(tuple: FiveTuple) -> Packet {
+        let mut p = Packet::new(FlowId(0), ChainId(0), 64, SimTime::ZERO);
+        p.tuple = tuple;
+        p
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let p = Prefix::new(0x0a000000, 8); // 10.0.0.0/8
+        assert!(p.contains(0x0a123456));
+        assert!(!p.contains(0x0b000001));
+        assert!(Prefix::ANY.contains(0xffffffff));
+        // host bits normalized away
+        assert_eq!(Prefix::new(0x0a0000ff, 24).addr, 0x0a000000);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let specific_deny = Rule {
+            src: Prefix::new(0x0a000000, 8),
+            ..Rule::any(Verdict::Deny)
+        };
+        let fw = Firewall::new(vec![specific_deny, Rule::any(Verdict::Allow)], Verdict::Deny);
+        let inside = FiveTuple {
+            src_ip: 0x0a010101,
+            dst_ip: 1,
+            src_port: 5,
+            dst_port: 6,
+            proto: Proto::Udp,
+        };
+        let outside = FiveTuple {
+            src_ip: 0x0b010101,
+            ..inside
+        };
+        assert_eq!(fw.classify(&inside), Verdict::Deny);
+        assert_eq!(fw.classify(&outside), Verdict::Allow);
+    }
+
+    #[test]
+    fn default_verdict_applies() {
+        let only_tcp = Rule {
+            proto: Match::Is(Proto::Tcp),
+            ..Rule::any(Verdict::Allow)
+        };
+        let fw = Firewall::new(vec![only_tcp], Verdict::Deny);
+        assert_eq!(
+            fw.classify(&FiveTuple::synthetic(1, Proto::Udp)),
+            Verdict::Deny
+        );
+        assert_eq!(
+            fw.classify(&FiveTuple::synthetic(1, Proto::Tcp)),
+            Verdict::Allow
+        );
+    }
+
+    #[test]
+    fn handler_counts_and_acts() {
+        let mut fw = Firewall::new(
+            vec![Rule {
+                dst_port: Match::Is(9),
+                ..Rule::any(Verdict::Deny)
+            }],
+            Verdict::Allow,
+        );
+        let mut blocked = pkt(FiveTuple::synthetic(1, Proto::Udp)); // dst_port 9
+        let mut ok = pkt(FiveTuple {
+            dst_port: 80,
+            ..FiveTuple::synthetic(1, Proto::Udp)
+        });
+        assert_eq!(fw.handle(&mut blocked, SimTime::ZERO), NfAction::Drop);
+        assert_eq!(fw.handle(&mut ok, SimTime::ZERO), NfAction::Forward);
+        assert_eq!(fw.denied, 1);
+        assert_eq!(fw.allowed, 1);
+    }
+
+    #[test]
+    fn port_range_style_rules_via_multiple_entries() {
+        let rules: Vec<Rule> = (1000..1003u16)
+            .map(|p| Rule {
+                dst_port: Match::Is(p),
+                ..Rule::any(Verdict::Allow)
+            })
+            .collect();
+        let fw = Firewall::new(rules, Verdict::Deny);
+        let mut t = FiveTuple::synthetic(0, Proto::Udp);
+        t.dst_port = 1001;
+        assert_eq!(fw.classify(&t), Verdict::Allow);
+        t.dst_port = 2000;
+        assert_eq!(fw.classify(&t), Verdict::Deny);
+    }
+}

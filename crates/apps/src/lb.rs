@@ -1,0 +1,106 @@
+//! L4 load balancer: hashes each flow to a backend and rewrites the
+//! destination address, with flow affinity (same flow → same backend).
+
+use nfv_des::SimTime;
+use nfv_pkt::{FiveTuple, Packet};
+use nfv_platform::{NfAction, PacketHandler};
+
+/// Hash-based L4 load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    backends: Vec<u32>,
+    /// Packets steered per backend.
+    pub per_backend: Vec<u64>,
+}
+
+impl LoadBalancer {
+    /// A balancer over the given backend addresses.
+    pub fn new(backends: Vec<u32>) -> Self {
+        assert!(!backends.is_empty(), "need at least one backend");
+        LoadBalancer {
+            per_backend: vec![0; backends.len()],
+            backends,
+        }
+    }
+
+    /// FNV-1a over the flow-identifying fields (stable across packets of
+    /// a flow — affinity).
+    fn hash(t: &FiveTuple) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        eat(t.src_ip as u64);
+        eat(t.dst_ip as u64);
+        eat(t.src_port as u64);
+        eat(t.dst_port as u64);
+        h
+    }
+
+    /// Which backend index a tuple maps to.
+    pub fn backend_for(&self, t: &FiveTuple) -> usize {
+        (Self::hash(t) % self.backends.len() as u64) as usize
+    }
+}
+
+impl PacketHandler for LoadBalancer {
+    fn handle(&mut self, pkt: &mut Packet, _now: SimTime) -> NfAction {
+        let idx = self.backend_for(&pkt.tuple);
+        pkt.tuple.dst_ip = self.backends[idx];
+        self.per_backend[idx] += 1;
+        NfAction::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::{ChainId, FlowId, Proto};
+
+    fn pkt(n: u32) -> Packet {
+        let mut p = Packet::new(FlowId(n), ChainId(0), 64, SimTime::ZERO);
+        p.tuple = FiveTuple::synthetic(n, Proto::Udp);
+        p
+    }
+
+    #[test]
+    fn flow_affinity() {
+        let mut lb = LoadBalancer::new(vec![1, 2, 3]);
+        let mut a1 = pkt(5);
+        let mut a2 = pkt(5);
+        lb.handle(&mut a1, SimTime::ZERO);
+        lb.handle(&mut a2, SimTime::ZERO);
+        assert_eq!(a1.tuple.dst_ip, a2.tuple.dst_ip);
+    }
+
+    #[test]
+    fn spreads_many_flows_roughly_evenly() {
+        let mut lb = LoadBalancer::new(vec![10, 20, 30, 40]);
+        for n in 0..4000 {
+            lb.handle(&mut pkt(n), SimTime::ZERO);
+        }
+        for (&count, _) in lb.per_backend.iter().zip(0..) {
+            assert!(
+                (700..1300).contains(&(count as i64)),
+                "imbalanced: {:?}",
+                lb.per_backend
+            );
+        }
+    }
+
+    #[test]
+    fn rewrites_destination_to_backend() {
+        let mut lb = LoadBalancer::new(vec![42]);
+        let mut p = pkt(1);
+        lb.handle(&mut p, SimTime::ZERO);
+        assert_eq!(p.tuple.dst_ip, 42);
+        assert_eq!(lb.per_backend[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn rejects_empty_backends() {
+        LoadBalancer::new(vec![]);
+    }
+}

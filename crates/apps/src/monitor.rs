@@ -1,0 +1,139 @@
+//! Passive monitoring NFs: per-flow counters and 1-in-N packet sampling.
+
+use nfv_des::SimTime;
+use nfv_pkt::{FiveTuple, Packet};
+use nfv_platform::{NfAction, PacketHandler};
+use std::collections::HashMap;
+
+/// Per-flow packet/byte accounting (the paper's "basic monitor NF").
+#[derive(Debug, Default)]
+pub struct FlowMonitor {
+    counts: HashMap<FiveTuple, (u64, u64)>,
+}
+
+impl FlowMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (packets, bytes) recorded for a tuple.
+    pub fn stats(&self, t: &FiveTuple) -> Option<(u64, u64)> {
+        self.counts.get(t).copied()
+    }
+
+    /// Number of distinct flows observed.
+    pub fn flows_seen(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Top-k flows by packet count (descending; ties broken arbitrarily
+    /// but deterministically by byte count).
+    pub fn top_k(&self, k: usize) -> Vec<(FiveTuple, u64)> {
+        let mut v: Vec<(FiveTuple, u64, u64)> = self
+            .counts
+            .iter()
+            .map(|(&t, &(p, b))| (t, p, b))
+            .collect();
+        v.sort_by(|a, b| (b.1, b.2).cmp(&(a.1, a.2)));
+        v.truncate(k);
+        v.into_iter().map(|(t, p, _)| (t, p)).collect()
+    }
+}
+
+impl PacketHandler for FlowMonitor {
+    fn handle(&mut self, pkt: &mut Packet, _now: SimTime) -> NfAction {
+        let e = self.counts.entry(pkt.tuple).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += pkt.size as u64;
+        NfAction::Forward
+    }
+}
+
+/// Deterministic 1-in-N sampler (sFlow-style); sampled packets are counted
+/// (in a real deployment they would be mirrored to a collector).
+#[derive(Debug)]
+pub struct Sampler {
+    n: u64,
+    seen: u64,
+    /// Packets selected by the sampler.
+    pub sampled: u64,
+}
+
+impl Sampler {
+    /// Sample every `n`-th packet.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1);
+        Sampler {
+            n,
+            seen: 0,
+            sampled: 0,
+        }
+    }
+}
+
+impl PacketHandler for Sampler {
+    fn handle(&mut self, _pkt: &mut Packet, _now: SimTime) -> NfAction {
+        self.seen += 1;
+        if self.seen % self.n == 0 {
+            self.sampled += 1;
+        }
+        NfAction::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::{ChainId, FlowId, Proto};
+
+    fn pkt(n: u32, size: u32) -> Packet {
+        let mut p = Packet::new(FlowId(n), ChainId(0), size, SimTime::ZERO);
+        p.tuple = FiveTuple::synthetic(n, Proto::Udp);
+        p
+    }
+
+    #[test]
+    fn counts_per_flow() {
+        let mut m = FlowMonitor::new();
+        for _ in 0..3 {
+            m.handle(&mut pkt(1, 100), SimTime::ZERO);
+        }
+        m.handle(&mut pkt(2, 50), SimTime::ZERO);
+        assert_eq!(m.stats(&FiveTuple::synthetic(1, Proto::Udp)), Some((3, 300)));
+        assert_eq!(m.stats(&FiveTuple::synthetic(2, Proto::Udp)), Some((1, 50)));
+        assert_eq!(m.flows_seen(), 2);
+    }
+
+    #[test]
+    fn top_k_orders_by_volume() {
+        let mut m = FlowMonitor::new();
+        for (flow, n) in [(1u32, 5), (2, 9), (3, 2)] {
+            for _ in 0..n {
+                m.handle(&mut pkt(flow, 64), SimTime::ZERO);
+            }
+        }
+        let top = m.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 9);
+        assert_eq!(top[1].1, 5);
+    }
+
+    #[test]
+    fn sampler_rate() {
+        let mut s = Sampler::new(10);
+        for _ in 0..1000 {
+            assert_eq!(s.handle(&mut pkt(0, 64), SimTime::ZERO), NfAction::Forward);
+        }
+        assert_eq!(s.sampled, 100);
+    }
+
+    #[test]
+    fn sampler_n1_samples_everything() {
+        let mut s = Sampler::new(1);
+        for _ in 0..7 {
+            s.handle(&mut pkt(0, 64), SimTime::ZERO);
+        }
+        assert_eq!(s.sampled, 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Source NAT: rewrites private source addresses to a public address with
+//! per-connection port allocation, like a home router / carrier-grade NAT.
+
+use nfv_des::SimTime;
+use nfv_pkt::{FiveTuple, Packet};
+use nfv_platform::{NfAction, PacketHandler};
+use std::collections::HashMap;
+
+/// Source-NAT network function.
+#[derive(Debug)]
+pub struct Nat {
+    public_ip: u32,
+    next_port: u16,
+    /// original (src_ip, src_port, proto-agnostic) → allocated public port.
+    bindings: HashMap<(u32, u16), u16>,
+    /// Translations performed.
+    pub translated: u64,
+    /// Packets dropped because the port pool is exhausted.
+    pub exhausted: u64,
+}
+
+impl Nat {
+    /// First port handed out.
+    pub const PORT_BASE: u16 = 10_000;
+
+    /// A NAT translating to `public_ip`.
+    pub fn new(public_ip: u32) -> Self {
+        Nat {
+            public_ip,
+            next_port: Self::PORT_BASE,
+            bindings: HashMap::new(),
+            translated: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// Existing binding for `(src_ip, src_port)`, if any.
+    pub fn binding(&self, src_ip: u32, src_port: u16) -> Option<u16> {
+        self.bindings.get(&(src_ip, src_port)).copied()
+    }
+
+    /// Number of active bindings.
+    pub fn active_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn allocate(&mut self, key: (u32, u16)) -> Option<u16> {
+        if let Some(&p) = self.bindings.get(&key) {
+            return Some(p);
+        }
+        if self.next_port == u16::MAX {
+            return None; // pool exhausted
+        }
+        let p = self.next_port;
+        self.next_port += 1;
+        self.bindings.insert(key, p);
+        Some(p)
+    }
+
+    /// Translate a tuple in place; returns false if the pool is exhausted.
+    pub fn translate(&mut self, t: &mut FiveTuple) -> bool {
+        match self.allocate((t.src_ip, t.src_port)) {
+            Some(port) => {
+                t.src_ip = self.public_ip;
+                t.src_port = port;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl PacketHandler for Nat {
+    fn handle(&mut self, pkt: &mut Packet, _now: SimTime) -> NfAction {
+        if self.translate(&mut pkt.tuple) {
+            self.translated += 1;
+            NfAction::Forward
+        } else {
+            self.exhausted += 1;
+            NfAction::Drop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::{ChainId, FlowId, Proto};
+
+    const PUBLIC: u32 = 0xc0a80001;
+
+    fn pkt(n: u32) -> Packet {
+        let mut p = Packet::new(FlowId(n), ChainId(0), 64, SimTime::ZERO);
+        p.tuple = FiveTuple::synthetic(n, Proto::Udp);
+        p
+    }
+
+    #[test]
+    fn rewrites_source_to_public_ip() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut p = pkt(1);
+        let orig = p.tuple;
+        assert_eq!(nat.handle(&mut p, SimTime::ZERO), NfAction::Forward);
+        assert_eq!(p.tuple.src_ip, PUBLIC);
+        assert_ne!(p.tuple.src_port, orig.src_port);
+        // destination untouched
+        assert_eq!(p.tuple.dst_ip, orig.dst_ip);
+        assert_eq!(p.tuple.dst_port, orig.dst_port);
+    }
+
+    #[test]
+    fn same_connection_keeps_its_binding() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut a1 = pkt(1);
+        let mut a2 = pkt(1);
+        nat.handle(&mut a1, SimTime::ZERO);
+        nat.handle(&mut a2, SimTime::ZERO);
+        assert_eq!(a1.tuple.src_port, a2.tuple.src_port);
+        assert_eq!(nat.active_bindings(), 1);
+        assert_eq!(nat.translated, 2);
+    }
+
+    #[test]
+    fn different_connections_get_distinct_ports() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut a = pkt(1);
+        let mut b = pkt(2);
+        nat.handle(&mut a, SimTime::ZERO);
+        nat.handle(&mut b, SimTime::ZERO);
+        assert_ne!(a.tuple.src_port, b.tuple.src_port);
+        assert_eq!(nat.active_bindings(), 2);
+    }
+
+    #[test]
+    fn pool_exhaustion_drops() {
+        let mut nat = Nat::new(PUBLIC);
+        nat.next_port = u16::MAX; // simulate a drained pool
+        let mut p = pkt(3);
+        assert_eq!(nat.handle(&mut p, SimTime::ZERO), NfAction::Drop);
+        assert_eq!(nat.exhausted, 1);
+    }
+
+    #[test]
+    fn binding_lookup() {
+        let mut nat = Nat::new(PUBLIC);
+        let mut p = pkt(7);
+        let orig = p.tuple;
+        nat.handle(&mut p, SimTime::ZERO);
+        assert_eq!(
+            nat.binding(orig.src_ip, orig.src_port),
+            Some(p.tuple.src_port)
+        );
+        assert_eq!(nat.binding(12345, 1), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! One criterion bench per paper table/figure: runs a compressed version of
+//! each experiment cell end-to-end (the full-fidelity numbers come from the
+//! `nfv-bench` binary). Criterion's measurement here is wall time of the
+//! whole simulated cell — i.e. simulator performance on every experiment's
+//! workload — while each iteration also sanity-checks the experiment's
+//! headline property so a regression in *results* fails loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nfv_bench::experiments::*;
+use nfv_bench::RunLength;
+use nfvnice::{NfvniceConfig, Policy};
+
+fn quick() -> RunLength {
+    RunLength {
+        steady: nfvnice::Duration::from_millis(100),
+        timeline_scale: 25,
+    }
+}
+
+fn bench_cell(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function(name, |b| b.iter(&mut f));
+    g.finish();
+}
+
+fn fig1_cells(c: &mut Criterion) {
+    bench_cell(c, "fig1a_homogeneous_normal", || {
+        let r = fig1::run_cell(Policy::CfsNormal, fig1::Variant::Homogeneous, true, quick());
+        assert!(r.total_delivered_pps > 0.0);
+    });
+    bench_cell(c, "fig1b_heterogeneous_normal", || {
+        let r = fig1::run_cell(Policy::CfsNormal, fig1::Variant::Heterogeneous, true, quick());
+        // Table 2's signature: light NF outruns heavy under CFS
+        assert!(r.nfs[2].output_rate_pps > r.nfs[0].output_rate_pps);
+    });
+}
+
+fn fig7_cells(c: &mut Criterion) {
+    bench_cell(c, "fig7_default_batch", || {
+        let r = fig7::run_cell(Policy::CfsBatch, NfvniceConfig::off(), quick());
+        assert!(r.total_wasted_drops > 0);
+    });
+    bench_cell(c, "fig7_nfvnice_batch", || {
+        let r = fig7::run_cell(Policy::CfsBatch, NfvniceConfig::full(), quick());
+        assert!(r.total_wasted_drops < 100);
+    });
+}
+
+fn multicore_cells(c: &mut Criterion) {
+    bench_cell(c, "table5_nfvnice", || {
+        let r = multicore::run_table5_cell(NfvniceConfig::full(), quick());
+        assert!(r.nfs[0].cpu_util < 0.7, "upstream should idle");
+    });
+    bench_cell(c, "fig9_two_chains", || {
+        let r = multicore::run_fig9_cell(NfvniceConfig::full(), quick());
+        assert!(r.chains[0].pps > r.chains[1].pps);
+    });
+}
+
+fn variable_and_orderings(c: &mut Criterion) {
+    bench_cell(c, "fig10_variable_cost_nfvnice", || {
+        let r = fig10::run_cell(Policy::CfsBatch, NfvniceConfig::full(), quick());
+        assert!(r.total_delivered_pps > 1e6);
+    });
+    bench_cell(c, "fig11_med_high_low_rr100", || {
+        let d = fig11::run_cell([270, 550, 120], Policy::rr_100ms(), NfvniceConfig::off(), quick());
+        let n = fig11::run_cell([270, 550, 120], Policy::rr_100ms(), NfvniceConfig::full(), quick());
+        assert!(n.chains[0].pps > d.chains[0].pps, "NFVnice rescues RR(100ms)");
+    });
+    bench_cell(c, "fig12_type3", || {
+        let r = fig12::run_cell(3, Policy::CfsBatch, NfvniceConfig::full(), quick());
+        assert!(r.total_delivered_pps > 1e6);
+    });
+}
+
+fn timelines(c: &mut Criterion) {
+    bench_cell(c, "fig13_isolation_nfvnice", || {
+        let run = fig13::run_cell(NfvniceConfig::full(), quick());
+        assert!(run.report.flows[run.tcp_flow].delivered > 0);
+    });
+    bench_cell(c, "fig14_async_io_64b", || {
+        let r = fig14::run_cell(64, true, quick());
+        assert!(r.total_delivered_pps > 1e5);
+    });
+    bench_cell(c, "fig15_diversity6_nfvnice", || {
+        let r = fig15::run_diversity_cell(6, NfvniceConfig::full(), quick());
+        assert!(r.jain_over_flows() > 0.8);
+    });
+    bench_cell(c, "fig16_len6_sc_nfvnice", || {
+        let r = fig16::run_cell(6, false, NfvniceConfig::full(), quick());
+        assert!(r.chains[0].pps > 0.0);
+    });
+    bench_cell(c, "tuning_high80", || {
+        let r = tuning::run_cell(80, 60, quick());
+        assert!(r.chains[0].pps > 1e6);
+    });
+}
+
+criterion_group!(
+    benches,
+    fig1_cells,
+    fig7_cells,
+    multicore_cells,
+    variable_and_orderings,
+    timelines
+);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Design-choice ablations (DESIGN.md D1–D5): each knob the NFVnice design
+//! fixes is compared against its naive alternative on a workload that
+//! exposes the difference.
+
+use crate::util::{human_count, line_rate, mpps, sim_config, RunLength, Table, HIGH, LOW, MED};
+use nfvnice::{
+    BackpressureConfig, CostClassGen, CostModel, Duration, NfSpec, NfvniceConfig, Policy, Report,
+    SimConfig, Simulation,
+};
+
+fn lmh_chain(cfg: SimConfig, variable_cost: bool, len: RunLength) -> Report {
+    let mut s = Simulation::new(cfg);
+    let costs = [LOW, MED, HIGH];
+    let nfs: Vec<_> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let spec = if variable_cost {
+                let table: Vec<u64> = (0..27u32)
+                    .map(|class| costs[((class / 3u32.pow(i as u32)) % 3) as usize])
+                    .collect();
+                NfSpec::new(format!("NF{}", i + 1), 0, 0).with_cost(CostModel::PerClass(table))
+            } else {
+                NfSpec::new(format!("NF{}", i + 1), 0, c)
+            };
+            s.add_nf(spec)
+        })
+        .collect();
+    let chain = s.add_chain(&nfs);
+    s.add_udp_with(chain, line_rate(64), 64, |f| {
+        if variable_cost {
+            f.with_cost_class(CostClassGen::Uniform(27))
+        } else {
+            f
+        }
+    });
+    s.run(len.steady)
+}
+
+/// D1 — separating overload detection (TX threads) from control (wakeup
+/// thread). The knob we can turn is the control loop's reaction delay:
+/// the paper argues the decoupled wakeup thread reacts within its scan
+/// period without burdening the data path. Sweep the scan period.
+fn d1(len: RunLength) -> String {
+    let mut t = Table::new(&["wakeup scan", "Mpps", "wasted/s", "throttles/s"]);
+    for us in [1u64, 10, 100, 1000] {
+        let mut cfg = sim_config(1, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.wakeup_period = Duration::from_micros(us);
+        let r = lmh_chain(cfg, false, len);
+        let secs = r.wall.as_secs_f64();
+        t.row(vec![
+            format!("{us}us"),
+            mpps(r.chains[0].pps),
+            human_count(r.total_wasted_drops as f64 / secs),
+            format!("{:.0}", r.throttle_events as f64 / secs),
+        ]);
+    }
+    format!("\n--- D1: control-loop (wakeup scan) period ---\n{}", t.render())
+}
+
+/// D2 — hysteresis. Compare the default HIGH/LOW + queuing-time gate
+/// against a single threshold (margin 0) and no time gate: mode flapping
+/// shows up as orders-of-magnitude more throttle transitions.
+fn d2(len: RunLength) -> String {
+    let mut t = Table::new(&["config", "Mpps", "throttles/s", "entry-shed/s"]);
+    let cases: Vec<(&str, BackpressureConfig)> = vec![
+        ("HIGH80/LOW60 + 100us gate", BackpressureConfig::default()),
+        (
+            "single threshold (margin 0)",
+            BackpressureConfig {
+                high_pct: 80,
+                low_pct: 80,
+                qtime_threshold: Duration::from_micros(100),
+            },
+        ),
+        (
+            "no queuing-time gate",
+            BackpressureConfig {
+                high_pct: 80,
+                low_pct: 60,
+                qtime_threshold: Duration::ZERO,
+            },
+        ),
+    ];
+    for (label, bp) in cases {
+        let mut variant = NfvniceConfig::full();
+        variant.bp = bp;
+        let mut cfg = sim_config(1, Policy::CfsBatch, variant);
+        // Small rings accentuate flapping.
+        cfg.platform.mempool_capacity = 65_536;
+        let mut s = Simulation::new(cfg);
+        const RING: usize = 512;
+        let a = s.add_nf(NfSpec::new("NF1", 0, LOW).with_rings(RING, RING));
+        let b = s.add_nf(NfSpec::new("NF2", 0, MED).with_rings(RING, RING));
+        let c = s.add_nf(NfSpec::new("NF3", 0, HIGH).with_rings(RING, RING));
+        let chain = s.add_chain(&[a, b, c]);
+        s.add_udp(chain, line_rate(64), 64);
+        let r = s.run(len.steady);
+        let secs = r.wall.as_secs_f64();
+        t.row(vec![
+            label.into(),
+            mpps(r.chains[0].pps),
+            format!("{:.0}", r.throttle_events as f64 / secs),
+            human_count(r.entry_drops as f64 / secs),
+        ]);
+    }
+    format!("\n--- D2: watermark hysteresis ---\n{}", t.render())
+}
+
+/// D3 — the median-over-100ms-window cost estimator vs a raw last-sample
+/// estimator, under variable per-packet cost (the Fig 10 workload, where
+/// bad estimates translate into bad weights).
+fn d3(len: RunLength) -> String {
+    let mut t = Table::new(&["estimator", "Mpps (CGroup only)", "cgroup writes/s"]);
+    for (label, window) in [
+        ("median over 100ms", Duration::from_millis(100)),
+        ("last sample only", Duration::from_millis(1)),
+    ] {
+        let mut variant = NfvniceConfig::cgroups_only();
+        variant.load.window = window;
+        let cfg = sim_config(1, Policy::CfsBatch, variant);
+        let r = lmh_chain(cfg, true, len);
+        let secs = r.wall.as_secs_f64();
+        t.row(vec![
+            label.into(),
+            mpps(r.chains[0].pps),
+            format!("{:.0}", r.cgroup_writes as f64 / secs),
+        ]);
+    }
+    format!("\n--- D3: service-time estimator under variable cost ---\n{}", t.render())
+}
+
+/// D4 — weight-update granularity: writing cgroup shares every 1 ms vs the
+/// paper's 10 ms. Each write costs ~5 µs of sysfs time; the table shows
+/// the write volume the batching avoids.
+fn d4(len: RunLength) -> String {
+    let mut t = Table::new(&["weight period", "Mpps", "cgroup writes/s", "sysfs us/s"]);
+    for ms in [1u64, 10, 100] {
+        let mut variant = NfvniceConfig::full();
+        variant.load.weight_period = Duration::from_millis(ms);
+        let cfg = sim_config(1, Policy::CfsBatch, variant);
+        let r = lmh_chain(cfg, false, len);
+        let secs = r.wall.as_secs_f64();
+        let writes_per_s = r.cgroup_writes as f64 / secs;
+        t.row(vec![
+            format!("{ms}ms"),
+            mpps(r.chains[0].pps),
+            format!("{:.0}", writes_per_s),
+            format!("{:.0}", writes_per_s * 5.0),
+        ]);
+    }
+    format!("\n--- D4: cgroup write batching ---\n{}", t.render())
+}
+
+/// D5 — chain- vs flow-granularity throttling: Fig 13's mixed TCP/UDP
+/// workload with per-flow chains (fine) vs a single shared chain id for
+/// TCP and UDP (coarse — head-of-line blocking hits the TCP flow).
+fn d5(len: RunLength) -> String {
+    let mut t = Table::new(&["granularity", "TCP Mbps", "UDP agg Mbps"]);
+    for fine in [true, false] {
+        let mut cfg = sim_config(2, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.platform.mempool_capacity = 1 << 20;
+        let mut s = Simulation::new(cfg);
+        let nf1 = s.add_nf(NfSpec::new("NF1", 0, 120));
+        let nf2 = s.add_nf(NfSpec::new("NF2", 0, 270));
+        let nf3 = s.add_nf(NfSpec::new("NF3", 1, 4753));
+        // Coarse granularity: TCP shares the UDP chain's prefix *chain id*
+        // by riding the same 3-NF chain (its packets exit early is not
+        // expressible, so model coarseness by placing TCP on the congested
+        // chain id — exactly the head-of-line blocking fine granularity
+        // avoids).
+        let udp_chain = s.add_chain(&[nf1, nf2, nf3]);
+        let tcp_chain = if fine {
+            s.add_chain(&[nf1, nf2])
+        } else {
+            udp_chain
+        };
+        let tcp = s.add_tcp_with(tcp_chain, 1500, Duration::from_micros(100), |t| {
+            t.with_max_cwnd(33.0)
+        });
+        for _ in 0..10 {
+            let c = if fine {
+                s.add_chain(&[nf1, nf2, nf3])
+            } else {
+                udp_chain
+            };
+            s.add_udp(c, 800_000.0, 64);
+        }
+        let r = s.run(len.steady);
+        let udp_mbps: f64 = r.flows.iter().skip(1).map(|f| f.mbps).sum();
+        t.row(vec![
+            if fine { "per-flow chains" } else { "shared chain id" }.into(),
+            format!("{:.1}", r.flows[tcp.index()].mbps),
+            format!("{:.1}", udp_mbps),
+        ]);
+    }
+    format!("\n--- D5: throttle granularity (head-of-line blocking) ---\n{}", t.render())
+}
+
+/// All five ablations.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::from("\n=== Design ablations (DESIGN.md D1–D5) ===\n");
+    out.push_str(&d1(len));
+    out.push_str(&d2(len));
+    out.push_str(&d3(len));
+    out.push_str(&d4(len));
+    out.push_str(&d5(len));
+    out
+}

@@ -1,0 +1,104 @@
+//! Figure 1 + Tables 1–2: motivation. Three standalone NFs share one core
+//! under each vanilla kernel scheduler; no NFVnice. Shows that no stock
+//! scheduler provides rate-cost proportional fairness, and reproduces the
+//! voluntary/involuntary context-switch signatures.
+
+use crate::util::{mpps, sim, RunLength, Table};
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
+
+/// Which NF cost profile to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// All three NFs cost ~250 cycles (Fig 1a / Table 1).
+    Homogeneous,
+    /// Costs 500 / 250 / 50 cycles (Fig 1b / Table 2).
+    Heterogeneous,
+}
+
+fn costs(v: Variant) -> [u64; 3] {
+    match v {
+        Variant::Homogeneous => [250, 250, 250],
+        Variant::Heterogeneous => [500, 250, 50],
+    }
+}
+
+/// Offered load per NF in pps: even = 5/5/5 Mpps, uneven = 6/6/3 Mpps.
+fn loads(even: bool) -> [f64; 3] {
+    if even {
+        [5e6, 5e6, 5e6]
+    } else {
+        [6e6, 6e6, 3e6]
+    }
+}
+
+/// One cell of the experiment: 3 standalone NFs, one core, one scheduler.
+pub fn run_cell(policy: Policy, v: Variant, even: bool, len: RunLength) -> Report {
+    let mut s = sim(1, policy, NfvniceConfig::off());
+    let cs = costs(v);
+    let ls = loads(even);
+    for i in 0..3 {
+        let nf = s.add_nf(NfSpec::new(format!("NF{}", i + 1), 0, cs[i]));
+        let chain = s.add_chain(&[nf]);
+        s.add_udp(chain, ls[i], 64);
+    }
+    s.run(len.steady)
+}
+
+/// The three schedulers Fig 1 compares (RR uses the kernel-default 100 ms
+/// quantum).
+fn policies() -> Vec<Policy> {
+    vec![Policy::CfsNormal, Policy::CfsBatch, Policy::rr_100ms()]
+}
+
+/// Run the full figure + tables, returning rendered text.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::new();
+    for v in [Variant::Homogeneous, Variant::Heterogeneous] {
+        out.push_str(&format!(
+            "\n=== Fig 1{} — {:?} NFs: per-NF throughput (Mpps) and CPU share ===\n",
+            if v == Variant::Homogeneous { 'a' } else { 'b' },
+            v
+        ));
+        let mut tput = Table::new(&[
+            "load", "sched", "NF1 Mpps", "NF2 Mpps", "NF3 Mpps", "NF1 cpu%", "NF2 cpu%",
+            "NF3 cpu%",
+        ]);
+        let mut csw = Table::new(&[
+            "load", "sched", "NF1 cswch/s", "NF1 nvcswch/s", "NF2 cswch/s", "NF2 nvcswch/s",
+            "NF3 cswch/s", "NF3 nvcswch/s",
+        ]);
+        for even in [true, false] {
+            for policy in policies() {
+                let r = run_cell(policy, v, even, len);
+                let label = if even { "even" } else { "uneven" };
+                tput.row(vec![
+                    label.into(),
+                    policy.label(),
+                    mpps(r.nfs[0].output_rate_pps),
+                    mpps(r.nfs[1].output_rate_pps),
+                    mpps(r.nfs[2].output_rate_pps),
+                    format!("{:.0}", r.nfs[0].cpu_util * 100.0),
+                    format!("{:.0}", r.nfs[1].cpu_util * 100.0),
+                    format!("{:.0}", r.nfs[2].cpu_util * 100.0),
+                ]);
+                csw.row(vec![
+                    label.into(),
+                    policy.label(),
+                    format!("{:.0}", r.nfs[0].cswch_per_sec),
+                    format!("{:.0}", r.nfs[0].nvcswch_per_sec),
+                    format!("{:.0}", r.nfs[1].cswch_per_sec),
+                    format!("{:.0}", r.nfs[1].nvcswch_per_sec),
+                    format!("{:.0}", r.nfs[2].cswch_per_sec),
+                    format!("{:.0}", r.nfs[2].nvcswch_per_sec),
+                ]);
+            }
+        }
+        out.push_str(&tput.render());
+        out.push_str(&format!(
+            "\n--- Table {} — context switches ---\n",
+            if v == Variant::Homogeneous { 1 } else { 2 }
+        ));
+        out.push_str(&csw.render());
+    }
+    out
+}

@@ -1,0 +1,63 @@
+//! Figure 11: service-chain heterogeneity — all six orderings of the
+//! Low/Med/High chain, so the bottleneck's position moves through the
+//! chain. The paper's headline observation: RR(100 ms) collapses when the
+//! bottleneck is downstream of a fast producer, while NFVnice is superior
+//! in every permutation, for every scheduler.
+
+use crate::util::{all_policies, mpps, sim, RunLength, Table, HIGH, LOW, MED};
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
+
+/// The six (label, costs) permutations.
+pub fn orders() -> Vec<(&'static str, [u64; 3])> {
+    vec![
+        ("Low-Med-High", [LOW, MED, HIGH]),
+        ("Low-High-Med", [LOW, HIGH, MED]),
+        ("Med-Low-High", [MED, LOW, HIGH]),
+        ("Med-High-Low", [MED, HIGH, LOW]),
+        ("High-Low-Med", [HIGH, LOW, MED]),
+        ("High-Med-Low", [HIGH, MED, LOW]),
+    ]
+}
+
+/// One (order, scheduler, variant) cell.
+pub fn run_cell(
+    costs: [u64; 3],
+    policy: Policy,
+    variant: NfvniceConfig,
+    len: RunLength,
+) -> Report {
+    let mut s = sim(1, policy, variant);
+    let nfs: Vec<_> = costs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| s.add_nf(NfSpec::new(format!("NF{}", i + 1), 0, c)))
+        .collect();
+    let chain = s.add_chain(&nfs);
+    s.add_udp(chain, crate::util::line_rate(64), 64);
+    s.run(len.steady)
+}
+
+/// Full figure: throughput per ordering, Default vs NFVnice per scheduler.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Fig 11 — chain orderings (Mpps): Default vs NFVnice per scheduler ===\n");
+    let mut header = vec!["order".to_string()];
+    for p in all_policies() {
+        header.push(format!("{} Def", p.label()));
+        header.push(format!("{} Nice", p.label()));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for (label, costs) in orders() {
+        let mut cells = vec![label.to_string()];
+        for policy in all_policies() {
+            let d = run_cell(costs, policy, NfvniceConfig::off(), len);
+            let n = run_cell(costs, policy, NfvniceConfig::full(), len);
+            cells.push(mpps(d.chains[0].pps));
+            cells.push(mpps(n.chains[0].pps));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}

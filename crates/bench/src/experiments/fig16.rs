@@ -1,0 +1,55 @@
+//! Figure 16: longer service chains. Chain length 1..10 cycling through
+//! Low/Med/High costs, either all on a single core (SC) or spread over
+//! three cores round-robin (MC). Default vs NFVnice, BATCH scheduler.
+
+use crate::util::{line_rate, mpps, sim, RunLength, Table, HIGH, LOW, MED};
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
+
+/// One (length, multicore?, variant) cell.
+pub fn run_cell(length: usize, multicore: bool, variant: NfvniceConfig, len: RunLength) -> Report {
+    let cores = if multicore { 3 } else { 1 };
+    let mut s = sim(cores, Policy::CfsBatch, variant);
+    let cost_cycle = [LOW, MED, HIGH];
+    let nfs: Vec<_> = (0..length)
+        .map(|i| {
+            let core = if multicore { i % 3 } else { 0 };
+            s.add_nf(NfSpec::new(
+                format!("NF{}", i + 1),
+                core,
+                cost_cycle[i % 3],
+            ))
+        })
+        .collect();
+    let chain = s.add_chain(&nfs);
+    s.add_udp(chain, line_rate(64), 64);
+    s.run(len.steady)
+}
+
+/// Full figure.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Fig 16 — chain length sweep (Mpps), BATCH scheduler ===\n");
+    let mut t = Table::new(&[
+        "length", "SC Default", "SC NFVnice", "MC Default", "MC NFVnice", "MC cpu% Def",
+        "MC cpu% Nice",
+    ]);
+    let total_cpu =
+        |r: &Report| -> f64 { r.nfs.iter().map(|n| n.cpu_util * 100.0).sum() };
+    for length in 1..=10 {
+        let scd = run_cell(length, false, NfvniceConfig::off(), len);
+        let scn = run_cell(length, false, NfvniceConfig::full(), len);
+        let mcd = run_cell(length, true, NfvniceConfig::off(), len);
+        let mcn = run_cell(length, true, NfvniceConfig::full(), len);
+        t.row(vec![
+            format!("{length}"),
+            mpps(scd.chains[0].pps),
+            mpps(scn.chains[0].pps),
+            mpps(mcd.chains[0].pps),
+            mpps(mcn.chains[0].pps),
+            format!("{:.0}", total_cpu(&mcd)),
+            format!("{:.0}", total_cpu(&mcn)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

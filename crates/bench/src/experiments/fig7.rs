@@ -1,0 +1,74 @@
+//! Figure 7 + Tables 3–4: the headline single-core chain experiment.
+//! A Low(120)–Med(270)–High(550) cycle chain shares one core; 64 B UDP at
+//! 10 G line rate; four schedulers × four NFVnice variants.
+
+use crate::util::{all_policies, all_variants, human_count, line_rate, mpps, sim, RunLength, Table};
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
+
+/// Run one (scheduler, variant) cell.
+pub fn run_cell(policy: Policy, variant: NfvniceConfig, len: RunLength) -> Report {
+    let mut s = sim(1, policy, variant);
+    let low = s.add_nf(NfSpec::new("NF1-low", 0, 120));
+    let med = s.add_nf(NfSpec::new("NF2-med", 0, 270));
+    let high = s.add_nf(NfSpec::new("NF3-high", 0, 550));
+    let chain = s.add_chain(&[low, med, high]);
+    s.add_udp(chain, line_rate(64), 64);
+    s.run(len.steady)
+}
+
+/// Full figure + tables.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str("\n=== Fig 7 — chain throughput (Mpps), 3-NF Low/Med/High on one core ===\n");
+    let mut fig = Table::new(&["sched", "Default", "CGroup", "OnlyBKPR", "NFVnice"]);
+    let mut t3 = Table::new(&[
+        "sched", "NF1 drop/s (Default)", "NF2 drop/s (Default)", "NF1 drop/s (NFVnice)",
+        "NF2 drop/s (NFVnice)",
+    ]);
+    let mut t4 = Table::new(&[
+        "sched", "variant", "NF1 delay", "NF1 runtime(ms)", "NF2 delay", "NF2 runtime(ms)",
+        "NF3 delay", "NF3 runtime(ms)",
+    ]);
+    for policy in all_policies() {
+        let mut cells = vec![policy.label()];
+        let mut default_report = None;
+        let mut nice_report = None;
+        for variant in all_variants() {
+            let r = run_cell(policy, variant, len);
+            cells.push(mpps(r.chains[0].pps));
+            match variant.label() {
+                "Default" => default_report = Some(r),
+                "NFVnice" => nice_report = Some(r),
+                _ => {}
+            }
+        }
+        fig.row(cells);
+        let d = default_report.unwrap();
+        let n = nice_report.unwrap();
+        t3.row(vec![
+            policy.label(),
+            human_count(d.nfs[0].wasted_rate_pps),
+            human_count(d.nfs[1].wasted_rate_pps),
+            human_count(n.nfs[0].wasted_rate_pps),
+            human_count(n.nfs[1].wasted_rate_pps),
+        ]);
+        for (label, r) in [("Default", &d), ("NFVnice", &n)] {
+            t4.row(vec![
+                policy.label(),
+                label.into(),
+                format!("{}", r.nfs[0].avg_sched_latency),
+                format!("{:.1}", r.nfs[0].cpu_time.as_secs_f64() * 1e3),
+                format!("{}", r.nfs[1].avg_sched_latency),
+                format!("{:.1}", r.nfs[1].cpu_time.as_secs_f64() * 1e3),
+                format!("{}", r.nfs[2].avg_sched_latency),
+                format!("{:.1}", r.nfs[2].cpu_time.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    out.push_str(&fig.render());
+    out.push_str("\n--- Table 3 — wasted-work drop rate per second ---\n");
+    out.push_str(&t3.render());
+    out.push_str("\n--- Table 4 — scheduling latency and runtime ---\n");
+    out.push_str(&t4.render());
+    out
+}

@@ -1,0 +1,99 @@
+//! Table 5 and Figs 8/9 + Table 6: multi-core chains.
+//!
+//! Table 5 — a 550/2200/4500-cycle chain, each NF pinned to its own core:
+//! NFVnice's backpressure slashes upstream CPU burn while holding the
+//! bottleneck throughput. Fig 9/Table 6 — two chains sharing NF1 and NF4
+//! over four cores: throttling chain 2 at entry frees NF1 for chain 1.
+
+use crate::util::{human_count, line_rate, mpps, sim, RunLength, Table};
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
+
+/// One Table 5 run (Default uses NORMAL — the scheduler has no role when
+/// NFs do not share cores).
+pub fn run_table5_cell(variant: NfvniceConfig, len: RunLength) -> Report {
+    let mut s = sim(3, Policy::CfsNormal, variant);
+    let nf1 = s.add_nf(NfSpec::new("NF1", 0, 550));
+    let nf2 = s.add_nf(NfSpec::new("NF2", 1, 2200));
+    let nf3 = s.add_nf(NfSpec::new("NF3", 2, 4500));
+    let chain = s.add_chain(&[nf1, nf2, nf3]);
+    s.add_udp(chain, line_rate(64), 64);
+    s.run(len.steady)
+}
+
+/// One Fig 9 / Table 6 run: two chains over four cores sharing NF1/NF4.
+pub fn run_fig9_cell(variant: NfvniceConfig, len: RunLength) -> Report {
+    let mut s = sim(4, Policy::CfsNormal, variant);
+    let nf1 = s.add_nf(NfSpec::new("NF1", 0, 270));
+    let nf2 = s.add_nf(NfSpec::new("NF2", 1, 120));
+    let nf3 = s.add_nf(NfSpec::new("NF3", 2, 4500));
+    let nf4 = s.add_nf(NfSpec::new("NF4", 3, 300));
+    let chain1 = s.add_chain(&[nf1, nf2, nf4]);
+    let chain2 = s.add_chain(&[nf1, nf3, nf4]);
+    // Line rate split equally between the two flows.
+    s.add_udp(chain1, line_rate(64) / 2.0, 64);
+    s.add_udp(chain2, line_rate(64) / 2.0, 64);
+    s.run(len.steady)
+}
+
+/// Render Table 5.
+pub fn run_table5(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "\n=== Table 5 — 3-NF chain (550/2200/4500 cyc), one NF per core, line rate ===\n",
+    );
+    let mut t = Table::new(&[
+        "variant", "NF", "svc rate", "drop rate (wasted)", "CPU util %",
+    ]);
+    for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
+        let r = run_table5_cell(variant, len);
+        for i in 0..3 {
+            t.row(vec![
+                variant.label().into(),
+                r.nfs[i].name.clone(),
+                format!("{}pps", human_count(r.nfs[i].svc_rate_pps)),
+                format!("{}pps", human_count(r.nfs[i].wasted_rate_pps)),
+                format!("{:.0}", r.nfs[i].cpu_util * 100.0),
+            ]);
+        }
+        t.row(vec![
+            variant.label().into(),
+            "Aggregate".into(),
+            format!("{} Mpps delivered", mpps(r.chains[0].pps)),
+            format!("{} entry-shed/s", human_count(r.entry_drops as f64 / r.wall.as_secs_f64())),
+            format!(
+                "{:.0} (sum)",
+                r.nfs.iter().map(|n| n.cpu_util * 100.0).sum::<f64>()
+            ),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Render Fig 9 + Table 6.
+pub fn run_fig9(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "\n=== Fig 9 / Table 6 — two chains sharing NF1 & NF4 across 4 cores ===\n",
+    );
+    let mut t = Table::new(&[
+        "variant", "chain1 Mpps", "chain2 Mpps", "NF1 svc", "NF1 cpu%", "NF2 cpu%", "NF3 cpu%",
+        "NF4 cpu%", "wasted/s",
+    ]);
+    for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
+        let r = run_fig9_cell(variant, len);
+        t.row(vec![
+            variant.label().into(),
+            mpps(r.chains[0].pps),
+            mpps(r.chains[1].pps),
+            format!("{}pps", human_count(r.nfs[0].svc_rate_pps)),
+            format!("{:.0}", r.nfs[0].cpu_util * 100.0),
+            format!("{:.0}", r.nfs[1].cpu_util * 100.0),
+            format!("{:.0}", r.nfs[2].cpu_util * 100.0),
+            format!("{:.0}", r.nfs[3].cpu_util * 100.0),
+            human_count(r.total_wasted_drops as f64 / r.wall.as_secs_f64()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,13 @@
+//! # nfv-bench — experiment harness for the NFVnice reproduction
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4).
+//! The `nfv-bench` binary drives full-fidelity runs; the criterion benches
+//! under `benches/` run compressed versions of the same cells plus
+//! microbenchmarks and design-ablation comparisons.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{RunLength, Table};

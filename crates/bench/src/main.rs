@@ -1,0 +1,62 @@
+//! CLI driver: `nfv-bench [experiment...] [--quick]`.
+//!
+//! With no arguments, runs the full evaluation suite in paper order.
+
+use nfv_bench::experiments::*;
+use nfv_bench::RunLength;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let len = if quick {
+        RunLength::quick()
+    } else {
+        RunLength::full()
+    };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let all = wanted.is_empty();
+    let want = |name: &str| all || wanted.contains(&name);
+
+    if want("fig1") {
+        println!("{}", fig1::run(len));
+    }
+    if want("fig7") {
+        println!("{}", fig7::run(len));
+    }
+    if want("table5") {
+        println!("{}", multicore::run_table5(len));
+    }
+    if want("fig9") {
+        println!("{}", multicore::run_fig9(len));
+    }
+    if want("fig10") {
+        println!("{}", fig10::run(len));
+    }
+    if want("fig11") {
+        println!("{}", fig11::run(len));
+    }
+    if want("fig12") {
+        println!("{}", fig12::run(len));
+    }
+    if want("fig13") {
+        println!("{}", fig13::run(len));
+    }
+    if want("fig14") {
+        println!("{}", fig14::run(len));
+    }
+    if want("fig15") {
+        println!("{}", fig15::run(len));
+    }
+    if want("fig16") {
+        println!("{}", fig16::run(len));
+    }
+    if want("tuning") {
+        println!("{}", tuning::run(len));
+    }
+    if want("ablations") {
+        println!("{}", ablations::run(len));
+    }
+    if want("coop") {
+        println!("{}", coop::run(len));
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared experiment plumbing: simulation builders, the paper's canonical
+//! NF cost sets, line-rate arithmetic and table rendering.
+
+use nfvnice::{
+    Duration, NfvniceConfig, Policy, Report, SimConfig, Simulation,
+};
+use nfv_pkt::line_rate_pps;
+
+/// The paper's canonical Low/Medium/High per-packet costs for the
+/// single-core chain experiments (§4.2.1).
+pub const LOW: u64 = 120;
+/// Medium cost.
+pub const MED: u64 = 270;
+/// High cost.
+pub const HIGH: u64 = 550;
+
+/// The four scheduler configurations evaluated throughout §4.
+pub fn all_policies() -> Vec<Policy> {
+    vec![
+        Policy::CfsNormal,
+        Policy::CfsBatch,
+        Policy::rr_1ms(),
+        Policy::rr_100ms(),
+    ]
+}
+
+/// The four NFVnice variants of Figs 7/10/11.
+pub fn all_variants() -> Vec<NfvniceConfig> {
+    vec![
+        NfvniceConfig::off(),
+        NfvniceConfig::cgroups_only(),
+        NfvniceConfig::backpressure_only(),
+        NfvniceConfig::full(),
+    ]
+}
+
+/// 10 G line rate in packets/s for a frame size (64 B → 14.88 Mpps).
+pub fn line_rate(frame: u32) -> f64 {
+    line_rate_pps(10.0, frame)
+}
+
+/// Base simulation config for an experiment.
+pub fn sim_config(cores: usize, policy: Policy, nfvnice: NfvniceConfig) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.platform.nf_cores = cores;
+    cfg.platform.policy = policy;
+    cfg.nfvnice = nfvnice;
+    cfg
+}
+
+/// Convenience: build a simulation directly.
+pub fn sim(cores: usize, policy: Policy, nfvnice: NfvniceConfig) -> Simulation {
+    Simulation::new(sim_config(cores, policy, nfvnice))
+}
+
+/// Run length used by experiments: full fidelity or quick (CI) mode.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLength {
+    /// Steady-state measurement duration for throughput experiments.
+    pub steady: Duration,
+    /// Scale factor applied to long timeline experiments (Figs 13/15a).
+    pub timeline_scale: u64,
+}
+
+impl RunLength {
+    /// Full-fidelity durations (seconds of simulated time).
+    pub fn full() -> Self {
+        RunLength {
+            steady: Duration::from_secs(2),
+            timeline_scale: 1,
+        }
+    }
+    /// Quick mode for CI / criterion: shorter steady state, timelines
+    /// compressed 10×.
+    pub fn quick() -> Self {
+        RunLength {
+            steady: Duration::from_millis(300),
+            timeline_scale: 10,
+        }
+    }
+}
+
+/// Format a pps number as Mpps with 3 decimals.
+pub fn mpps(pps: f64) -> String {
+    format!("{:.3}", pps / 1e6)
+}
+
+/// Format a drop count as the paper does (e.g. "3.58M", "11.2K", "0").
+pub fn human_count(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}K", x / 1e3)
+    } else {
+        format!("{:.0}", x)
+    }
+}
+
+/// A plain-text table builder for experiment output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Summary line helpers on reports used across experiments.
+pub trait ReportExt {
+    /// Delivered throughput of chain `c` in Mpps.
+    fn chain_mpps(&self, c: usize) -> f64;
+}
+
+impl ReportExt for Report {
+    fn chain_mpps(&self, c: usize) -> f64 {
+        self.chains[c].pps / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "123456".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn human_count_formats() {
+        assert_eq!(human_count(3_580_000.0), "3.58M");
+        assert_eq!(human_count(11_200.0), "11.2K");
+        assert_eq!(human_count(0.0), "0");
+    }
+
+    #[test]
+    fn line_rate_64() {
+        assert!((line_rate(64) / 1e6 - 14.88).abs() < 0.01);
+    }
+}

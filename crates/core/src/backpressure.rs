@@ -1,0 +1,246 @@
+//! Chain-aware backpressure (§3.3 of the paper).
+//!
+//! Per-NF state machine with hysteresis, exactly as Fig 4 of the paper:
+//!
+//! ```text
+//!          qlen ≥ HIGH ∧ queuing-time > threshold
+//!   Watch ──────────────────────────────────────▶ Throttle
+//!     ▲                                              │
+//!     └──────────────── qlen < LOW ◀─────────────────┘
+//! ```
+//!
+//! While an NF is in *Throttle*, every service chain with packets waiting
+//! in its queue is throttled: the RX thread drops those chains' packets at
+//! their entry point (selective early discard), and upstream NFs whose
+//! entire backlog belongs to throttled chains are told to yield the CPU.
+//! A chain may be throttled by several bottlenecks at once, so each chain
+//! keeps the *set* of NFs currently throttling it.
+
+use nfv_des::Duration;
+use nfv_pkt::{ChainId, NfId};
+use std::collections::BTreeSet;
+
+/// Watermark configuration. Percentages are of the NF's RX ring capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct BackpressureConfig {
+    /// Enter throttle at or above this occupancy (paper's tuned value: 80%).
+    pub high_pct: u32,
+    /// Leave throttle strictly below this occupancy (80% − margin 20).
+    pub low_pct: u32,
+    /// Queue head must also be older than this before throttling — filters
+    /// short bursts the NF will absorb anyway (§3.5's hysteresis).
+    pub qtime_threshold: Duration,
+}
+
+impl Default for BackpressureConfig {
+    fn default() -> Self {
+        BackpressureConfig {
+            high_pct: 80,
+            low_pct: 60,
+            qtime_threshold: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Per-NF backpressure state (Fig 4: watch list vs packet throttle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BpState {
+    /// Normal operation, being watched.
+    Watch,
+    /// Over the high watermark: chains through this NF are throttled.
+    Throttle,
+}
+
+/// The backpressure subsystem state.
+#[derive(Debug)]
+pub struct Backpressure {
+    /// Configuration.
+    pub cfg: BackpressureConfig,
+    state: Vec<BpState>,
+    /// chains[c] = set of NFs currently throttling chain c.
+    throttled_by: Vec<BTreeSet<NfId>>,
+    /// marked[nf] = chains this NF has throttled (for exact clearing).
+    marked: Vec<BTreeSet<ChainId>>,
+    /// Throttle activations over the run.
+    pub throttle_events: u64,
+}
+
+impl Backpressure {
+    /// Subsystem for `num_nfs` NFs and `num_chains` chains.
+    pub fn new(cfg: BackpressureConfig, num_nfs: usize, num_chains: usize) -> Self {
+        Backpressure {
+            cfg,
+            state: vec![BpState::Watch; num_nfs],
+            throttled_by: vec![BTreeSet::new(); num_chains],
+            marked: vec![BTreeSet::new(); num_nfs],
+            throttle_events: 0,
+        }
+    }
+
+    /// Is `chain` currently subject to entry-point discard?
+    pub fn is_throttled(&self, chain: ChainId) -> bool {
+        !self.throttled_by[chain.index()].is_empty()
+    }
+
+    /// Current state of an NF.
+    pub fn state(&self, nf: NfId) -> BpState {
+        self.state[nf.index()]
+    }
+
+    /// NFs currently throttling `chain` (its active bottlenecks).
+    pub fn throttlers(&self, chain: ChainId) -> impl Iterator<Item = NfId> + '_ {
+        self.throttled_by[chain.index()].iter().copied()
+    }
+
+    /// Evaluate one NF against the watermarks.
+    ///
+    /// * `qlen`/`capacity` — RX ring occupancy;
+    /// * `head_age` — queueing time of the oldest packet (`None` if empty);
+    /// * `pending_chains` — chains with packets in this NF's queue (the
+    ///   manager "examines all packets in the NF's queue to determine what
+    ///   service chain they are part of").
+    pub fn evaluate<'a>(
+        &mut self,
+        nf: NfId,
+        qlen: usize,
+        capacity: usize,
+        head_age: Option<Duration>,
+        pending_chains: impl Iterator<Item = &'a ChainId>,
+    ) {
+        let above_high = qlen * 100 >= capacity * self.cfg.high_pct as usize;
+        let below_low = qlen * 100 < capacity * self.cfg.low_pct as usize;
+        let aged = head_age.is_some_and(|a| a > self.cfg.qtime_threshold);
+        match self.state[nf.index()] {
+            BpState::Watch => {
+                if above_high && aged {
+                    self.state[nf.index()] = BpState::Throttle;
+                    self.throttle_events += 1;
+                    self.mark_chains(nf, pending_chains);
+                }
+            }
+            BpState::Throttle => {
+                if below_low {
+                    self.state[nf.index()] = BpState::Watch;
+                    self.clear_chains(nf);
+                } else {
+                    // Still congested: chains that started queueing here
+                    // after the transition get throttled too.
+                    self.mark_chains(nf, pending_chains);
+                }
+            }
+        }
+    }
+
+    fn mark_chains<'a>(&mut self, nf: NfId, chains: impl Iterator<Item = &'a ChainId>) {
+        for &c in chains {
+            if self.marked[nf.index()].insert(c) {
+                self.throttled_by[c.index()].insert(nf);
+            }
+        }
+    }
+
+    fn clear_chains(&mut self, nf: NfId) {
+        let marked = std::mem::take(&mut self.marked[nf.index()]);
+        for c in marked {
+            self.throttled_by[c.index()].remove(&nf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> Backpressure {
+        Backpressure::new(BackpressureConfig::default(), 3, 2)
+    }
+
+    const CAP: usize = 100;
+    fn age(us: u64) -> Option<Duration> {
+        Some(Duration::from_micros(us))
+    }
+
+    #[test]
+    fn throttles_above_high_with_aged_queue() {
+        let mut b = bp();
+        let chains = [ChainId(0)];
+        b.evaluate(NfId(1), 80, CAP, age(200), chains.iter());
+        assert_eq!(b.state(NfId(1)), BpState::Throttle);
+        assert!(b.is_throttled(ChainId(0)));
+        assert!(!b.is_throttled(ChainId(1)));
+        assert_eq!(b.throttle_events, 1);
+    }
+
+    #[test]
+    fn fresh_burst_does_not_throttle() {
+        let mut b = bp();
+        let chains = [ChainId(0)];
+        // over HIGH but the head packet is young: a burst, not overload
+        b.evaluate(NfId(1), 90, CAP, age(10), chains.iter());
+        assert_eq!(b.state(NfId(1)), BpState::Watch);
+        assert!(!b.is_throttled(ChainId(0)));
+    }
+
+    #[test]
+    fn hysteresis_clears_only_below_low() {
+        let mut b = bp();
+        let chains = [ChainId(0)];
+        b.evaluate(NfId(1), 85, CAP, age(200), chains.iter());
+        assert!(b.is_throttled(ChainId(0)));
+        // Drops to 70 (between LOW and HIGH): still throttled.
+        b.evaluate(NfId(1), 70, CAP, age(200), chains.iter());
+        assert!(b.is_throttled(ChainId(0)));
+        // Below LOW (60): cleared.
+        b.evaluate(NfId(1), 59, CAP, age(200), chains.iter());
+        assert!(!b.is_throttled(ChainId(0)));
+        assert_eq!(b.state(NfId(1)), BpState::Watch);
+    }
+
+    #[test]
+    fn multiple_bottlenecks_must_all_clear() {
+        let mut b = bp();
+        let chains = [ChainId(0)];
+        b.evaluate(NfId(1), 90, CAP, age(200), chains.iter());
+        b.evaluate(NfId(2), 90, CAP, age(200), chains.iter());
+        assert!(b.is_throttled(ChainId(0)));
+        b.evaluate(NfId(1), 10, CAP, age(200), chains.iter());
+        assert!(b.is_throttled(ChainId(0)), "NF2 still congested");
+        b.evaluate(NfId(2), 10, CAP, age(200), chains.iter());
+        assert!(!b.is_throttled(ChainId(0)));
+    }
+
+    #[test]
+    fn late_arriving_chain_marked_while_throttled() {
+        let mut b = bp();
+        let first = [ChainId(0)];
+        b.evaluate(NfId(1), 90, CAP, age(200), first.iter());
+        assert!(!b.is_throttled(ChainId(1)));
+        // Next scan: chain 1's packets are now queued here too.
+        let both = [ChainId(0), ChainId(1)];
+        b.evaluate(NfId(1), 90, CAP, age(200), both.iter());
+        assert!(b.is_throttled(ChainId(1)));
+        // Clearing unmarks both.
+        b.evaluate(NfId(1), 0, CAP, None, [].iter());
+        assert!(!b.is_throttled(ChainId(0)));
+        assert!(!b.is_throttled(ChainId(1)));
+    }
+
+    #[test]
+    fn selective_other_chains_unaffected() {
+        // Fig 5: chain B does not pass the bottleneck, stays admitted.
+        let mut b = Backpressure::new(BackpressureConfig::default(), 5, 4);
+        let at_bottleneck = [ChainId(0), ChainId(2), ChainId(3)];
+        b.evaluate(NfId(3), 95, CAP, age(500), at_bottleneck.iter());
+        assert!(b.is_throttled(ChainId(0)));
+        assert!(!b.is_throttled(ChainId(1)));
+        assert!(b.is_throttled(ChainId(2)));
+        assert!(b.is_throttled(ChainId(3)));
+    }
+
+    #[test]
+    fn empty_queue_never_throttles() {
+        let mut b = bp();
+        b.evaluate(NfId(0), 0, CAP, None, [].iter());
+        assert_eq!(b.state(NfId(0)), BpState::Watch);
+    }
+}

@@ -1,0 +1,137 @@
+//! Top-level simulation configuration.
+
+use crate::backpressure::BackpressureConfig;
+use crate::ecn::EcnConfig;
+use crate::load::LoadConfig;
+use nfv_des::Duration;
+pub use nfv_platform::PlatformConfig;
+
+/// Which NFVnice subsystems are active. The paper's Fig 7/10/11 evaluate
+/// four variants: Default (none), CGroup (weights only), BKPR
+/// (backpressure only), and full NFVnice.
+#[derive(Debug, Clone, Copy)]
+pub struct NfvniceConfig {
+    /// Rate-cost proportional cgroup weight assignment.
+    pub cgroup_weights: bool,
+    /// Chain-aware backpressure with selective early discard.
+    pub backpressure: bool,
+    /// ECN marking for responsive flows.
+    pub ecn: bool,
+    /// Watermarks and queuing-time threshold.
+    pub bp: BackpressureConfig,
+    /// Load estimator tunables.
+    pub load: LoadConfig,
+    /// ECN marker tunables.
+    pub ecn_cfg: EcnConfig,
+}
+
+impl NfvniceConfig {
+    /// Everything on (the paper's "NFVnice" bars).
+    pub fn full() -> Self {
+        NfvniceConfig {
+            cgroup_weights: true,
+            backpressure: true,
+            ecn: true,
+            bp: BackpressureConfig::default(),
+            load: LoadConfig::default(),
+            ecn_cfg: EcnConfig::default(),
+        }
+    }
+
+    /// Everything off (the "Default" baseline: vanilla kernel scheduler,
+    /// wake-on-packet only).
+    pub fn off() -> Self {
+        NfvniceConfig {
+            cgroup_weights: false,
+            backpressure: false,
+            ecn: false,
+            bp: BackpressureConfig::default(),
+            load: LoadConfig::default(),
+            ecn_cfg: EcnConfig::default(),
+        }
+    }
+
+    /// Only cgroup weight assignment (the "CGroup" bars).
+    pub fn cgroups_only() -> Self {
+        NfvniceConfig {
+            cgroup_weights: true,
+            backpressure: false,
+            ecn: false,
+            ..Self::off()
+        }
+    }
+
+    /// Only backpressure (the "Only BKPR" bars).
+    pub fn backpressure_only() -> Self {
+        NfvniceConfig {
+            cgroup_weights: false,
+            backpressure: true,
+            ecn: false,
+            ..Self::off()
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match (self.cgroup_weights, self.backpressure) {
+            (false, false) => "Default",
+            (true, false) => "CGroup",
+            (false, true) => "OnlyBKPR",
+            (true, true) => "NFVnice",
+        }
+    }
+}
+
+/// Full simulation configuration: platform + NFVnice + driver periods.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Platform (cores, scheduler policy, mempool, batch size...).
+    pub platform: PlatformConfig,
+    /// NFVnice feature set.
+    pub nfvnice: NfvniceConfig,
+    /// Traffic generator poll period.
+    pub traffic_poll: Duration,
+    /// Manager RX thread poll period.
+    pub rx_poll: Duration,
+    /// Manager TX thread poll period.
+    pub tx_poll: Duration,
+    /// Wakeup thread scan period.
+    pub wakeup_period: Duration,
+    /// RNG seed (whole runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            platform: PlatformConfig::default(),
+            nfvnice: NfvniceConfig::full(),
+            traffic_poll: Duration::from_micros(20),
+            rx_poll: Duration::from_micros(10),
+            tx_poll: Duration::from_micros(10),
+            wakeup_period: Duration::from_micros(10),
+            seed: 0x4e46_5675,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(NfvniceConfig::off().label(), "Default");
+        assert_eq!(NfvniceConfig::cgroups_only().label(), "CGroup");
+        assert_eq!(NfvniceConfig::backpressure_only().label(), "OnlyBKPR");
+        assert_eq!(NfvniceConfig::full().label(), "NFVnice");
+    }
+
+    #[test]
+    fn full_enables_all() {
+        let c = NfvniceConfig::full();
+        assert!(c.cgroup_weights && c.backpressure && c.ecn);
+        let o = NfvniceConfig::off();
+        assert!(!o.cgroup_weights && !o.backpressure && !o.ecn);
+    }
+}

@@ -1,0 +1,909 @@
+//! The simulation engine: event loop wiring traffic, the platform
+//! mechanisms, the OS scheduler and the NFVnice policy subsystems together.
+//!
+//! Manager threads (traffic generator, RX, TX, wakeup, monitor) are
+//! periodic events on dedicated (unmodeled) cores, as in the paper's
+//! deployment where the NF Manager's threads are pinned away from NF
+//! cores. NF execution advances in batch-sized segments: `CoreRun` begins
+//! a batch (dequeue + cost computation), `BatchDone` completes it (handler
+//! execution, I/O, TX enqueue) and then makes the scheduling decision —
+//! continue, preempt, or block — which is exactly the batch-boundary
+//! yield/preemption model of `libnf` (§3.2).
+
+use crate::backpressure::Backpressure;
+use crate::config::SimConfig;
+use crate::ecn::EcnMarker;
+use crate::load::{compute_shares, LoadMonitor};
+use crate::report::{ChainReport, FlowReport, NfReport, Report, Series};
+use nfv_des::{Duration, EventQueue, SimRng, SimTime};
+use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
+use nfv_platform::{
+    BatchPlan, CostModel, NfSpec, PacketHandler, Platform, TcpEvent, TcpEventKind,
+};
+use nfv_sched::SwitchKind;
+use nfv_traffic::{CbrFlow, Feedback, TcpSource};
+use std::collections::HashMap;
+
+/// A configuration change applied mid-run (Fig 15a changes an NF's cost at
+/// t = 31 s and back at t = 60 s).
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Replace an NF's cost model.
+    SetCost(NfId, CostModel),
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Traffic,
+    RxPoll,
+    TxPoll,
+    Wakeup,
+    Monitor,
+    StatsRoll,
+    CoreRun { core: usize },
+    BatchDone { core: usize },
+    IoComplete { nf: NfId },
+    TcpFeedback { src: usize, fb: Feedback },
+    Action { idx: usize },
+}
+
+/// A configured simulation: build it, attach NFs/chains/traffic, `run`.
+pub struct Simulation {
+    cfg: SimConfig,
+    /// The underlying platform (public for tests and custom inspection).
+    pub platform: Platform,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    udp: Vec<CbrFlow>,
+    tcp: Vec<TcpSource>,
+    tcp_by_flow: HashMap<FlowId, usize>,
+    flow_chain: Vec<ChainId>,
+    bp: Backpressure,
+    load: LoadMonitor,
+    ecn: EcnMarker,
+    core_active: Vec<bool>,
+    actions: Vec<(SimTime, Action)>,
+    monitor_ticks: u64,
+    tuple_counter: u32,
+    last_roll: SimTime,
+    traffic_rotor: usize,
+    // per-second series bookkeeping
+    series: Series,
+    cpu_snapshot: Vec<Duration>,
+    flow_bytes_snapshot: Vec<u64>,
+    scratch_tcp: Vec<TcpEvent>,
+    scratch_woken: Vec<NfId>,
+    scratch_frames: Vec<nfv_pkt::WireFrame>,
+}
+
+impl Simulation {
+    /// A new simulation with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let platform = Platform::new(cfg.platform.clone());
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        Simulation {
+            platform,
+            queue: EventQueue::new(),
+            rng,
+            udp: Vec::new(),
+            tcp: Vec::new(),
+            tcp_by_flow: HashMap::new(),
+            flow_chain: Vec::new(),
+            bp: Backpressure::new(cfg.nfvnice.bp, 0, 0),
+            load: LoadMonitor::new(cfg.nfvnice.load, 0),
+            ecn: EcnMarker::new(cfg.nfvnice.ecn_cfg, Vec::new()),
+            core_active: vec![false; cfg.platform.nf_cores],
+            actions: Vec::new(),
+            monitor_ticks: 0,
+            tuple_counter: 0,
+            last_roll: SimTime::ZERO,
+            traffic_rotor: 0,
+            series: Series::default(),
+            cpu_snapshot: Vec::new(),
+            flow_bytes_snapshot: Vec::new(),
+            scratch_tcp: Vec::new(),
+            scratch_woken: Vec::new(),
+            scratch_frames: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Deploy an NF.
+    pub fn add_nf(&mut self, spec: NfSpec) -> NfId {
+        self.platform.add_nf(spec)
+    }
+
+    /// Deploy an NF with a custom handler.
+    pub fn add_nf_with_handler(
+        &mut self,
+        spec: NfSpec,
+        handler: Box<dyn PacketHandler>,
+    ) -> NfId {
+        self.platform.add_nf_with_handler(spec, handler)
+    }
+
+    /// Install a service chain.
+    pub fn add_chain(&mut self, path: &[NfId]) -> ChainId {
+        self.platform.install_chain(path)
+    }
+
+    fn fresh_tuple(&mut self, proto: Proto) -> FiveTuple {
+        self.tuple_counter += 1;
+        FiveTuple::synthetic(self.tuple_counter, proto)
+    }
+
+    /// Attach a constant-rate UDP flow to `chain`.
+    pub fn add_udp(&mut self, chain: ChainId, rate_pps: f64, frame_size: u32) -> FlowId {
+        self.add_udp_with(chain, rate_pps, frame_size, |f| f)
+    }
+
+    /// Attach a UDP flow with extra configuration (window, Poisson, cost
+    /// classes) applied by `customize`.
+    pub fn add_udp_with(
+        &mut self,
+        chain: ChainId,
+        rate_pps: f64,
+        frame_size: u32,
+        customize: impl FnOnce(CbrFlow) -> CbrFlow,
+    ) -> FlowId {
+        let tuple = self.fresh_tuple(Proto::Udp);
+        let flow = self.platform.install_flow(tuple, chain);
+        self.udp
+            .push(customize(CbrFlow::new(tuple, frame_size, rate_pps)));
+        self.note_flow(flow, chain);
+        flow
+    }
+
+    /// Attach a TCP flow to `chain`.
+    pub fn add_tcp(&mut self, chain: ChainId, frame_size: u32, rtt: Duration) -> FlowId {
+        self.add_tcp_with(chain, frame_size, rtt, |s| s)
+    }
+
+    /// Attach a TCP flow with extra configuration (ECN, max cwnd).
+    pub fn add_tcp_with(
+        &mut self,
+        chain: ChainId,
+        frame_size: u32,
+        rtt: Duration,
+        customize: impl FnOnce(TcpSource) -> TcpSource,
+    ) -> FlowId {
+        let tuple = self.fresh_tuple(Proto::Tcp);
+        let flow = self.platform.install_flow(tuple, chain);
+        let src = customize(TcpSource::new(tuple, frame_size, rtt));
+        self.tcp_by_flow.insert(flow, self.tcp.len());
+        self.tcp.push(src);
+        self.note_flow(flow, chain);
+        flow
+    }
+
+    fn note_flow(&mut self, flow: FlowId, chain: ChainId) {
+        while self.flow_chain.len() <= flow.index() {
+            self.flow_chain.push(chain);
+        }
+        self.flow_chain[flow.index()] = chain;
+    }
+
+    /// Mark a flow as triggering storage I/O at I/O-capable NFs.
+    pub fn mark_io_flow(&mut self, flow: FlowId) {
+        self.platform.set_io_flow(flow);
+    }
+
+    /// Schedule a configuration change.
+    pub fn at(&mut self, t: SimTime, action: Action) {
+        self.actions.push((t, action));
+    }
+
+    /// Read access to a TCP source (for assertions on cwnd etc.).
+    pub fn tcp_source(&self, flow: FlowId) -> &TcpSource {
+        &self.tcp[self.tcp_by_flow[&flow]]
+    }
+
+    // ------------------------------------------------------------------
+    // main loop
+    // ------------------------------------------------------------------
+
+    /// Run for `duration` of simulated time and report.
+    ///
+    /// `run` consumes the simulation's timeline: call it once per
+    /// `Simulation`. (A second call panics on the first event scheduled
+    /// before the already-advanced clock.)
+    pub fn run(&mut self, duration: Duration) -> Report {
+        let end = SimTime::ZERO + duration;
+        self.prime(end);
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().unwrap();
+            self.handle(now, ev, end);
+        }
+        self.platform.roll_meters(end);
+        // Close the final (possibly partial) measurement interval.
+        let tail = end.since(self.last_roll).as_secs_f64();
+        if tail > 1e-9 {
+            self.snapshot_series(tail);
+            self.last_roll = end;
+        }
+        self.build_report(duration)
+    }
+
+    fn prime(&mut self, end: SimTime) {
+        let n_nfs = self.platform.nfs.len();
+        let n_chains = self.platform.chains.count();
+        self.bp = Backpressure::new(self.cfg.nfvnice.bp, n_nfs, n_chains);
+        self.load = LoadMonitor::new(self.cfg.nfvnice.load, n_nfs);
+        self.ecn = EcnMarker::new(
+            self.cfg.nfvnice.ecn_cfg,
+            self.platform.nfs.iter().map(|nf| nf.rx.capacity()).collect(),
+        );
+        self.cpu_snapshot = vec![Duration::ZERO; n_nfs];
+        self.flow_bytes_snapshot = vec![0; self.platform.stats.flows.len()];
+        self.series.cpu_pct = vec![Vec::new(); n_nfs];
+        self.series.flow_mbps = vec![Vec::new(); self.platform.stats.flows.len()];
+
+        let q = &mut self.queue;
+        q.push(SimTime::ZERO + self.cfg.traffic_poll, Ev::Traffic);
+        q.push(SimTime::ZERO + self.cfg.rx_poll, Ev::RxPoll);
+        q.push(SimTime::ZERO + self.cfg.tx_poll, Ev::TxPoll);
+        q.push(SimTime::ZERO + self.cfg.wakeup_period, Ev::Wakeup);
+        q.push(SimTime::ZERO + self.cfg.nfvnice.load.sample_period, Ev::Monitor);
+        q.push(SimTime::ZERO + Duration::from_secs(1), Ev::StatsRoll);
+        let actions = std::mem::take(&mut self.actions);
+        for (idx, (t, _)) in actions.iter().enumerate() {
+            if *t <= end {
+                q.push(*t, Ev::Action { idx });
+            }
+        }
+        self.actions = actions;
+        // Initial TCP window.
+        for i in 0..self.tcp.len() {
+            self.pump_tcp(i, SimTime::ZERO);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, end: SimTime) {
+        match ev {
+            Ev::Traffic => {
+                self.do_traffic(now);
+                self.reschedule(now, self.cfg.traffic_poll, end, Ev::Traffic);
+            }
+            Ev::RxPoll => {
+                self.do_rx(now);
+                self.reschedule(now, self.cfg.rx_poll, end, Ev::RxPoll);
+            }
+            Ev::TxPoll => {
+                self.do_tx(now);
+                self.reschedule(now, self.cfg.tx_poll, end, Ev::TxPoll);
+            }
+            Ev::Wakeup => {
+                self.do_wakeup(now);
+                self.reschedule(now, self.cfg.wakeup_period, end, Ev::Wakeup);
+            }
+            Ev::Monitor => {
+                self.do_monitor(now);
+                self.reschedule(now, self.cfg.nfvnice.load.sample_period, end, Ev::Monitor);
+            }
+            Ev::StatsRoll => {
+                self.platform.roll_meters(now);
+                self.snapshot_series(now.since(self.last_roll).as_secs_f64());
+                self.last_roll = now;
+                self.reschedule(now, Duration::from_secs(1), end, Ev::StatsRoll);
+            }
+            Ev::CoreRun { core } => self.do_core_run(core, now),
+            Ev::BatchDone { core } => self.do_batch_done(core, now),
+            Ev::IoComplete { nf } => self.do_io_complete(nf, now),
+            Ev::TcpFeedback { src, fb } => {
+                self.tcp[src].on_feedback(fb, now);
+                self.pump_tcp(src, now);
+            }
+            Ev::Action { idx } => {
+                let action = self.actions[idx].1.clone();
+                match action {
+                    Action::SetCost(nf, cost) => {
+                        self.platform.nfs[nf.index()].spec.cost = cost;
+                    }
+                }
+            }
+        }
+    }
+
+    fn reschedule(&mut self, now: SimTime, period: Duration, end: SimTime, ev: Ev) {
+        let next = now + period;
+        if next <= end {
+            self.queue.push(next, ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // handlers
+    // ------------------------------------------------------------------
+
+    fn do_traffic(&mut self, now: SimTime) {
+        let mut frames = std::mem::take(&mut self.scratch_frames);
+        frames.clear();
+        // Rotate the source order each poll: with a fixed order, the first
+        // flow's burst would systematically win the last ring slots when a
+        // shared NF's queue hovers near full, starving later flows.
+        let n = self.udp.len();
+        if n > 0 {
+            self.traffic_rotor = (self.traffic_rotor + 1) % n;
+            for i in 0..n {
+                let idx = (self.traffic_rotor + i) % n;
+                self.udp[idx].emit(now, self.cfg.traffic_poll, &mut self.rng, &mut frames);
+            }
+        }
+        for f in frames.drain(..) {
+            // UDP is non-responsive: NIC overflow is silent loss.
+            let _ = self.platform.nic.deliver(f);
+        }
+        self.scratch_frames = frames;
+    }
+
+    fn pump_tcp(&mut self, src: usize, now: SimTime) {
+        let mut frames = std::mem::take(&mut self.scratch_frames);
+        frames.clear();
+        self.tcp[src].pump(now, &mut frames);
+        let rtt = self.tcp[src].rtt;
+        for f in frames.drain(..) {
+            if !self.platform.nic.deliver(f) {
+                // Hardware drop: the sender finds out a round trip later.
+                self.queue.push(
+                    now + rtt,
+                    Ev::TcpFeedback {
+                        src,
+                        fb: Feedback::Dropped { seq: f.seq },
+                    },
+                );
+            }
+        }
+        self.scratch_frames = frames;
+    }
+
+    fn do_rx(&mut self, now: SimTime) {
+        let Simulation {
+            platform,
+            bp,
+            cfg,
+            scratch_tcp,
+            ..
+        } = self;
+        scratch_tcp.clear();
+        let bp_on = cfg.nfvnice.backpressure;
+        let mut admit = |chain: ChainId, _flow: FlowId| !bp_on || !bp.is_throttled(chain);
+        platform.rx_poll(now, &mut admit, scratch_tcp);
+        self.dispatch_tcp_events(now);
+    }
+
+    fn do_tx(&mut self, now: SimTime) {
+        let Simulation {
+            platform,
+            ecn,
+            cfg,
+            scratch_tcp,
+            scratch_woken,
+            ..
+        } = self;
+        scratch_tcp.clear();
+        scratch_woken.clear();
+        let ecn_on = cfg.nfvnice.ecn;
+        let mut mark = |nf: NfId| {
+            if ecn_on && ecn.should_mark(nf.index()) {
+                ecn.note_mark();
+                true
+            } else {
+                false
+            }
+        };
+        platform.tx_drain(now, &mut mark, scratch_tcp, scratch_woken);
+        let woken = std::mem::take(&mut self.scratch_woken);
+        for nf in &woken {
+            if self.platform.wake_nf(*nf, now) {
+                self.kick(self.platform.core_of(*nf), now);
+            }
+        }
+        self.scratch_woken = woken;
+        self.dispatch_tcp_events(now);
+    }
+
+    fn dispatch_tcp_events(&mut self, now: SimTime) {
+        let events = std::mem::take(&mut self.scratch_tcp);
+        for ev in &events {
+            let Some(&src) = self.tcp_by_flow.get(&ev.flow) else {
+                continue;
+            };
+            let rtt = self.tcp[src].rtt;
+            let fb = match ev.kind {
+                TcpEventKind::Delivered { ce } => Feedback::Delivered { seq: ev.seq, ce },
+                TcpEventKind::Dropped => Feedback::Dropped { seq: ev.seq },
+            };
+            self.queue.push(now + rtt, Ev::TcpFeedback { src, fb });
+        }
+        self.scratch_tcp = events;
+    }
+
+    fn do_wakeup(&mut self, now: SimTime) {
+        let bp_on = self.cfg.nfvnice.backpressure;
+        if bp_on {
+            // Control half of backpressure: run each NF through the
+            // watermark state machine (detection happened implicitly via
+            // ring occupancy).
+            let Simulation { platform, bp, .. } = self;
+            for idx in 0..platform.nfs.len() {
+                let nf = &platform.nfs[idx];
+                let head_age = platform.rx_head_age(NfId(idx as u32), now);
+                bp.evaluate(
+                    NfId(idx as u32),
+                    nf.rx.len(),
+                    nf.rx.capacity(),
+                    head_age,
+                    nf.pending_by_chain.keys(),
+                );
+            }
+        }
+        // Wake / yield classification.
+        for idx in 0..self.platform.nfs.len() {
+            let suppressed = bp_on && self.nf_suppressed(idx);
+            let nf = &mut self.platform.nfs[idx];
+            use nfv_platform::BlockReason::*;
+            match nf.blocked {
+                Some(EmptyRx) | Some(Backpressure) => {
+                    if nf.pending() > 0 && !suppressed {
+                        let id = NfId(idx as u32);
+                        self.platform.wake_nf(id, now);
+                        self.kick(self.platform.core_of(id), now);
+                    }
+                }
+                None => {
+                    // Running or runnable: if its whole backlog is doomed
+                    // (every pending chain has a bottleneck downstream),
+                    // tell the NF to relinquish the CPU.
+                    if suppressed {
+                        nf.yield_flag = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Is every packet queued at NF `idx` part of a chain with an active
+    /// bottleneck *downstream* of this NF? Such work would only feed an
+    /// already-overflowing queue, so the NF is suppressed (§3.3: "the
+    /// upstream NF will not execute till the downstream NF gets to consume
+    /// its receive buffers"). The bottleneck NF itself — and NFs after it —
+    /// must keep running so the congestion can drain.
+    fn nf_suppressed(&self, idx: usize) -> bool {
+        let nf = &self.platform.nfs[idx];
+        if nf.pending_by_chain.is_empty() {
+            return false;
+        }
+        let me = NfId(idx as u32);
+        nf.pending_by_chain.keys().all(|&c| {
+            let Some(my_pos) = self.platform.chains.first_position(c, me) else {
+                return false;
+            };
+            self.bp.throttlers(c).any(|b| {
+                self.platform
+                    .chains
+                    .first_position(c, b)
+                    .is_some_and(|p| p > my_pos)
+            })
+        })
+    }
+
+    fn do_monitor(&mut self, now: SimTime) {
+        self.monitor_ticks += 1;
+        for idx in 0..self.platform.nfs.len() {
+            let nf = &self.platform.nfs[idx];
+            self.load.sample(idx, now, nf.last_ppp, nf.arrivals);
+            self.ecn.observe(idx, nf.rx.len());
+        }
+        let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
+            / self.cfg.nfvnice.load.sample_period.as_nanos())
+        .max(1);
+        if self.cfg.nfvnice.cgroup_weights && self.monitor_ticks % ticks_per_weight_update == 0 {
+            for core in 0..self.cfg.platform.nf_cores {
+                let entries: Vec<(usize, f64, f64)> = (0..self.platform.nfs.len())
+                    .filter(|&i| self.platform.nfs[i].spec.core == core)
+                    .map(|i| (i, self.load.load(i), self.platform.nfs[i].spec.priority))
+                    .collect();
+                if entries.len() < 2 {
+                    continue; // a lone NF owns its core regardless of weight
+                }
+                for (idx, shares) in
+                    compute_shares(&entries, self.cfg.nfvnice.load.shares_scale)
+                {
+                    self.platform.set_nf_shares(NfId(idx as u32), shares);
+                }
+            }
+        }
+    }
+
+    fn kick(&mut self, core: usize, now: SimTime) {
+        if self.core_active[core] {
+            return;
+        }
+        if let Some((_task, overhead)) = self.platform.sched.dispatch(core, now) {
+            self.core_active[core] = true;
+            self.queue.push(now + overhead, Ev::CoreRun { core });
+        }
+    }
+
+    fn do_core_run(&mut self, core: usize, now: SimTime) {
+        let nf = self
+            .platform
+            .running_nf(core)
+            .expect("CoreRun with no current task");
+        match self.platform.plan_batch(nf) {
+            BatchPlan::Run { duration, .. } => {
+                self.queue.push(now + duration, Ev::BatchDone { core });
+            }
+            BatchPlan::Block(reason) => {
+                self.platform.sched.block_current(core, now);
+                self.platform.mark_blocked(nf, reason);
+                self.core_active[core] = false;
+                self.kick(core, now);
+            }
+        }
+    }
+
+    fn do_batch_done(&mut self, core: usize, now: SimTime) {
+        let nf = self
+            .platform
+            .running_nf(core)
+            .expect("BatchDone with no current task");
+        let (dur, _) = self.platform.nfs[nf.index()]
+            .current_batch
+            .expect("BatchDone without a batch");
+        self.platform.sched.charge_current(core, dur);
+        let fx = self.platform.finish_batch(nf, now);
+        for c in fx.flush_completions {
+            self.queue.push(c, Ev::IoComplete { nf });
+        }
+        if let Some(t) = fx.io_wake_at {
+            self.queue.push(t, Ev::IoComplete { nf });
+        }
+        if let Some(reason) = fx.block {
+            self.platform.sched.block_current(core, now);
+            self.platform.mark_blocked(nf, reason);
+            self.core_active[core] = false;
+            self.kick(core, now);
+        } else if self.platform.sched.need_resched(core, now) {
+            self.platform
+                .sched
+                .requeue_current(core, now, SwitchKind::Involuntary);
+            let (_t, ov) = self
+                .platform
+                .sched
+                .dispatch(core, now)
+                .expect("resched with nonempty runqueue");
+            self.queue.push(now + ov, Ev::CoreRun { core });
+        } else {
+            self.queue.push(now, Ev::CoreRun { core });
+        }
+    }
+
+    fn do_io_complete(&mut self, nf: NfId, now: SimTime) {
+        let out = self.platform.on_io_complete(nf, now);
+        if let Some(c) = out.next_completion {
+            self.queue.push(c, Ev::IoComplete { nf });
+        }
+        if out.wake && self.platform.wake_nf(nf, now) {
+            self.kick(self.platform.core_of(nf), now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // reporting
+    // ------------------------------------------------------------------
+
+    fn snapshot_series(&mut self, span_secs: f64) {
+        if span_secs <= 0.0 {
+            return;
+        }
+        for idx in 0..self.platform.nfs.len() {
+            let task = self.platform.nfs[idx].task;
+            let cpu = self.platform.sched.task(task).cpu_time;
+            let delta = cpu.saturating_sub(self.cpu_snapshot[idx]);
+            self.cpu_snapshot[idx] = cpu;
+            self.series.cpu_pct[idx].push(delta.as_secs_f64() / span_secs * 100.0);
+        }
+        // Wildcard classification can add flows mid-run; grow the
+        // bookkeeping (their series start at the current interval).
+        while self.flow_bytes_snapshot.len() < self.platform.stats.flows.len() {
+            self.flow_bytes_snapshot.push(0);
+            self.series.flow_mbps.push(Vec::new());
+        }
+        for f in 0..self.platform.stats.flows.len() {
+            let bytes = self.platform.stats.flows[f].delivered_bytes;
+            let delta = bytes - self.flow_bytes_snapshot[f];
+            self.flow_bytes_snapshot[f] = bytes;
+            self.series.flow_mbps[f].push(delta as f64 * 8.0 / span_secs / 1e6);
+        }
+    }
+
+    fn build_report(&mut self, wall: Duration) -> Report {
+        let secs = wall.as_secs_f64().max(1e-9);
+        let nfs: Vec<NfReport> = (0..self.platform.nfs.len())
+            .map(|idx| {
+                let nf = &self.platform.nfs[idx];
+                let task = self.platform.sched.task(nf.task);
+                NfReport {
+                    nf: NfId(idx as u32),
+                    name: nf.spec.name.clone(),
+                    core: nf.spec.core,
+                    processed: nf.processed,
+                    svc_rate_pps: nf.processed as f64 / secs,
+                    wasted_drops: nf.wasted_drops,
+                    wasted_rate_pps: nf.wasted_drops as f64 / secs,
+                    cpu_time: task.cpu_time,
+                    cpu_util: task.cpu_time.as_secs_f64() / secs,
+                    cswch_per_sec: task.voluntary_switches as f64 / secs,
+                    nvcswch_per_sec: task.involuntary_switches as f64 / secs,
+                    avg_sched_latency: task.avg_sched_latency(),
+                    final_shares: self.platform.cgroups.shares(nf.task),
+                    output_rate_pps: nf.processed.saturating_sub(nf.wasted_drops) as f64 / secs,
+                }
+            })
+            .collect();
+        let flows: Vec<FlowReport> = (0..self.platform.stats.flows.len())
+            .map(|f| {
+                let fs = &self.platform.stats.flows[f];
+                FlowReport {
+                    flow: FlowId(f as u32),
+                    chain: self.flow_chain.get(f).copied().unwrap_or(ChainId(0)),
+                    delivered: fs.delivered,
+                    delivered_pps: fs.delivered as f64 / secs,
+                    mbps: fs.delivered_bytes as f64 * 8.0 / secs / 1e6,
+                    dropped: fs.dropped,
+                    entry_drops: fs.entry_drops,
+                    latency_p50: fs.latency.median().unwrap_or(Duration::ZERO),
+                    latency_p99: fs.latency.percentile(99.0).unwrap_or(Duration::ZERO),
+                }
+            })
+            .collect();
+        let chains: Vec<ChainReport> = self
+            .platform
+            .chains
+            .ids()
+            .map(|c| {
+                let cs = &self.platform.stats.chains[c.index()];
+                ChainReport {
+                    chain: c,
+                    delivered: cs.delivered,
+                    pps: cs.delivered as f64 / secs,
+                    entry_drops: cs.entry_drops,
+                }
+            })
+            .collect();
+        let total_delivered_pps = flows.iter().map(|f| f.delivered_pps).sum();
+        Report {
+            wall,
+            policy: self.platform.sched.policy().label(),
+            variant: self.cfg.nfvnice.label().to_string(),
+            nfs,
+            flows,
+            chains,
+            total_delivered_pps,
+            nic_overflow: self.platform.nic.rx_overflow_drops,
+            entry_drops: self.platform.stats.entry_throttle_drops,
+            total_wasted_drops: self.platform.nfs.iter().map(|nf| nf.wasted_drops).sum(),
+            cgroup_writes: self.platform.cgroups.writes,
+            throttle_events: self.bp.throttle_events,
+            ecn_marks: self.ecn.marks,
+            series: std::mem::take(&mut self.series),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NfvniceConfig;
+    use nfv_sched::Policy;
+
+    fn base_cfg(cores: usize, policy: Policy, nfvnice: NfvniceConfig) -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.platform.nf_cores = cores;
+        cfg.platform.policy = policy;
+        cfg.nfvnice = nfvnice;
+        cfg
+    }
+
+    #[test]
+    fn single_nf_underload_delivers_everything() {
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::off()));
+        let nf = sim.add_nf(NfSpec::new("bridge", 0, 250));
+        let chain = sim.add_chain(&[nf]);
+        // 100 kpps against a ~10.4 Mpps capacity NF: zero loss expected.
+        sim.add_udp(chain, 100_000.0, 64);
+        let r = sim.run(Duration::from_millis(200));
+        let f = &r.flows[0];
+        let offered = 20_000; // 100 kpps * 0.2 s
+        assert!(f.delivered as i64 >= offered - 300, "delivered {}", f.delivered);
+        assert_eq!(f.dropped, 0);
+        assert_eq!(r.total_wasted_drops, 0);
+        assert!(sim.platform.packets_accounted());
+    }
+
+    #[test]
+    fn overloaded_nf_is_capacity_bound() {
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::off()));
+        // 26k cycles/packet at 2.6 GHz = 100k pps capacity.
+        let nf = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[nf]);
+        sim.add_udp(chain, 1_000_000.0, 64); // 10x overload
+        let r = sim.run(Duration::from_millis(200));
+        let got = r.flows[0].delivered_pps;
+        assert!((70_000.0..110_000.0).contains(&got), "rate {got}");
+    }
+
+    #[test]
+    fn chain_delivery_traverses_all_nfs() {
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::off()));
+        let a = sim.add_nf(NfSpec::new("a", 0, 100));
+        let b = sim.add_nf(NfSpec::new("b", 0, 100));
+        let c = sim.add_nf(NfSpec::new("c", 0, 100));
+        let chain = sim.add_chain(&[a, b, c]);
+        sim.add_udp(chain, 50_000.0, 64);
+        let r = sim.run(Duration::from_millis(100));
+        assert!(r.flows[0].delivered > 0);
+        // every NF saw every delivered packet
+        for nf in &r.nfs {
+            assert!(nf.processed >= r.flows[0].delivered, "{}", nf.name);
+        }
+    }
+
+    #[test]
+    fn backpressure_sheds_at_entry_and_prevents_wasted_work() {
+        let run = |nfvnice: NfvniceConfig| {
+            let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, nfvnice));
+            let cheap = sim.add_nf(NfSpec::new("cheap", 0, 100));
+            let costly = sim.add_nf(NfSpec::new("costly", 0, 10_000));
+            let chain = sim.add_chain(&[cheap, costly]);
+            sim.add_udp(chain, 5_000_000.0, 64);
+            sim.run(Duration::from_millis(300))
+        };
+        let default = run(NfvniceConfig::off());
+        let nice = run(NfvniceConfig::full());
+        assert!(default.total_wasted_drops > 100_000, "default wastes: {}", default.total_wasted_drops);
+        assert!(
+            nice.total_wasted_drops < default.total_wasted_drops / 20,
+            "nfvnice {} vs default {}",
+            nice.total_wasted_drops,
+            default.total_wasted_drops
+        );
+        assert!(nice.entry_drops > 0, "shed at entry instead");
+        assert!(nice.throttle_events > 0);
+        // and throughput should not be worse
+        assert!(nice.total_delivered_pps > default.total_delivered_pps * 0.8);
+    }
+
+    #[test]
+    fn cgroup_weights_give_rate_cost_fairness() {
+        // Two NFs, same arrival rate, 3x cost difference, one core.
+        let run = |nfvnice: NfvniceConfig| {
+            let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, nfvnice));
+            let light = sim.add_nf(NfSpec::new("light", 0, 300));
+            let heavy = sim.add_nf(NfSpec::new("heavy", 0, 900));
+            let c1 = sim.add_chain(&[light]);
+            let c2 = sim.add_chain(&[heavy]);
+            // total demand = 4M*300 + 4M*900 cycles = 4.8G > 2.6G: overload
+            sim.add_udp(c1, 4_000_000.0, 64);
+            sim.add_udp(c2, 4_000_000.0, 64);
+            sim.run(Duration::from_millis(400))
+        };
+        let nice = run(NfvniceConfig::cgroups_only());
+        // rate-cost fairness: equal output rates despite 3x cost gap
+        let ratio = nice.flows[0].delivered_pps / nice.flows[1].delivered_pps;
+        assert!((0.8..1.4).contains(&ratio), "nfvnice output ratio {ratio}");
+        let default = run(NfvniceConfig::off());
+        let dratio = default.flows[0].delivered_pps / default.flows[1].delivered_pps;
+        assert!(dratio > 1.8, "CFS favors the cheap NF: {dratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::full()));
+            let a = sim.add_nf(NfSpec::new("a", 0, 120));
+            let b = sim.add_nf(NfSpec::new("b", 0, 550));
+            let chain = sim.add_chain(&[a, b]);
+            sim.add_udp_with(chain, 3_000_000.0, 64, |f| f.poisson());
+            let r = sim.run(Duration::from_millis(100));
+            (r.flows[0].delivered, r.total_wasted_drops, r.entry_drops)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mid_run_action_changes_cost() {
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::off()));
+        let nf = sim.add_nf(NfSpec::new("morph", 0, 100));
+        let chain = sim.add_chain(&[nf]);
+        sim.add_udp(chain, 200_000.0, 64);
+        // After 50ms the NF becomes 100x more expensive (10k cycles →
+        // 260 kpps capacity — still above offered; then 100k → 26 kpps).
+        sim.at(
+            SimTime::from_millis(50),
+            Action::SetCost(nf, CostModel::Fixed(100_000)),
+        );
+        let r = sim.run(Duration::from_millis(100));
+        // delivered ≈ 50ms*200k + 50ms*26k ≈ 10k + 1.3k
+        let d = r.flows[0].delivered;
+        assert!((9_000..13_500).contains(&d), "delivered {d}");
+    }
+
+    #[test]
+    fn shared_nf_keeps_serving_live_chain_under_throttle() {
+        // Fig 8/9 in miniature: NF "shared" feeds both a clean chain and a
+        // chain with a downstream bottleneck. Throttling the congested
+        // chain must not suppress the shared NF — the clean chain keeps
+        // its full rate.
+        let mut sim = Simulation::new(base_cfg(2, Policy::CfsBatch, NfvniceConfig::full()));
+        let shared = sim.add_nf(NfSpec::new("shared", 0, 300));
+        let bneck = sim.add_nf(NfSpec::new("bneck", 1, 26_000)); // 100 kpps
+        let clean = sim.add_chain(&[shared]);
+        let congested = sim.add_chain(&[shared, bneck]);
+        sim.add_udp(clean, 1_000_000.0, 64);
+        sim.add_udp(congested, 1_000_000.0, 64);
+        let r = sim.run(Duration::from_millis(300));
+        assert!(r.throttle_events > 0, "bottleneck must throttle");
+        assert!(
+            r.flows[0].delivered_pps > 950_000.0,
+            "clean flow degraded: {}",
+            r.flows[0].delivered_pps
+        );
+        assert!(
+            (70_000.0..140_000.0).contains(&r.flows[1].delivered_pps),
+            "congested flow should ride the bottleneck: {}",
+            r.flows[1].delivered_pps
+        );
+    }
+
+    #[test]
+    fn bottleneck_nf_itself_is_never_suppressed() {
+        // The NF whose queue triggered the throttle must keep draining,
+        // otherwise the throttle never clears (deadlock regression test).
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::full()));
+        let a = sim.add_nf(NfSpec::new("a", 0, 100));
+        let b = sim.add_nf(NfSpec::new("b", 0, 5_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp(chain, 10_000_000.0, 64);
+        let r = sim.run(Duration::from_millis(300));
+        assert!(r.throttle_events > 0);
+        // sustained delivery at roughly the bottleneck rate (≈ 510 kpps
+        // capacity for NF b minus scheduling overhead)
+        assert!(
+            r.flows[0].delivered_pps > 300_000.0,
+            "chain starved: {}",
+            r.flows[0].delivered_pps
+        );
+    }
+
+    #[test]
+    fn ecn_disabled_never_marks() {
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::off());
+        cfg.nfvnice.ecn = false;
+        let mut sim = Simulation::new(cfg);
+        let slow = sim.add_nf(NfSpec::new("slow", 0, 5_000));
+        let chain = sim.add_chain(&[slow]);
+        sim.add_tcp_with(chain, 1500, Duration::from_micros(100), |t| t.with_ecn());
+        let r = sim.run(Duration::from_millis(200));
+        assert_eq!(r.ecn_marks, 0);
+    }
+
+    #[test]
+    fn tcp_flow_reaches_window_limited_rate() {
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::off()));
+        let nf = sim.add_nf(NfSpec::new("fwd", 0, 200));
+        let chain = sim.add_chain(&[nf]);
+        let flow = sim.add_tcp_with(chain, 1500, Duration::from_micros(100), |s| {
+            s.with_max_cwnd(33.0)
+        });
+        let r = sim.run(Duration::from_millis(500));
+        // cap = 33 * 1500B * 8 / 100us = 3.96 Gbps
+        let mbps = r.flows[flow.index()].mbps;
+        assert!((3_000.0..4_200.0).contains(&mbps), "tcp rate {mbps} Mbps");
+    }
+}

@@ -1,0 +1,243 @@
+//! Load estimation and rate-cost proportional CPU share computation (§3.2,
+//! §3.5 of the paper).
+//!
+//! `libnf` samples each NF's per-packet processing time (our platform
+//! observes it per batch); the monitor thread ingests one sample per NF per
+//! millisecond into a 100 ms moving window and uses the *median* as the
+//! service-time estimate `s` — robust to outliers from context switches and
+//! I/O. Arrival rate `λ` is counted per tick over the same window. Then
+//!
+//! ```text
+//! load(i)   = λᵢ · sᵢ                      (offered CPU utilization)
+//! sharesᵢ   = priorityᵢ · load(i) / Σ load(core)   (normalized per core)
+//! ```
+//!
+//! Shares are written through the cgroup controller every 10 ms (each
+//! write costs ~5 µs of sysfs time, which is why they are batched).
+
+use nfv_des::{Duration, SimTime, WindowedMedian};
+use std::collections::VecDeque;
+
+/// Tunables for the estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Sampling period of the monitor thread (paper: 1 ms → 1000 Hz).
+    pub sample_period: Duration,
+    /// How often cgroup weights are written (paper: every 10 ms).
+    pub weight_period: Duration,
+    /// Moving window for the service-time median and arrival rate
+    /// (paper: 100 ms).
+    pub window: Duration,
+    /// Scale such that shares average ~1024 per NF on a core.
+    pub shares_scale: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sample_period: Duration::from_millis(1),
+            weight_period: Duration::from_millis(10),
+            window: Duration::from_millis(100),
+            shares_scale: 1024,
+        }
+    }
+}
+
+/// Rolling per-NF load state.
+#[derive(Debug)]
+struct NfLoad {
+    svc_ns: WindowedMedian,
+    arrivals: VecDeque<(SimTime, u64)>,
+    arrivals_in_window: u64,
+    last_arrival_counter: u64,
+}
+
+/// The monitor-thread estimator for all NFs.
+#[derive(Debug)]
+pub struct LoadMonitor {
+    cfg: LoadConfig,
+    nfs: Vec<NfLoad>,
+}
+
+impl LoadMonitor {
+    /// Estimator for `num_nfs` NFs.
+    pub fn new(cfg: LoadConfig, num_nfs: usize) -> Self {
+        LoadMonitor {
+            nfs: (0..num_nfs)
+                .map(|_| NfLoad {
+                    svc_ns: WindowedMedian::new(cfg.window),
+                    arrivals: VecDeque::new(),
+                    arrivals_in_window: 0,
+                    last_arrival_counter: 0,
+                })
+                .collect(),
+            cfg,
+        }
+    }
+
+    /// Ingest one monitor tick for NF `idx`: the latest observed per-packet
+    /// time and the NF's cumulative arrival counter.
+    pub fn sample(&mut self, idx: usize, now: SimTime, last_ppp: Duration, arrival_counter: u64) {
+        let nf = &mut self.nfs[idx];
+        if last_ppp > Duration::ZERO {
+            nf.svc_ns.observe(now, last_ppp.as_nanos());
+        }
+        let delta = arrival_counter.saturating_sub(nf.last_arrival_counter);
+        nf.last_arrival_counter = arrival_counter;
+        nf.arrivals.push_back((now, delta));
+        nf.arrivals_in_window += delta;
+        let horizon = now - self.cfg.window;
+        while let Some(&(t, d)) = nf.arrivals.front() {
+            if t < horizon {
+                nf.arrivals_in_window -= d;
+                nf.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Median service time estimate (ns/packet).
+    pub fn service_time_ns(&self, idx: usize) -> Option<u64> {
+        self.nfs[idx].svc_ns.median()
+    }
+
+    /// Arrival rate estimate (packets/s) over the window.
+    pub fn arrival_rate_pps(&self, idx: usize) -> f64 {
+        let nf = &self.nfs[idx];
+        if nf.arrivals.is_empty() {
+            return 0.0;
+        }
+        nf.arrivals_in_window as f64 / self.cfg.window.as_secs_f64()
+    }
+
+    /// `load = λ · s` (dimensionless demanded CPU utilization).
+    pub fn load(&self, idx: usize) -> f64 {
+        let s = self.service_time_ns(idx).unwrap_or(0) as f64 / 1e9;
+        self.arrival_rate_pps(idx) * s
+    }
+}
+
+/// Compute cgroup shares for the NFs sharing one core.
+///
+/// `entries` are `(index, load, priority)`. Returns `(index, shares)`;
+/// shares sum to ≈ `shares_scale × n` so the average NF keeps the default
+/// 1024 weight, and every NF gets at least the kernel minimum so even
+/// zero-load NFs can make progress (§2.1's worst-case guarantee).
+pub fn compute_shares(entries: &[(usize, f64, f64)], shares_scale: u64) -> Vec<(usize, u64)> {
+    let total: f64 = entries.iter().map(|&(_, l, p)| l * p).sum();
+    let n = entries.len() as f64;
+    entries
+        .iter()
+        .map(|&(i, load, prio)| {
+            let share = if total > 0.0 {
+                (prio * load / total * shares_scale as f64 * n) as u64
+            } else {
+                shares_scale // no load anywhere: default weight
+            };
+            (i, share.clamp(nfv_sched::MIN_SHARES, nfv_sched::MAX_SHARES))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_service_time_over_window() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        for ms in 0..50 {
+            let t = SimTime::from_millis(ms);
+            m.sample(0, t, Duration::from_nanos(100), ms * 10);
+        }
+        assert_eq!(m.service_time_ns(0), Some(100));
+    }
+
+    #[test]
+    fn outlier_resistant_median() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        for ms in 0..99 {
+            let ppp = if ms == 50 {
+                Duration::from_millis(5) // context-switch outlier
+            } else {
+                Duration::from_nanos(200)
+            };
+            m.sample(0, SimTime::from_millis(ms), ppp, 0);
+        }
+        assert_eq!(m.service_time_ns(0), Some(200));
+    }
+
+    #[test]
+    fn arrival_rate_over_window() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        // 1000 arrivals per ms tick for 100 ticks = 1 Mpps
+        for ms in 1..=100 {
+            m.sample(0, SimTime::from_millis(ms), Duration::ZERO, ms * 1000);
+        }
+        let rate = m.arrival_rate_pps(0);
+        assert!((rate - 1_000_000.0).abs() < 20_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn old_arrivals_age_out() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        m.sample(0, SimTime::from_millis(1), Duration::ZERO, 1_000_000);
+        // long quiet period
+        for ms in 200..300 {
+            m.sample(0, SimTime::from_millis(ms), Duration::ZERO, 1_000_000);
+        }
+        assert_eq!(m.arrival_rate_pps(0), 0.0);
+    }
+
+    #[test]
+    fn load_is_rate_times_service() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        // λ = 100k pps, s = 1µs → load = 0.1
+        for ms in 1..=100 {
+            m.sample(0, SimTime::from_millis(ms), Duration::from_micros(1), ms * 100);
+        }
+        let load = m.load(0);
+        assert!((load - 0.1).abs() < 0.01, "load={load}");
+    }
+
+    #[test]
+    fn shares_proportional_to_load() {
+        // Fig 1b's desired outcome: cost ratio 2:1 at equal rates → 2:1 CPU.
+        let shares = compute_shares(&[(0, 0.6, 1.0), (1, 0.3, 1.0)], 1024);
+        assert_eq!(shares[0].1, 2 * shares[1].1 + (shares[0].1 % 2));
+        let sum: u64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((sum as i64 - 2048).abs() <= 2, "sum={sum}");
+    }
+
+    #[test]
+    fn priority_scales_share() {
+        let shares = compute_shares(&[(0, 0.5, 2.0), (1, 0.5, 1.0)], 1024);
+        assert!((shares[0].1 as f64 / shares[1].1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_load_gets_minimum_not_zero() {
+        let shares = compute_shares(&[(0, 0.9, 1.0), (1, 0.0, 1.0)], 1024);
+        assert_eq!(shares[1].1, nfv_sched::MIN_SHARES);
+        assert!(shares[0].1 > 1024);
+    }
+
+    #[test]
+    fn no_load_anywhere_defaults() {
+        let shares = compute_shares(&[(0, 0.0, 1.0), (1, 0.0, 1.0)], 1024);
+        assert!(shares.iter().all(|&(_, s)| s == 1024));
+    }
+
+    #[test]
+    fn extreme_diversity_clamped_to_kernel_range() {
+        // diversity level 6 (Fig 15b): costs 1:2:5:20:40:60
+        let costs = [1.0, 2.0, 5.0, 20.0, 40.0, 60.0];
+        let entries: Vec<_> = costs.iter().enumerate().map(|(i, &c)| (i, c, 1.0)).collect();
+        let shares = compute_shares(&entries, 1024);
+        for w in shares.windows(2) {
+            assert!(w[0].1 <= w[1].1, "monotone in load");
+        }
+        assert!(shares.iter().all(|&(_, s)| (nfv_sched::MIN_SHARES..=nfv_sched::MAX_SHARES).contains(&s)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Run reports: every metric the paper's tables and figures need.
+
+use nfv_des::{jain_index, Duration};
+use nfv_pkt::{ChainId, FlowId, NfId};
+
+/// Per-NF results (Tables 1–5 columns).
+#[derive(Debug, Clone)]
+pub struct NfReport {
+    /// NF id.
+    pub nf: NfId,
+    /// Name from the spec.
+    pub name: String,
+    /// Core the NF was pinned to.
+    pub core: usize,
+    /// Total packets processed (includes work later wasted).
+    pub processed: u64,
+    /// Mean service rate over per-second intervals (pps).
+    pub svc_rate_pps: f64,
+    /// Packets this NF processed that a downstream full ring discarded.
+    pub wasted_drops: u64,
+    /// Mean wasted-work drop rate (pps) — Table 3.
+    pub wasted_rate_pps: f64,
+    /// CPU time consumed.
+    pub cpu_time: Duration,
+    /// CPU utilization of its core over the run (0..1) — Table 5/6.
+    pub cpu_util: f64,
+    /// Voluntary context switches per second — Tables 1–2 `cswch/s`.
+    pub cswch_per_sec: f64,
+    /// Involuntary context switches per second — `nvcswch/s`.
+    pub nvcswch_per_sec: f64,
+    /// Average scheduling latency (runnable → running) — Table 4.
+    pub avg_sched_latency: Duration,
+    /// Final cgroup `cpu.shares`.
+    pub final_shares: u64,
+    /// Output rate: packets this NF forwarded that were *not* wasted
+    /// downstream, per second (per-NF throughput in Fig 1).
+    pub output_rate_pps: f64,
+}
+
+/// Per-flow results.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Chain the flow rides.
+    pub chain: ChainId,
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Mean delivered rate (pps).
+    pub delivered_pps: f64,
+    /// Mean delivered rate (Mbit/s).
+    pub mbps: f64,
+    /// Packets dropped inside the box.
+    pub dropped: u64,
+    /// Packets shed at chain entry by backpressure.
+    pub entry_drops: u64,
+    /// Median end-to-end latency of delivered packets.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+}
+
+/// Per-chain results (Fig 9 / Table 6).
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Chain id.
+    pub chain: ChainId,
+    /// Packets that completed the chain.
+    pub delivered: u64,
+    /// Mean completion rate (pps).
+    pub pps: f64,
+    /// Entry-shed packets.
+    pub entry_drops: u64,
+}
+
+/// Per-second time series captured during the run (Figs 13, 15a).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// `cpu_pct[nf][second]`: CPU share of its core, percent.
+    pub cpu_pct: Vec<Vec<f64>>,
+    /// `flow_mbps[flow][second]`: delivered Mbit/s.
+    pub flow_mbps: Vec<Vec<f64>>,
+}
+
+/// Complete results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Simulated wall-clock duration.
+    pub wall: Duration,
+    /// Scheduler policy label.
+    pub policy: String,
+    /// NFVnice variant label.
+    pub variant: String,
+    /// Per-NF reports (indexed by NF id).
+    pub nfs: Vec<NfReport>,
+    /// Per-flow reports (indexed by flow id).
+    pub flows: Vec<FlowReport>,
+    /// Per-chain reports (indexed by chain id).
+    pub chains: Vec<ChainReport>,
+    /// Aggregate delivered rate across all flows (pps).
+    pub total_delivered_pps: f64,
+    /// Frames lost at the NIC (no work wasted).
+    pub nic_overflow: u64,
+    /// Packets shed at chain entry (no work wasted).
+    pub entry_drops: u64,
+    /// Total wasted-work drops (after at least one NF processed them).
+    pub total_wasted_drops: u64,
+    /// cgroup sysfs writes performed.
+    pub cgroup_writes: u64,
+    /// Backpressure throttle activations.
+    pub throttle_events: u64,
+    /// ECN CE marks applied.
+    pub ecn_marks: u64,
+    /// Per-second series.
+    pub series: Series,
+}
+
+impl Report {
+    /// Aggregate throughput in Mpps.
+    pub fn throughput_mpps(&self) -> f64 {
+        self.total_delivered_pps / 1e6
+    }
+
+    /// Jain's fairness index over per-flow delivered rates (Fig 15b).
+    pub fn jain_over_flows(&self) -> f64 {
+        let rates: Vec<f64> = self.flows.iter().map(|f| f.delivered_pps).collect();
+        jain_index(&rates)
+    }
+
+    /// Per-NF throughput of a standalone NF (Fig 1): output rate in Mpps.
+    pub fn nf_output_mpps(&self, nf: NfId) -> f64 {
+        self.nfs[nf.index()].output_rate_pps / 1e6
+    }
+
+    /// Render a compact human-readable summary (used by examples and the
+    /// bench harness).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "run: {:.2}s  policy={}  variant={}  total={:.3} Mpps  wasted={}  entry_drops={}",
+            self.wall.as_secs_f64(),
+            self.policy,
+            self.variant,
+            self.throughput_mpps(),
+            self.total_wasted_drops,
+            self.entry_drops,
+        );
+        for nf in &self.nfs {
+            let _ = writeln!(
+                s,
+                "  {:<12} core{} svc={:>10.0}pps out={:>10.0}pps wasted={:>9.0}pps cpu={:>5.1}% cswch/s={:>8.0} nvcswch/s={:>8.0} lat={} shares={}",
+                nf.name,
+                nf.core,
+                nf.svc_rate_pps,
+                nf.output_rate_pps,
+                nf.wasted_rate_pps,
+                nf.cpu_util * 100.0,
+                nf.cswch_per_sec,
+                nf.nvcswch_per_sec,
+                nf.avg_sched_latency,
+                nf.final_shares,
+            );
+        }
+        for f in &self.flows {
+            let _ = writeln!(
+                s,
+                "  flow{:<3} chain{:<2} delivered={:>10} ({:>10.0}pps, {:>8.1}Mbps) dropped={} entry={}",
+                f.flow.0, f.chain.0, f.delivered, f.delivered_pps, f.mbps, f.dropped, f.entry_drops
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> Report {
+        Report {
+            wall: Duration::from_secs(1),
+            policy: "BATCH".into(),
+            variant: "NFVnice".into(),
+            nfs: vec![],
+            flows: vec![
+                FlowReport {
+                    flow: FlowId(0),
+                    chain: ChainId(0),
+                    delivered: 100,
+                    delivered_pps: 100.0,
+                    mbps: 0.064,
+                    dropped: 0,
+                    entry_drops: 0,
+                    latency_p50: Duration::ZERO,
+                    latency_p99: Duration::ZERO,
+                },
+                FlowReport {
+                    flow: FlowId(1),
+                    chain: ChainId(0),
+                    delivered: 100,
+                    delivered_pps: 100.0,
+                    mbps: 0.064,
+                    dropped: 0,
+                    entry_drops: 0,
+                    latency_p50: Duration::ZERO,
+                    latency_p99: Duration::ZERO,
+                },
+            ],
+            chains: vec![],
+            total_delivered_pps: 200.0,
+            nic_overflow: 0,
+            entry_drops: 0,
+            total_wasted_drops: 0,
+            cgroup_writes: 0,
+            throttle_events: 0,
+            ecn_marks: 0,
+            series: Series::default(),
+        }
+    }
+
+    #[test]
+    fn jain_of_equal_flows_is_one() {
+        assert!((dummy().jain_over_flows() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpps_conversion() {
+        assert!((dummy().throughput_mpps() - 0.0002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let s = dummy().summary();
+        assert!(s.contains("NFVnice"));
+        assert!(s.contains("flow0"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # nfv-des — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the NFVnice reproduction: a nanosecond-resolution
+//! simulated clock, a deterministic event queue (ties broken by insertion
+//! order), seeded randomness, and the measurement primitives the paper's
+//! monitoring plane uses (service-time histograms, windowed medians, EWMA,
+//! per-second rate meters, Jain's fairness index).
+//!
+//! Design follows the event-driven, allocation-light style of embedded
+//! network stacks: the queue owns plain event values (no boxed closures),
+//! cancellation is by lazy invalidation with generation counters, and every
+//! run is bit-for-bit reproducible for a given seed.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{jain_index, DurationHistogram, Ewma, RateMeter, WindowedMedian};
+pub use time::{CpuFreq, Duration, SimTime};

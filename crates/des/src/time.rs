@@ -1,0 +1,308 @@
+//! Simulation time and CPU-frequency conversions.
+//!
+//! The whole simulator runs on a single monotonically increasing nanosecond
+//! clock. NF processing costs are specified in CPU cycles (as in the paper,
+//! e.g. "NF1 = 550 cycles") and converted to wall time through a [`CpuFreq`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// `SimTime` is a transparent newtype over `u64`; arithmetic that would
+/// underflow saturates to zero (time never runs backwards), while overflow
+/// panics in debug builds like ordinary integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the instant the simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as an "infinite" deadline sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Microseconds since simulation start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// Seconds since simulation start as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// A span of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// Milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer count (e.g. per-packet cost × batch size).
+    pub fn times(self, n: u64) -> Duration {
+        Duration(self.0 * n)
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// CPU core frequency, used to convert per-packet costs in cycles to time.
+///
+/// The paper's testbed runs Xeon E5-2697 v3 cores at 2.6 GHz; that is the
+/// default here too so cycle figures from the paper carry over directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFreq {
+    /// Frequency in kHz (kept integral for exact arithmetic).
+    khz: u64,
+}
+
+impl CpuFreq {
+    /// The paper's 2.6 GHz testbed frequency.
+    pub const PAPER_DEFAULT: CpuFreq = CpuFreq { khz: 2_600_000 };
+
+    /// Construct from MHz.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        CpuFreq { khz: mhz * 1_000 }
+    }
+
+    /// Frequency in Hz.
+    pub const fn hz(self) -> u64 {
+        self.khz * 1_000
+    }
+
+    /// Convert a cycle count to a duration, rounding up so that non-zero
+    /// work never takes zero time.
+    pub fn cycles_to_duration(self, cycles: u64) -> Duration {
+        // ns = cycles * 1e9 / hz = cycles * 1e6 / khz, computed in u128 to
+        // avoid overflow for large batch costs.
+        let ns = ((cycles as u128) * 1_000_000 + self.khz as u128 - 1) / self.khz as u128;
+        Duration(ns as u64)
+    }
+
+    /// Convert a duration back to cycles (truncating).
+    pub fn duration_to_cycles(self, d: Duration) -> u64 {
+        ((d.0 as u128) * self.khz as u128 / 1_000_000) as u64
+    }
+}
+
+impl Default for CpuFreq {
+    fn default() -> Self {
+        CpuFreq::PAPER_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let t = SimTime::from_micros(5) + Duration::from_micros(3);
+        assert_eq!(t, SimTime::from_micros(8));
+        assert_eq!(t.since(SimTime::from_micros(6)), Duration::from_micros(2));
+        // saturating: "since" a later time is zero
+        assert_eq!(SimTime::ZERO.since(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn cycles_round_trip_at_paper_freq() {
+        let f = CpuFreq::PAPER_DEFAULT;
+        // 2600 cycles at 2.6GHz is exactly 1us.
+        assert_eq!(f.cycles_to_duration(2600), Duration::from_micros(1));
+        // 250-cycle NF from Fig 1a: ~96ns, rounded up from 96.15.
+        assert_eq!(f.cycles_to_duration(250), Duration::from_nanos(97));
+        // tiny costs never collapse to zero time
+        assert_eq!(f.cycles_to_duration(1), Duration::from_nanos(1));
+        assert_eq!(f.cycles_to_duration(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_to_cycles_inverse() {
+        let f = CpuFreq::from_mhz(1000); // 1 cycle == 1ns
+        assert_eq!(f.duration_to_cycles(Duration::from_nanos(1234)), 1234);
+        assert_eq!(f.cycles_to_duration(1234), Duration::from_nanos(1234));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Duration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Duration::from_millis(12)), "12.000ms");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Duration(3).min(Duration(4)), Duration(3));
+        assert_eq!(Duration(3).max(Duration(4)), Duration(4));
+    }
+}

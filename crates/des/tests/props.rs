@@ -1,0 +1,91 @@
+//! Property-based tests for the DES kernel against naive reference models.
+
+use nfv_des::{jain_index, DurationHistogram, EventQueue, SimTime, WindowedMedian};
+use nfv_des::{Duration, Ewma};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in exactly sorted (time, insertion) order.
+    #[test]
+    fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        reference.sort(); // stable: equal times keep insertion order
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Histogram percentiles stay within the log-bucket relative error of
+    /// the exact order statistics.
+    #[test]
+    fn histogram_percentile_bounded_error(
+        samples in prop::collection::vec(1u64..1_000_000, 10..500),
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = DurationHistogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        let exact = sorted[rank] as f64;
+        let est = h.percentile(p).unwrap().as_nanos() as f64;
+        // one bucket below, never above by more than a bucket width (~6.25%)
+        prop_assert!(est <= exact * 1.0001, "est {est} > exact {exact}");
+        prop_assert!(est >= exact * 0.93 - 1.0, "est {est} << exact {exact}");
+    }
+
+    /// Windowed median equals the median of the samples inside the window.
+    #[test]
+    fn windowed_median_matches_naive(
+        samples in prop::collection::vec((0u64..1_000, 0u64..10_000), 1..200),
+    ) {
+        let mut sorted_by_time = samples.clone();
+        sorted_by_time.sort_by_key(|&(t, _)| t);
+        let window = Duration::from_nanos(300);
+        let mut m = WindowedMedian::new(window);
+        let mut last_t = 0;
+        for &(t, v) in &sorted_by_time {
+            m.observe(SimTime::from_nanos(t), v);
+            last_t = t;
+        }
+        let horizon = last_t.saturating_sub(300);
+        let mut in_window: Vec<u64> = sorted_by_time
+            .iter()
+            .filter(|&&(t, _)| t >= horizon)
+            .map(|&(_, v)| v)
+            .collect();
+        in_window.sort_unstable();
+        prop_assert_eq!(m.median(), Some(in_window[in_window.len() / 2]));
+    }
+
+    /// Jain's index is always in [1/n, 1] for non-degenerate inputs.
+    #[test]
+    fn jain_bounds(xs in prop::collection::vec(0.001f64..1e6, 1..32)) {
+        let j = jain_index(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        prop_assert!(j >= 1.0 / n - 1e-9);
+    }
+
+    /// EWMA stays within the min/max envelope of its inputs.
+    #[test]
+    fn ewma_within_envelope(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut e = Ewma::new(1, 8);
+        for &s in &samples {
+            e.observe(s);
+        }
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        prop_assert!(e.value() >= lo.saturating_sub(1) && e.value() <= hi + 1,
+            "ewma {} outside [{lo}, {hi}]", e.value());
+    }
+}

@@ -1,0 +1,232 @@
+//! Flow table: classifies arriving packets to flows and service chains.
+//!
+//! The NF manager's RX threads look up each arriving packet here to find
+//! which chain (and therefore which first NF) it belongs to — the same role
+//! as OpenNetVM's flow table + flow rule installer. Rules are installed at
+//! configuration time by the harness (standing in for an SDN controller).
+
+use crate::ids::{ChainId, FlowId};
+use crate::packet::FiveTuple;
+use crate::pattern::TuplePattern;
+use std::collections::HashMap;
+
+/// Per-flow record.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// Interned flow id.
+    pub flow: FlowId,
+    /// Service chain assigned to this flow.
+    pub chain: ChainId,
+    /// Packets classified for this flow.
+    pub packets: u64,
+    /// Bytes classified for this flow.
+    pub bytes: u64,
+}
+
+/// A wildcard rule: pattern → chain at a priority (higher wins).
+#[derive(Debug, Clone)]
+struct WildcardRule {
+    pattern: TuplePattern,
+    chain: ChainId,
+    priority: i32,
+}
+
+/// 5-tuple flow table: exact-match entries backed by prioritized wildcard
+/// rules. An exact miss consults the wildcards (highest priority first,
+/// then installation order) and, on a hit, caches the decision as a fresh
+/// exact entry — the reactive flow-director pattern OpenNetVM inherits
+/// from OpenFlow.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    map: HashMap<FiveTuple, FlowEntry>,
+    by_id: Vec<FiveTuple>,
+    wildcards: Vec<WildcardRule>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a rule mapping `tuple` to `chain`, returning the interned
+    /// [`FlowId`]. Reinstalling an existing tuple updates its chain (rule
+    /// replacement) and keeps its id and counters.
+    pub fn install(&mut self, tuple: FiveTuple, chain: ChainId) -> FlowId {
+        if let Some(e) = self.map.get_mut(&tuple) {
+            e.chain = chain;
+            return e.flow;
+        }
+        let flow = FlowId(self.by_id.len() as u32);
+        self.by_id.push(tuple);
+        self.map.insert(
+            tuple,
+            FlowEntry {
+                flow,
+                chain,
+                packets: 0,
+                bytes: 0,
+            },
+        );
+        flow
+    }
+
+    /// Install a wildcard rule at `priority` (higher wins on overlap).
+    pub fn install_wildcard(&mut self, pattern: TuplePattern, chain: ChainId, priority: i32) {
+        self.wildcards.push(WildcardRule {
+            pattern,
+            chain,
+            priority,
+        });
+        // Highest priority first; stable sort keeps installation order for
+        // equal priorities.
+        self.wildcards.sort_by_key(|r| std::cmp::Reverse(r.priority));
+    }
+
+    /// Number of wildcard rules installed.
+    pub fn wildcard_count(&self) -> usize {
+        self.wildcards.len()
+    }
+
+    /// Classify a packet: exact match first; on miss, the wildcard rules.
+    /// A wildcard hit installs an exact cache entry so subsequent packets
+    /// of the flow take the fast path. Returns `None` for unmatched
+    /// traffic (the RX thread drops it).
+    pub fn classify(&mut self, tuple: &FiveTuple, bytes: u32) -> Option<(FlowId, ChainId)> {
+        if let Some(e) = self.map.get_mut(tuple) {
+            e.packets += 1;
+            e.bytes += bytes as u64;
+            return Some((e.flow, e.chain));
+        }
+        let chain = self
+            .wildcards
+            .iter()
+            .find(|r| r.pattern.matches(tuple))?
+            .chain;
+        let flow = self.install(*tuple, chain);
+        let e = self.map.get_mut(tuple).expect("just installed");
+        e.packets += 1;
+        e.bytes += bytes as u64;
+        Some((flow, chain))
+    }
+
+    /// Look up without mutating counters.
+    pub fn get(&self, tuple: &FiveTuple) -> Option<&FlowEntry> {
+        self.map.get(tuple)
+    }
+
+    /// The tuple for a given flow id.
+    pub fn tuple_of(&self, flow: FlowId) -> FiveTuple {
+        self.by_id[flow.index()]
+    }
+
+    /// Number of installed flows.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate over all entries (deterministic order by flow id).
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
+        self.by_id.iter().map(move |t| &self.map[t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Proto;
+
+    #[test]
+    fn install_and_classify() {
+        let mut ft = FlowTable::new();
+        let t = FiveTuple::synthetic(1, Proto::Udp);
+        let f = ft.install(t, ChainId(2));
+        assert_eq!(ft.classify(&t, 64), Some((f, ChainId(2))));
+        assert_eq!(ft.get(&t).unwrap().packets, 1);
+        assert_eq!(ft.get(&t).unwrap().bytes, 64);
+    }
+
+    #[test]
+    fn unknown_tuple_unclassified() {
+        let mut ft = FlowTable::new();
+        let t = FiveTuple::synthetic(9, Proto::Tcp);
+        assert_eq!(ft.classify(&t, 64), None);
+    }
+
+    #[test]
+    fn reinstall_keeps_id_and_counters() {
+        let mut ft = FlowTable::new();
+        let t = FiveTuple::synthetic(1, Proto::Udp);
+        let f1 = ft.install(t, ChainId(0));
+        ft.classify(&t, 100);
+        let f2 = ft.install(t, ChainId(5));
+        assert_eq!(f1, f2);
+        assert_eq!(ft.get(&t).unwrap().chain, ChainId(5));
+        assert_eq!(ft.get(&t).unwrap().packets, 1);
+        assert_eq!(ft.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_miss_then_hit_caches_exact_entry() {
+        use crate::pattern::{IpPrefix, TuplePattern};
+        let mut ft = FlowTable::new();
+        ft.install_wildcard(
+            TuplePattern::any().from_src(IpPrefix::new(0x0a000000, 8)),
+            ChainId(3),
+            0,
+        );
+        let t = FiveTuple::synthetic(1, Proto::Udp); // src in 10/8
+        assert_eq!(ft.len(), 0);
+        let (flow, chain) = ft.classify(&t, 64).unwrap();
+        assert_eq!(chain, ChainId(3));
+        assert_eq!(ft.len(), 1, "exact entry cached");
+        // second packet takes the exact path, same flow id
+        assert_eq!(ft.classify(&t, 64), Some((flow, chain)));
+        assert_eq!(ft.get(&t).unwrap().packets, 2);
+    }
+
+    #[test]
+    fn wildcard_priority_order() {
+        use crate::pattern::TuplePattern;
+        let mut ft = FlowTable::new();
+        ft.install_wildcard(TuplePattern::any(), ChainId(1), 0);
+        ft.install_wildcard(TuplePattern::any().proto(Proto::Tcp), ChainId(2), 10);
+        let tcp = FiveTuple::synthetic(1, Proto::Tcp);
+        let udp = FiveTuple::synthetic(2, Proto::Udp);
+        assert_eq!(ft.classify(&tcp, 64).unwrap().1, ChainId(2));
+        assert_eq!(ft.classify(&udp, 64).unwrap().1, ChainId(1));
+        assert_eq!(ft.wildcard_count(), 2);
+    }
+
+    #[test]
+    fn unmatched_by_any_rule_is_none() {
+        use crate::pattern::{IpPrefix, TuplePattern};
+        let mut ft = FlowTable::new();
+        ft.install_wildcard(
+            TuplePattern::any().from_src(IpPrefix::new(0x0b000000, 8)),
+            ChainId(0),
+            0,
+        );
+        let t = FiveTuple::synthetic(1, Proto::Udp); // src 10/8, not 11/8
+        assert_eq!(ft.classify(&t, 64), None);
+    }
+
+    #[test]
+    fn flow_ids_sequential_and_reversible() {
+        let mut ft = FlowTable::new();
+        let a = FiveTuple::synthetic(1, Proto::Udp);
+        let b = FiveTuple::synthetic(2, Proto::Udp);
+        let fa = ft.install(a, ChainId(0));
+        let fb = ft.install(b, ChainId(0));
+        assert_eq!(fa, FlowId(0));
+        assert_eq!(fb, FlowId(1));
+        assert_eq!(ft.tuple_of(fa), a);
+        assert_eq!(ft.tuple_of(fb), b);
+        assert_eq!(ft.entries().count(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared identifier vocabulary.
+//!
+//! Small copyable newtypes used across the whole stack. Keeping them here
+//! (the lowest packet-layer crate) lets the scheduler, platform and NFVnice
+//! layers talk about the same entities without depending on each other.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A network function instance (one process/container in the paper).
+    NfId,
+    "nf"
+);
+id_type!(
+    /// A service chain: an ordered path of NFs a class of traffic follows.
+    /// Chains can be defined per-flow ("fine granularity" in §3.3).
+    ChainId,
+    "chain"
+);
+id_type!(
+    /// A transport-level flow (5-tuple).
+    FlowId,
+    "flow"
+);
+id_type!(
+    /// A CPU core of the simulated machine.
+    CoreId,
+    "core"
+);
+id_type!(
+    /// A packet descriptor slot in the shared mempool.
+    PktId,
+    "pkt"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NfId(1) < NfId(2));
+        assert_eq!(format!("{}", ChainId(3)), "chain3");
+        assert_eq!(FlowId(7).index(), 7);
+        assert_eq!(format!("{}", CoreId(0)), "core0");
+        assert_eq!(format!("{}", PktId(9)), "pkt9");
+    }
+}

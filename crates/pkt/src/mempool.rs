@@ -1,0 +1,144 @@
+//! Shared packet memory pool.
+//!
+//! Models DPDK's `rte_mempool` as used by OpenNetVM: a fixed number of
+//! packet-buffer slots shared by the whole platform. Descriptors ([`PktId`])
+//! index into the slab; exhaustion means the NIC driver cannot receive
+//! (counted as an allocation failure, equivalent to an early NIC drop with
+//! zero wasted work).
+
+use crate::ids::PktId;
+use crate::packet::Packet;
+
+/// Fixed-capacity slab of packets with a free list.
+#[derive(Debug)]
+pub struct Mempool {
+    slots: Vec<Option<Packet>>,
+    free: Vec<PktId>,
+    /// Allocation failures observed (pool exhausted).
+    pub alloc_failures: u64,
+    in_use: usize,
+    high_watermark: usize,
+}
+
+impl Mempool {
+    /// A pool with `capacity` packet slots.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool capacity must be positive");
+        Mempool {
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().map(|i| PktId(i as u32)).collect(),
+            alloc_failures: 0,
+            in_use: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Allocate a slot for `pkt`. Returns `None` (and counts a failure) if
+    /// the pool is exhausted.
+    pub fn alloc(&mut self, pkt: Packet) -> Option<PktId> {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id.index()].is_none());
+                self.slots[id.index()] = Some(pkt);
+                self.in_use += 1;
+                self.high_watermark = self.high_watermark.max(self.in_use);
+                Some(id)
+            }
+            None => {
+                self.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Release a slot, returning the packet that occupied it.
+    ///
+    /// # Panics
+    /// Panics on double-free — that is always a simulator bug.
+    pub fn free(&mut self, id: PktId) -> Packet {
+        let pkt = self.slots[id.index()]
+            .take()
+            .expect("double free of packet slot");
+        self.free.push(id);
+        self.in_use -= 1;
+        pkt
+    }
+
+    /// Immutable access to a live packet.
+    pub fn get(&self, id: PktId) -> &Packet {
+        self.slots[id.index()].as_ref().expect("stale packet id")
+    }
+
+    /// Mutable access to a live packet.
+    pub fn get_mut(&mut self, id: PktId) -> &mut Packet {
+        self.slots[id.index()].as_mut().expect("stale packet id")
+    }
+
+    /// Packets currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Peak simultaneous occupancy over the run.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChainId, FlowId};
+    use nfv_des::SimTime;
+
+    fn pkt() -> Packet {
+        Packet::new(FlowId(0), ChainId(0), 64, SimTime::ZERO)
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = Mempool::new(2);
+        let a = p.alloc(pkt()).unwrap();
+        let b = p.alloc(pkt()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.in_use(), 2);
+        assert!(p.alloc(pkt()).is_none());
+        assert_eq!(p.alloc_failures, 1);
+        p.free(a);
+        assert!(p.alloc(pkt()).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = Mempool::new(1);
+        let a = p.alloc(pkt()).unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut p = Mempool::new(1);
+        let a = p.alloc(pkt()).unwrap();
+        p.get_mut(a).hops_done = 3;
+        assert_eq!(p.get(a).hops_done, 3);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut p = Mempool::new(4);
+        let ids: Vec<_> = (0..3).map(|_| p.alloc(pkt()).unwrap()).collect();
+        for id in ids {
+            p.free(id);
+        }
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.high_watermark(), 3);
+        assert_eq!(p.capacity(), 4);
+    }
+}

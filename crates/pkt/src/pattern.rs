@@ -1,0 +1,142 @@
+//! Wildcard tuple patterns for the flow director.
+//!
+//! OpenNetVM installs flow rules from a controller; exact 5-tuple rules
+//! cover known flows, while *wildcard* rules ("anything from 10.0.0.0/8 to
+//! port 443 → chain 2") classify the first packet of unknown flows. The
+//! flow table consults wildcards on an exact-match miss and caches the
+//! decision as a new exact rule — the classic OpenFlow reactive pattern.
+
+use crate::packet::{FiveTuple, Proto};
+
+/// An IPv4 prefix (`addr/len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpPrefix {
+    /// Network address (host bits zeroed).
+    pub addr: u32,
+    /// Prefix length, 0..=32 (0 matches everything).
+    pub len: u8,
+}
+
+impl IpPrefix {
+    /// Match-all prefix.
+    pub const ANY: IpPrefix = IpPrefix { addr: 0, len: 0 };
+
+    /// Construct, normalizing host bits away.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        IpPrefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Does `ip` fall inside this prefix?
+    pub fn contains(self, ip: u32) -> bool {
+        ip & Self::mask(self.len) == self.addr
+    }
+}
+
+/// A wildcard-capable 5-tuple pattern. `None` fields match anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuplePattern {
+    /// Source prefix.
+    pub src: IpPrefix,
+    /// Destination prefix.
+    pub dst: IpPrefix,
+    /// Exact source port, or any.
+    pub src_port: Option<u16>,
+    /// Exact destination port, or any.
+    pub dst_port: Option<u16>,
+    /// Protocol, or any.
+    pub proto: Option<Proto>,
+}
+
+impl TuplePattern {
+    /// A pattern matching every packet.
+    pub fn any() -> Self {
+        TuplePattern {
+            src: IpPrefix::ANY,
+            dst: IpPrefix::ANY,
+            src_port: None,
+            dst_port: None,
+            proto: None,
+        }
+    }
+
+    /// Restrict the source prefix.
+    pub fn from_src(mut self, prefix: IpPrefix) -> Self {
+        self.src = prefix;
+        self
+    }
+
+    /// Restrict the destination prefix.
+    pub fn to_dst(mut self, prefix: IpPrefix) -> Self {
+        self.dst = prefix;
+        self
+    }
+
+    /// Restrict the destination port.
+    pub fn dst_port(mut self, port: u16) -> Self {
+        self.dst_port = Some(port);
+        self
+    }
+
+    /// Restrict the protocol.
+    pub fn proto(mut self, proto: Proto) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Does a concrete tuple match?
+    pub fn matches(&self, t: &FiveTuple) -> bool {
+        self.src.contains(t.src_ip)
+            && self.dst.contains(t.dst_ip)
+            && self.src_port.map_or(true, |p| p == t.src_port)
+            && self.dst_port.map_or(true, |p| p == t.dst_port)
+            && self.proto.map_or(true, |p| p == t.proto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_basics() {
+        let p = IpPrefix::new(0x0a000000, 8);
+        assert!(p.contains(0x0affffff));
+        assert!(!p.contains(0x0b000000));
+        assert!(IpPrefix::ANY.contains(0));
+        assert_eq!(IpPrefix::new(0x0a0b0c0d, 16).addr, 0x0a0b0000);
+    }
+
+    #[test]
+    fn pattern_any_matches_everything() {
+        let t = FiveTuple::synthetic(7, Proto::Tcp);
+        assert!(TuplePattern::any().matches(&t));
+    }
+
+    #[test]
+    fn pattern_fields_combine() {
+        let t = FiveTuple::synthetic(7, Proto::Tcp); // src 10.0.0.7, dst_port 9
+        let hit = TuplePattern::any()
+            .from_src(IpPrefix::new(0x0a000000, 8))
+            .dst_port(9)
+            .proto(Proto::Tcp);
+        assert!(hit.matches(&t));
+        let miss_port = TuplePattern::any().dst_port(80);
+        assert!(!miss_port.matches(&t));
+        let miss_proto = TuplePattern::any().proto(Proto::Udp);
+        assert!(!miss_proto.matches(&t));
+        let miss_prefix = TuplePattern::any().from_src(IpPrefix::new(0x0b000000, 8));
+        assert!(!miss_prefix.matches(&t));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for rings, mempool and flow table.
+
+use nfv_pkt::{Enqueue, FiveTuple, FlowTable, Mempool, Packet, PktId, Proto, Ring};
+use nfv_pkt::{ChainId, FlowId};
+use nfv_des::SimTime;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// The ring behaves exactly like a bounded VecDeque under a random
+    /// enqueue/dequeue script, and its counters add up.
+    #[test]
+    fn ring_matches_reference_model(
+        capacity in 1usize..64,
+        script in prop::collection::vec(prop::bool::ANY, 1..500),
+    ) {
+        let mut ring = Ring::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        for op_is_enqueue in script {
+            if op_is_enqueue {
+                let ok = ring.enqueue(PktId(next)).is_ok();
+                if model.len() < capacity {
+                    prop_assert!(ok);
+                    model.push_back(next);
+                } else {
+                    prop_assert!(!ok);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(ring.dequeue(), model.pop_front().map(PktId));
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+        prop_assert_eq!(ring.enqueued, ring.dequeued + ring.len() as u64);
+    }
+
+    /// Mempool: in_use + free == capacity at every step; allocated ids are
+    /// unique; freed packets round-trip their content.
+    #[test]
+    fn mempool_conservation(
+        capacity in 1usize..64,
+        script in prop::collection::vec(prop::bool::ANY, 1..500),
+    ) {
+        let mut pool = Mempool::new(capacity);
+        let mut live: Vec<PktId> = Vec::new();
+        let mut seq = 0u64;
+        for op_is_alloc in script {
+            if op_is_alloc {
+                let mut pkt = Packet::new(FlowId(0), ChainId(0), 64, SimTime::ZERO);
+                pkt.seq = seq;
+                match pool.alloc(pkt) {
+                    Some(id) => {
+                        prop_assert!(!live.contains(&id), "duplicate live id");
+                        prop_assert_eq!(pool.get(id).seq, seq);
+                        live.push(id);
+                        seq += 1;
+                    }
+                    None => prop_assert_eq!(live.len(), capacity),
+                }
+            } else if let Some(id) = live.pop() {
+                pool.free(id);
+            }
+            prop_assert_eq!(pool.in_use(), live.len());
+        }
+    }
+
+    /// Flow table: classification counters equal the number of classify
+    /// calls per tuple; ids are stable.
+    #[test]
+    fn flow_table_counts(tuples in prop::collection::vec(0u32..8, 1..300)) {
+        let mut ft = FlowTable::new();
+        let mut expected = [0u64; 8];
+        for &n in &tuples {
+            let t = FiveTuple::synthetic(n, Proto::Udp);
+            let id = ft.install(t, ChainId(n));
+            let (flow, chain) = ft.classify(&t, 64).unwrap();
+            prop_assert_eq!(flow, id);
+            prop_assert_eq!(chain, ChainId(n));
+            expected[n as usize] += 1;
+        }
+        for n in 0u32..8 {
+            let t = FiveTuple::synthetic(n, Proto::Udp);
+            if let Some(e) = ft.get(&t) {
+                prop_assert_eq!(e.packets, expected[n as usize]);
+            } else {
+                prop_assert_eq!(expected[n as usize], 0);
+            }
+        }
+    }
+
+    /// Watermark comparison is exact integer arithmetic at all fill levels.
+    #[test]
+    fn watermark_exactness(capacity in 1usize..200, pct in 0u32..=100) {
+        let mut ring = Ring::new(capacity);
+        let mut i = 0u32;
+        loop {
+            let expect = ring.len() * 100 >= capacity * pct as usize;
+            prop_assert_eq!(ring.at_or_above_percent(pct), expect);
+            if let Enqueue::Full = ring.enqueue(PktId(i)) {
+                break;
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Service chain registry.
+//!
+//! A chain is an ordered list of NFs a packet traverses. Chains are
+//! installed at configuration time (the paper configures them "using simple
+//! configuration files or from an external orchestrator"), and can be
+//! defined per-flow — the granularity §3.3 recommends to minimize
+//! head-of-line blocking under backpressure.
+
+use nfv_pkt::{ChainId, NfId};
+
+/// All installed service chains.
+#[derive(Debug, Default)]
+pub struct ChainRegistry {
+    chains: Vec<Vec<NfId>>,
+}
+
+impl ChainRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a chain; returns its id.
+    ///
+    /// # Panics
+    /// Panics on an empty path or a path with immediate self-loops
+    /// (`[a, a]`), which the paper's platform cannot express either.
+    pub fn install(&mut self, path: &[NfId]) -> ChainId {
+        assert!(!path.is_empty(), "chain must contain at least one NF");
+        for w in path.windows(2) {
+            assert_ne!(w[0], w[1], "chain has an immediate self-loop");
+        }
+        let id = ChainId(self.chains.len() as u32);
+        self.chains.push(path.to_vec());
+        id
+    }
+
+    /// Full path of a chain.
+    pub fn path(&self, chain: ChainId) -> &[NfId] {
+        &self.chains[chain.index()]
+    }
+
+    /// First NF of the chain — where admission control (selective early
+    /// discard) is applied.
+    pub fn entry(&self, chain: ChainId) -> NfId {
+        self.chains[chain.index()][0]
+    }
+
+    /// NF at `hop` (0-based); `None` past the end.
+    pub fn nf_at(&self, chain: ChainId, hop: usize) -> Option<NfId> {
+        self.chains[chain.index()].get(hop).copied()
+    }
+
+    /// The hop after `hop`, or `None` if the packet exits the system.
+    pub fn next_after(&self, chain: ChainId, hop: usize) -> Option<NfId> {
+        self.nf_at(chain, hop + 1)
+    }
+
+    /// Length of a chain in NFs.
+    pub fn len_of(&self, chain: ChainId) -> usize {
+        self.chains[chain.index()].len()
+    }
+
+    /// Number of chains installed.
+    pub fn count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Iterate over all chain ids.
+    pub fn ids(&self) -> impl Iterator<Item = ChainId> {
+        (0..self.chains.len() as u32).map(ChainId)
+    }
+
+    /// Does `chain` include `nf` anywhere on its path?
+    pub fn contains(&self, chain: ChainId, nf: NfId) -> bool {
+        self.chains[chain.index()].contains(&nf)
+    }
+
+    /// First hop index at which `nf` appears on `chain`, if any. Used to
+    /// decide whether a bottleneck is *downstream* of an NF — only then is
+    /// the NF's pending work for that chain doomed.
+    pub fn first_position(&self, chain: ChainId, nf: NfId) -> Option<usize> {
+        self.chains[chain.index()].iter().position(|&x| x == nf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_traverse() {
+        let mut r = ChainRegistry::new();
+        let c = r.install(&[NfId(0), NfId(1), NfId(2)]);
+        assert_eq!(r.entry(c), NfId(0));
+        assert_eq!(r.nf_at(c, 1), Some(NfId(1)));
+        assert_eq!(r.next_after(c, 1), Some(NfId(2)));
+        assert_eq!(r.next_after(c, 2), None);
+        assert_eq!(r.len_of(c), 3);
+        assert!(r.contains(c, NfId(2)));
+        assert!(!r.contains(c, NfId(3)));
+    }
+
+    #[test]
+    fn multiple_chains_share_nfs() {
+        let mut r = ChainRegistry::new();
+        let c1 = r.install(&[NfId(0), NfId(1), NfId(3)]);
+        let c2 = r.install(&[NfId(0), NfId(2), NfId(3)]);
+        assert_ne!(c1, c2);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.ids().count(), 2);
+        assert_eq!(r.entry(c1), r.entry(c2));
+    }
+
+    #[test]
+    fn chains_may_revisit_an_nf_nonadjacently() {
+        let mut r = ChainRegistry::new();
+        let c = r.install(&[NfId(0), NfId(1), NfId(0)]);
+        assert_eq!(r.nf_at(c, 2), Some(NfId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn adjacent_duplicate_rejected() {
+        let mut r = ChainRegistry::new();
+        r.install(&[NfId(0), NfId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NF")]
+    fn empty_chain_rejected() {
+        let mut r = ChainRegistry::new();
+        r.install(&[]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Network function runtime state.
+//!
+//! Each NF is a separate process in the paper (scheduled by the OS); here
+//! it is an [`NfRuntime`]: its RX/TX descriptor rings, its `libnf`-side
+//! control flags (the shared-memory *yield* flag the manager sets to make
+//! the NF relinquish the CPU at the next batch boundary), per-chain pending
+//! counts used by the wakeup/backpressure subsystem, the double-buffered
+//! async I/O engine, and counters.
+//!
+//! The *functional* behaviour of an NF (forward, drop, rewrite) is a
+//! [`PacketHandler`]; its *temporal* behaviour is a [`CostModel`]. The
+//! split lets experiments dial per-packet costs (the paper's 120/270/550
+//! cycle NFs, or variable per-packet costs) independently of what the NF
+//! does to the packet.
+
+use nfv_des::Duration;
+use nfv_io::DoubleBuffer;
+use nfv_pkt::{ChainId, Packet, Ring};
+use nfv_sched::TaskId;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Per-packet CPU cost of an NF.
+#[derive(Debug, Clone)]
+pub enum CostModel {
+    /// Every packet costs the same number of cycles.
+    Fixed(u64),
+    /// Cost depends on the packet's `cost_class` (Fig 10's variable
+    /// per-packet cost): class `i` costs `table[i % table.len()]` cycles.
+    PerClass(Vec<u64>),
+}
+
+impl CostModel {
+    /// Cycles to process one packet of the given class.
+    pub fn cycles(&self, class: u8) -> u64 {
+        match self {
+            CostModel::Fixed(c) => *c,
+            CostModel::PerClass(t) => t[class as usize % t.len()],
+        }
+    }
+
+    /// Mean cycles across classes (for capacity estimates in harnesses).
+    pub fn mean_cycles(&self) -> u64 {
+        match self {
+            CostModel::Fixed(c) => *c,
+            CostModel::PerClass(t) => t.iter().sum::<u64>() / t.len() as u64,
+        }
+    }
+}
+
+/// How an NF performs storage writes.
+#[derive(Debug, Clone, Copy)]
+pub enum IoMode {
+    /// Blocking write per processed batch (the non-NFVnice baseline).
+    Sync,
+    /// `libnf`-style asynchronous writes with double buffering; each of
+    /// the two buffers holds `buf_size` bytes.
+    Async {
+        /// Capacity of each buffer in bytes.
+        buf_size: u64,
+    },
+}
+
+/// Storage-I/O profile of an NF (only packets of flows registered as
+/// I/O-active trigger writes — Fig 14 logs just one of the two flows).
+#[derive(Debug, Clone, Copy)]
+pub struct NfIoSpec {
+    /// Bytes logged per packet.
+    pub bytes_per_packet: u64,
+    /// Write mode.
+    pub mode: IoMode,
+}
+
+/// Static configuration of an NF.
+#[derive(Debug, Clone)]
+pub struct NfSpec {
+    /// Name for reports.
+    pub name: String,
+    /// NF core index this NF is pinned to (0-based over *NF* cores; manager
+    /// threads run on their own dedicated cores outside this range).
+    pub core: usize,
+    /// Per-packet processing cost.
+    pub cost: CostModel,
+    /// RX ring capacity.
+    pub rx_capacity: usize,
+    /// TX ring capacity.
+    pub tx_capacity: usize,
+    /// Optional storage-I/O profile.
+    pub io: Option<NfIoSpec>,
+    /// Operator priority multiplier in the rate-cost share formula.
+    pub priority: f64,
+}
+
+impl NfSpec {
+    /// Default ring size used throughout the paper-scale experiments
+    /// (OpenNetVM's NF queue ring size).
+    pub const DEFAULT_RING: usize = 16_384;
+
+    /// An NF with fixed per-packet cost and default rings.
+    pub fn new(name: impl Into<String>, core: usize, cycles_per_packet: u64) -> Self {
+        NfSpec {
+            name: name.into(),
+            core,
+            cost: CostModel::Fixed(cycles_per_packet),
+            rx_capacity: Self::DEFAULT_RING,
+            tx_capacity: Self::DEFAULT_RING,
+            io: None,
+            priority: 1.0,
+        }
+    }
+
+    /// Replace the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Attach a storage I/O profile.
+    pub fn with_io(mut self, io: NfIoSpec) -> Self {
+        self.io = io.into();
+        self
+    }
+
+    /// Set the operator priority multiplier.
+    pub fn with_priority(mut self, p: f64) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set RX/TX ring capacities.
+    pub fn with_rings(mut self, rx: usize, tx: usize) -> Self {
+        self.rx_capacity = rx;
+        self.tx_capacity = tx;
+        self
+    }
+}
+
+/// What an NF does with a packet, decided by its [`PacketHandler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfAction {
+    /// Pass the packet down the chain (or out of the box at the last hop).
+    Forward,
+    /// Drop it (a *functional* drop — firewall deny, not congestion).
+    Drop,
+}
+
+/// Functional behaviour of an NF. Implementations may mutate the packet
+/// (NAT rewrites, DPI tagging) and keep their own state; `now` is the
+/// simulated processing instant (rate limiters and timeout-based NFs need
+/// a clock).
+pub trait PacketHandler {
+    /// Process one packet at time `now`.
+    fn handle(&mut self, pkt: &mut Packet, now: nfv_des::SimTime) -> NfAction;
+}
+
+/// The default NF body: a bridge that forwards everything.
+#[derive(Debug, Default)]
+pub struct ForwardAll;
+
+impl PacketHandler for ForwardAll {
+    fn handle(&mut self, _pkt: &mut Packet, _now: nfv_des::SimTime) -> NfAction {
+        NfAction::Forward
+    }
+}
+
+/// Why an NF is blocked on its semaphore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// RX ring empty: nothing to do.
+    EmptyRx,
+    /// Manager directed the NF to sleep (backpressure yield flag).
+    Backpressure,
+    /// Local backpressure: the NF's TX ring is full.
+    TxFull,
+    /// Waiting for a storage flush (both I/O buffers busy, or a blocking
+    /// synchronous write).
+    Io,
+}
+
+/// Dynamic state and counters of one NF.
+#[derive(Debug)]
+pub struct NfRuntime {
+    /// Static configuration.
+    pub spec: NfSpec,
+    /// OS-scheduler task backing this NF process.
+    pub task: TaskId,
+    /// Receive ring (filled by the manager's RX/TX threads).
+    pub rx: Ring,
+    /// Transmit ring (drained by the manager's TX threads).
+    pub tx: Ring,
+    /// Shared-memory flag: relinquish the CPU at the next batch boundary.
+    pub yield_flag: bool,
+    /// Present iff the NF process is blocked on its semaphore.
+    pub blocked: Option<BlockReason>,
+    /// Pending RX packets per chain — lets the wakeup thread decide in
+    /// O(#chains) whether everything queued here is throttled.
+    pub pending_by_chain: BTreeMap<ChainId, u32>,
+    /// Packets processed (time already charged) but not yet pushed to the
+    /// TX ring because it filled: flushed before the next batch.
+    pub outbox: VecDeque<nfv_pkt::PktId>,
+    /// Packets dequeued for the batch currently executing on the CPU.
+    pub in_progress: Vec<nfv_pkt::PktId>,
+    /// `(duration, n)` of the batch currently executing.
+    pub current_batch: Option<(Duration, usize)>,
+    /// Double-buffer engine when `spec.io` is `Async`.
+    pub dbuf: Option<DoubleBuffer>,
+
+    // ---- counters ----
+    /// Packets fully processed by this NF.
+    pub processed: u64,
+    /// Packets this NF processed that were then dropped at the next hop's
+    /// full ring — the paper's "wasted work" metric (Table 3).
+    pub wasted_drops: u64,
+    /// Enqueue *attempts* into this NF's RX ring (its packet arrival rate
+    /// λ for the load estimator).
+    pub arrivals: u64,
+    /// Most recent observed per-packet processing time, sampled by the
+    /// monitor every 1 ms into its 100 ms median window.
+    pub last_ppp: Duration,
+    /// Per-second service rate (packets processed — includes work later
+    /// wasted downstream, the paper's "Svc. rate" column).
+    pub processed_meter: nfv_des::RateMeter,
+    /// Per-second wasted-work drop rate (Table 3's rows).
+    pub wasted_meter: nfv_des::RateMeter,
+}
+
+impl NfRuntime {
+    /// Fresh runtime for `spec`, backed by scheduler task `task`.
+    pub fn new(spec: NfSpec, task: TaskId) -> Self {
+        let dbuf = match spec.io {
+            Some(NfIoSpec {
+                mode: IoMode::Async { buf_size },
+                ..
+            }) => Some(DoubleBuffer::new(buf_size)),
+            _ => None,
+        };
+        let rx = Ring::new(spec.rx_capacity);
+        let tx = Ring::new(spec.tx_capacity);
+        NfRuntime {
+            spec,
+            task,
+            rx,
+            tx,
+            yield_flag: false,
+            blocked: Some(BlockReason::EmptyRx),
+            pending_by_chain: BTreeMap::new(),
+            outbox: VecDeque::new(),
+            in_progress: Vec::new(),
+            current_batch: None,
+            dbuf,
+            processed: 0,
+            wasted_drops: 0,
+            arrivals: 0,
+            last_ppp: Duration::ZERO,
+            processed_meter: nfv_des::RateMeter::new(),
+            wasted_meter: nfv_des::RateMeter::new(),
+        }
+    }
+
+    /// Record a packet of `chain` entering the RX ring. Callers must have
+    /// already counted the arrival attempt via [`NfRuntime::note_arrival`].
+    pub fn note_pending(&mut self, chain: ChainId) {
+        *self.pending_by_chain.entry(chain).or_insert(0) += 1;
+    }
+
+    /// Record an enqueue *attempt* into the RX ring — successful or not.
+    /// This is the NF's offered load λ; counting only successes would make
+    /// an overloaded NF's measured load deflate to its service rate and
+    /// skew the rate-cost share computation.
+    pub fn note_arrival(&mut self) {
+        self.arrivals += 1;
+    }
+
+    /// Record a packet of `chain` leaving the RX ring.
+    pub fn note_dequeued(&mut self, chain: ChainId) {
+        let c = self
+            .pending_by_chain
+            .get_mut(&chain)
+            .expect("dequeue for chain with no pending count");
+        *c -= 1;
+        if *c == 0 {
+            self.pending_by_chain.remove(&chain);
+        }
+    }
+
+    /// True when every packet waiting in the RX ring belongs to a chain in
+    /// `throttled` (vacuously false when nothing is pending — an idle NF is
+    /// not "fully throttled", it is just idle).
+    pub fn fully_throttled(&self, throttled: impl Fn(ChainId) -> bool) -> bool {
+        !self.pending_by_chain.is_empty()
+            && self.pending_by_chain.keys().all(|&c| throttled(c))
+    }
+
+    /// Packets pending in the RX ring.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::PktId;
+
+    #[test]
+    fn cost_model_variants() {
+        assert_eq!(CostModel::Fixed(250).cycles(7), 250);
+        let per = CostModel::PerClass(vec![120, 270, 550]);
+        assert_eq!(per.cycles(0), 120);
+        assert_eq!(per.cycles(2), 550);
+        assert_eq!(per.cycles(3), 120); // wraps
+        assert_eq!(per.mean_cycles(), (120 + 270 + 550) / 3);
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = NfSpec::new("fw", 1, 500)
+            .with_priority(2.0)
+            .with_rings(128, 64);
+        assert_eq!(s.core, 1);
+        assert_eq!(s.rx_capacity, 128);
+        assert_eq!(s.tx_capacity, 64);
+        assert_eq!(s.priority, 2.0);
+        assert!(s.io.is_none());
+    }
+
+    #[test]
+    fn runtime_starts_blocked_on_empty_rx() {
+        let rt = NfRuntime::new(NfSpec::new("a", 0, 100), TaskId(0));
+        assert_eq!(rt.blocked, Some(BlockReason::EmptyRx));
+        assert_eq!(rt.pending(), 0);
+        assert!(rt.dbuf.is_none());
+    }
+
+    #[test]
+    fn async_io_spec_creates_double_buffer() {
+        let spec = NfSpec::new("log", 0, 100).with_io(NfIoSpec {
+            bytes_per_packet: 64,
+            mode: IoMode::Async { buf_size: 4096 },
+        });
+        let rt = NfRuntime::new(spec, TaskId(0));
+        assert!(rt.dbuf.is_some());
+    }
+
+    #[test]
+    fn pending_by_chain_tracks_counts() {
+        let mut rt = NfRuntime::new(NfSpec::new("a", 0, 100), TaskId(0));
+        for _ in 0..3 {
+            rt.note_arrival();
+        }
+        rt.note_pending(ChainId(1));
+        rt.note_pending(ChainId(1));
+        rt.note_pending(ChainId(2));
+        assert_eq!(rt.arrivals, 3);
+        assert!(!rt.fully_throttled(|c| c == ChainId(1)));
+        rt.note_dequeued(ChainId(2));
+        assert!(rt.fully_throttled(|c| c == ChainId(1)));
+        rt.note_dequeued(ChainId(1));
+        rt.note_dequeued(ChainId(1));
+        assert!(rt.pending_by_chain.is_empty());
+        // idle NF is not fully throttled
+        assert!(!rt.fully_throttled(|_| true));
+    }
+
+    #[test]
+    fn forward_all_forwards() {
+        use nfv_des::SimTime;
+        use nfv_pkt::FlowId;
+        let mut h = ForwardAll;
+        let mut p = Packet::new(FlowId(0), ChainId(0), 64, SimTime::ZERO);
+        assert_eq!(h.handle(&mut p, SimTime::ZERO), NfAction::Forward);
+    }
+
+    #[test]
+    fn outbox_is_fifo() {
+        let mut rt = NfRuntime::new(NfSpec::new("a", 0, 100), TaskId(0));
+        rt.outbox.push_back(PktId(1));
+        rt.outbox.push_back(PktId(2));
+        assert_eq!(rt.outbox.pop_front(), Some(PktId(1)));
+    }
+}

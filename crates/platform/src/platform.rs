@@ -1,0 +1,848 @@
+//! The NFV platform: shared mempool, NIC, flow table, NF runtimes, chains,
+//! OS scheduler and storage — plus the *mechanism* halves of the manager's
+//! RX and TX threads.
+//!
+//! Policy stays out of this file by design (mirroring the OpenNetVM /
+//! NFVnice split): admission control, ECN marking, wakeup classification
+//! and weight assignment are injected by the engine (the `nfvnice` crate)
+//! through closures and explicit calls. Everything here is bookkeeping
+//! that would exist on any run of the platform, NFVnice or not.
+
+use crate::chain::ChainRegistry;
+use crate::nf::{
+    BlockReason, ForwardAll, IoMode, NfAction, NfRuntime, NfSpec, PacketHandler,
+};
+use crate::stats::{DropLocation, PlatformStats, TcpEvent, TcpEventKind};
+use nfv_des::{CpuFreq, Duration, SimTime};
+use nfv_io::{StorageDevice, WriteOutcome};
+use nfv_pkt::{
+    ChainId, Ecn, Enqueue, FlowId, FlowTable, Mempool, NfId, Nic, Packet, Proto, WireFrame,
+};
+use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy};
+use std::collections::HashSet;
+
+/// Static platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Number of cores available to NF processes (manager threads run on
+    /// separate dedicated cores, as in the paper).
+    pub nf_cores: usize,
+    /// Kernel scheduling policy for NF tasks.
+    pub policy: Policy,
+    /// CFS tunables (ignored by RR).
+    pub cfs: CfsParams,
+    /// Direct context-switch cost.
+    pub cs_cost: Duration,
+    /// NF core frequency (cycles → time).
+    pub freq: CpuFreq,
+    /// Shared mempool capacity in packets.
+    pub mempool_capacity: usize,
+    /// NIC hardware RX queue depth.
+    pub nic_rx_capacity: usize,
+    /// `libnf` batch size (the paper processes ≤ 32 packets per batch).
+    pub batch_size: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            nf_cores: 1,
+            policy: Policy::CfsNormal,
+            cfs: CfsParams::default(),
+            cs_cost: Duration::from_nanos(1_500),
+            freq: CpuFreq::PAPER_DEFAULT,
+            mempool_capacity: 524_288,
+            nic_rx_capacity: Nic::DEFAULT_RX_CAPACITY,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Verdict of [`Platform::plan_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPlan {
+    /// The NF cannot make progress; it blocks on its semaphore for the
+    /// given reason. (For `Backpressure` the yield flag has been consumed.)
+    Block(BlockReason),
+    /// The NF dequeued `n` packets and will occupy the CPU for `duration`.
+    Run {
+        /// CPU time this batch consumes.
+        duration: Duration,
+        /// Packets in the batch.
+        n: usize,
+    },
+}
+
+/// Effects of completing a batch, for the engine to act on.
+#[derive(Debug, Default)]
+pub struct BatchEffects {
+    /// The NF must block after this batch (I/O stall).
+    pub block: Option<BlockReason>,
+    /// Absolute time of a *synchronous* write completion to wake the NF at.
+    pub io_wake_at: Option<SimTime>,
+    /// Completion times of asynchronous flushes submitted by this batch;
+    /// the engine schedules an I/O-completion event for each.
+    pub flush_completions: Vec<SimTime>,
+}
+
+/// Outcome of an I/O completion delivered to an NF.
+#[derive(Debug, Default)]
+pub struct IoCompleteOutcome {
+    /// A queued buffer started flushing; schedule its completion too.
+    pub next_completion: Option<SimTime>,
+    /// The NF was blocked on I/O and should be woken.
+    pub wake: bool,
+}
+
+/// The assembled platform.
+pub struct Platform {
+    /// Configuration (immutable after construction).
+    pub cfg: PlatformConfig,
+    /// Shared packet buffer pool.
+    pub mempool: Mempool,
+    /// The NIC.
+    pub nic: Nic,
+    /// Flow classification table.
+    pub flow_table: FlowTable,
+    /// Installed service chains.
+    pub chains: ChainRegistry,
+    /// NF runtimes, indexed by `NfId`.
+    pub nfs: Vec<NfRuntime>,
+    /// OS scheduler for NF cores.
+    pub sched: OsScheduler,
+    /// cgroup CPU controller.
+    pub cgroups: CgroupCpu,
+    /// Storage device shared by I/O-performing NFs.
+    pub storage: StorageDevice,
+    /// Global statistics.
+    pub stats: PlatformStats,
+    /// Flows whose packets trigger storage I/O at NFs that have an I/O
+    /// profile.
+    pub io_flows: HashSet<FlowId>,
+    handlers: Vec<Option<Box<dyn PacketHandler>>>,
+    tcp_flows: HashSet<FlowId>,
+    scratch_frames: Vec<WireFrame>,
+}
+
+impl Platform {
+    /// Build an empty platform.
+    pub fn new(cfg: PlatformConfig) -> Self {
+        let sched = OsScheduler::new(cfg.nf_cores, cfg.policy, cfg.cfs, cfg.cs_cost);
+        Platform {
+            mempool: Mempool::new(cfg.mempool_capacity),
+            nic: Nic::new(cfg.nic_rx_capacity),
+            flow_table: FlowTable::new(),
+            chains: ChainRegistry::new(),
+            nfs: Vec::new(),
+            sched,
+            cgroups: CgroupCpu::new(CgroupCpu::DEFAULT_WRITE_COST),
+            storage: StorageDevice::default_ssd(),
+            stats: PlatformStats::default(),
+            io_flows: HashSet::new(),
+            handlers: Vec::new(),
+            tcp_flows: HashSet::new(),
+            scratch_frames: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Deploy an NF (with the default forward-everything handler).
+    pub fn add_nf(&mut self, spec: NfSpec) -> NfId {
+        self.add_nf_with_handler(spec, Box::new(ForwardAll))
+    }
+
+    /// Deploy an NF with a custom packet handler.
+    pub fn add_nf_with_handler(&mut self, spec: NfSpec, handler: Box<dyn PacketHandler>) -> NfId {
+        assert!(spec.core < self.cfg.nf_cores, "NF pinned to missing core");
+        let task = self.sched.add_task(spec.name.clone(), spec.core);
+        self.cgroups.register(task);
+        let id = NfId(self.nfs.len() as u32);
+        self.nfs.push(NfRuntime::new(spec, task));
+        self.handlers.push(Some(handler));
+        id
+    }
+
+    /// Install a service chain over deployed NFs.
+    pub fn install_chain(&mut self, path: &[NfId]) -> ChainId {
+        for nf in path {
+            assert!(nf.index() < self.nfs.len(), "chain references missing NF");
+        }
+        let id = self.chains.install(path);
+        self.stats.chains.push(Default::default());
+        id
+    }
+
+    /// Install a flow rule steering `tuple` onto `chain`.
+    pub fn install_flow(&mut self, tuple: nfv_pkt::FiveTuple, chain: ChainId) -> FlowId {
+        let flow = self.flow_table.install(tuple, chain);
+        while self.stats.flows.len() <= flow.index() {
+            self.stats.flows.push(Default::default());
+        }
+        if tuple.proto == Proto::Tcp {
+            self.tcp_flows.insert(flow);
+        }
+        flow
+    }
+
+    /// Mark a flow as triggering storage I/O at NFs with I/O profiles.
+    pub fn set_io_flow(&mut self, flow: FlowId) {
+        self.io_flows.insert(flow);
+    }
+
+    /// The core an NF is pinned to.
+    pub fn core_of(&self, nf: NfId) -> usize {
+        self.nfs[nf.index()].spec.core
+    }
+
+    /// The NF currently running on `core`, if any.
+    pub fn running_nf(&self, core: usize) -> Option<NfId> {
+        let task = self.sched.current(core)?;
+        // Task ids and NF ids are created in lockstep.
+        Some(NfId(task.0))
+    }
+
+    // ------------------------------------------------------------------
+    // RX thread mechanism
+    // ------------------------------------------------------------------
+
+    /// Poll every pending NIC frame, classify, apply entry admission and
+    /// enqueue to each chain's first NF. `admit` is the NFVnice selective
+    /// early discard hook (always-true without backpressure). TCP
+    /// congestion feedback is appended to `tcp_out`.
+    pub fn rx_poll(
+        &mut self,
+        now: SimTime,
+        admit: &mut dyn FnMut(ChainId, FlowId) -> bool,
+        tcp_out: &mut Vec<TcpEvent>,
+    ) {
+        let mut frames = std::mem::take(&mut self.scratch_frames);
+        frames.clear();
+        self.nic.poll(usize::MAX, &mut frames);
+        for frame in frames.drain(..) {
+            let Some((flow, chain)) = self.flow_table.classify(&frame.tuple, frame.size) else {
+                self.stats.unclassified += 1;
+                continue;
+            };
+            // Wildcard rules can mint new flows at runtime; keep per-flow
+            // stats sized accordingly.
+            while self.stats.flows.len() <= flow.index() {
+                self.stats.flows.push(Default::default());
+            }
+            // The entry NF's offered load (λ) is measured pre-admission:
+            // the RX thread sees every classified frame, and rate-cost
+            // shares must reflect demand, not the post-throttle trickle.
+            let entry = self.chains.entry(chain);
+            self.nfs[entry.index()].note_arrival();
+            if !admit(chain, flow) {
+                self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
+                self.note_tcp_drop(flow, frame.seq, tcp_out);
+                continue;
+            }
+            let mut pkt = Packet::new(flow, chain, frame.size, frame.arrival);
+            pkt.tuple = frame.tuple;
+            pkt.seq = frame.seq;
+            pkt.cost_class = frame.cost_class;
+            pkt.ecn = frame.ecn;
+            pkt.enqueued_at = now;
+            let Some(pid) = self.mempool.alloc(pkt) else {
+                self.stats.mempool_fail += 1;
+                self.stats.dropped(flow, chain, DropLocation::MempoolExhausted);
+                self.note_tcp_drop(flow, frame.seq, tcp_out);
+                continue;
+            };
+            let nf = &mut self.nfs[entry.index()];
+            match nf.rx.enqueue(pid) {
+                Enqueue::Ok { .. } => nf.note_pending(chain),
+                Enqueue::Full => {
+                    self.mempool.free(pid);
+                    self.stats
+                        .dropped(flow, chain, DropLocation::RingFull(entry));
+                    self.note_tcp_drop(flow, frame.seq, tcp_out);
+                }
+            }
+        }
+        self.scratch_frames = frames;
+    }
+
+    fn note_tcp_drop(&mut self, flow: FlowId, seq: u64, tcp_out: &mut Vec<TcpEvent>) {
+        if self.tcp_flows.contains(&flow) {
+            tcp_out.push(TcpEvent {
+                flow,
+                seq,
+                kind: TcpEventKind::Dropped,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TX thread mechanism
+    // ------------------------------------------------------------------
+
+    /// Drain every NF's TX ring: forward packets to the next NF in their
+    /// chain (marking ECN via `mark_ce` when the policy says so) or out the
+    /// NIC at chain end. Returns, via `woken_tx`, NFs whose full TX ring
+    /// gained room (local backpressure release).
+    pub fn tx_drain(
+        &mut self,
+        now: SimTime,
+        mark_ce: &mut dyn FnMut(NfId) -> bool,
+        tcp_out: &mut Vec<TcpEvent>,
+        woken_tx: &mut Vec<NfId>,
+    ) {
+        for i in 0..self.nfs.len() {
+            while let Some(pid) = self.nfs[i].tx.dequeue() {
+                let (flow, chain, hops, seq, size) = {
+                    let p = self.mempool.get(pid);
+                    (p.flow, p.chain, p.hops_done, p.seq, p.size)
+                };
+                match self.chains.nf_at(chain, hops as usize) {
+                    None => {
+                        // Chain complete: out the wire.
+                        let pkt = self.mempool.free(pid);
+                        self.nic.transmit(size);
+                        self.stats
+                            .delivered(flow, chain, size, now.since(pkt.arrival));
+                        if self.tcp_flows.contains(&flow) {
+                            tcp_out.push(TcpEvent {
+                                flow,
+                                seq,
+                                kind: TcpEventKind::Delivered {
+                                    ce: pkt.ecn == Ecn::Ce,
+                                },
+                            });
+                        }
+                    }
+                    Some(next) => {
+                        {
+                            let p = self.mempool.get_mut(pid);
+                            p.enqueued_at = now;
+                            if p.ecn == Ecn::Ect0 && mark_ce(next) {
+                                p.ecn = Ecn::Ce;
+                            }
+                        }
+                        let nf = &mut self.nfs[next.index()];
+                        nf.note_arrival();
+                        match nf.rx.enqueue(pid) {
+                            Enqueue::Ok { .. } => nf.note_pending(chain),
+                            Enqueue::Full => {
+                                self.mempool.free(pid);
+                                self.stats
+                                    .dropped(flow, chain, DropLocation::RingFull(next));
+                                // The previous NF's work is wasted.
+                                self.nfs[i].wasted_drops += 1;
+                                self.nfs[i].wasted_meter.add(1);
+                                self.note_tcp_drop(flow, seq, tcp_out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Local backpressure release: wake NFs that were stalled on a full
+        // TX ring and now have room for their whole outbox.
+        for i in 0..self.nfs.len() {
+            let nf = &self.nfs[i];
+            if nf.blocked == Some(BlockReason::TxFull)
+                && nf.tx.capacity() - nf.tx.len() >= nf.outbox.len().max(1)
+            {
+                woken_tx.push(NfId(i as u32));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NF execution mechanism (libnf batch loop)
+    // ------------------------------------------------------------------
+
+    /// Begin a batch for `nf` (the current task on its core). Flushes the
+    /// outbox, honors the yield flag, and dequeues up to `batch_size`
+    /// packets, computing the batch's CPU cost from the NF's cost model.
+    pub fn plan_batch(&mut self, nf_id: NfId) -> BatchPlan {
+        let batch = self.cfg.batch_size;
+        let nf = &mut self.nfs[nf_id.index()];
+        // Flush previously processed packets that did not fit in TX.
+        while let Some(&pid) = nf.outbox.front() {
+            match nf.tx.enqueue(pid) {
+                Enqueue::Ok { .. } => {
+                    nf.outbox.pop_front();
+                }
+                Enqueue::Full => break,
+            }
+        }
+        if !nf.outbox.is_empty() {
+            return BatchPlan::Block(BlockReason::TxFull);
+        }
+        if nf.yield_flag {
+            nf.yield_flag = false;
+            return BatchPlan::Block(BlockReason::Backpressure);
+        }
+        if nf.rx.is_empty() {
+            return BatchPlan::Block(BlockReason::EmptyRx);
+        }
+        let mut cycles = 0u64;
+        let mut n = 0usize;
+        while n < batch {
+            let Some(pid) = nf.rx.dequeue() else { break };
+            let pkt = self.mempool.get(pid);
+            cycles += nf.spec.cost.cycles(pkt.cost_class);
+            let chain = pkt.chain;
+            nf.note_dequeued(chain);
+            nf.in_progress.push(pid);
+            n += 1;
+        }
+        let duration = self
+            .cfg
+            .freq
+            .cycles_to_duration(cycles)
+            .max(Duration::from_nanos(1));
+        nf.current_batch = Some((duration, n));
+        nf.last_ppp = Duration::from_nanos(duration.as_nanos() / n as u64);
+        BatchPlan::Run { duration, n }
+    }
+
+    /// Complete the batch started by [`Platform::plan_batch`]: run the
+    /// handler on each packet, perform storage writes, and push survivors
+    /// toward the TX ring (overflow goes to the outbox).
+    pub fn finish_batch(&mut self, nf_id: NfId, now: SimTime) -> BatchEffects {
+        let mut fx = BatchEffects::default();
+        let idx = nf_id.index();
+        let pids = std::mem::take(&mut self.nfs[idx].in_progress);
+        let (_, n) = self.nfs[idx]
+            .current_batch
+            .take()
+            .expect("finish without plan");
+        debug_assert_eq!(n, pids.len());
+        let mut handler = self.handlers[idx].take().expect("handler re-entry");
+        let io_spec = self.nfs[idx].spec.io;
+        let mut sync_bytes = 0u64;
+        for pid in pids {
+            let action = handler.handle(self.mempool.get_mut(pid), now);
+            let (flow, chain) = {
+                let p = self.mempool.get(pid);
+                (p.flow, p.chain)
+            };
+            // Storage I/O for registered flows.
+            if let Some(io) = io_spec {
+                if self.io_flows.contains(&flow) {
+                    match io.mode {
+                        IoMode::Sync => sync_bytes += io.bytes_per_packet,
+                        IoMode::Async { .. } => {
+                            let dbuf = self.nfs[idx].dbuf.as_mut().expect("async io w/o dbuf");
+                            match dbuf.write(now, io.bytes_per_packet, &mut self.storage) {
+                                WriteOutcome::Buffered => {}
+                                WriteOutcome::Flushing { completion } => {
+                                    fx.flush_completions.push(completion);
+                                }
+                                WriteOutcome::Blocked => {
+                                    // Both buffers busy: the NF suspends
+                                    // after this batch; it is woken by the
+                                    // in-flight flush's completion event.
+                                    fx.block = Some(BlockReason::Io);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match action {
+                NfAction::Drop => {
+                    self.mempool.free(pid);
+                    self.stats.dropped(flow, chain, DropLocation::Handler(nf_id));
+                }
+                NfAction::Forward => {
+                    self.mempool.get_mut(pid).hops_done += 1;
+                    let nf = &mut self.nfs[idx];
+                    match nf.tx.enqueue(pid) {
+                        Enqueue::Ok { .. } => {}
+                        Enqueue::Full => nf.outbox.push_back(pid),
+                    }
+                }
+            }
+            self.nfs[idx].processed += 1;
+            self.nfs[idx].processed_meter.add(1);
+        }
+        self.handlers[idx] = Some(handler);
+        if sync_bytes > 0 {
+            // Blocking write: the NF sleeps until the device finishes.
+            let completion = self.storage.submit_write(now, sync_bytes);
+            fx.block = Some(BlockReason::Io);
+            fx.io_wake_at = Some(completion);
+        }
+        fx
+    }
+
+    /// Deliver a storage-flush completion to `nf`.
+    pub fn on_io_complete(&mut self, nf_id: NfId, now: SimTime) -> IoCompleteOutcome {
+        let idx = nf_id.index();
+        let next_completion = match self.nfs[idx].dbuf.as_mut() {
+            Some(dbuf) => dbuf.on_flush_complete(now, &mut self.storage),
+            None => None, // synchronous write completion
+        };
+        IoCompleteOutcome {
+            next_completion,
+            wake: self.nfs[idx].blocked == Some(BlockReason::Io),
+        }
+    }
+
+    /// Wake a blocked NF: clears its block reason and marks its task
+    /// runnable. Returns `true` if the NF was indeed blocked.
+    pub fn wake_nf(&mut self, nf_id: NfId, now: SimTime) -> bool {
+        let nf = &mut self.nfs[nf_id.index()];
+        if nf.blocked.is_none() {
+            return false;
+        }
+        nf.blocked = None;
+        let task = nf.task;
+        self.sched.wake(task, now);
+        true
+    }
+
+    /// Record that the NF on `core` blocked for `reason` (after the engine
+    /// has told the scheduler).
+    pub fn mark_blocked(&mut self, nf_id: NfId, reason: BlockReason) {
+        self.nfs[nf_id.index()].blocked = Some(reason);
+    }
+
+    /// Age of the packet at the head of `nf`'s RX ring (how long it has
+    /// been queued) — the backpressure queuing-time input.
+    pub fn rx_head_age(&self, nf_id: NfId, now: SimTime) -> Option<Duration> {
+        let pid = self.nfs[nf_id.index()].rx.peek()?;
+        Some(now.since(self.mempool.get(pid).enqueued_at))
+    }
+
+    /// Write `cpu.shares` for an NF's cgroup, returning the sysfs-write
+    /// cost (zero when unchanged).
+    pub fn set_nf_shares(&mut self, nf_id: NfId, shares: u64) -> Duration {
+        let task = self.nfs[nf_id.index()].task;
+        self.cgroups.set_shares(&mut self.sched, task, shares)
+    }
+
+    /// Close the per-second measurement interval on all meters.
+    pub fn roll_meters(&mut self, now: SimTime) {
+        self.stats.roll(now);
+        for nf in &mut self.nfs {
+            nf.processed_meter.roll(now);
+            nf.wasted_meter.roll(now);
+        }
+    }
+
+    /// Invariant: every live mempool packet is accounted for in exactly one
+    /// place (a ring, an outbox, or an executing batch). Used by tests.
+    pub fn packets_accounted(&self) -> bool {
+        let held: usize = self
+            .nfs
+            .iter()
+            .map(|nf| nf.rx.len() + nf.tx.len() + nf.outbox.len() + nf.in_progress.len())
+            .sum();
+        held == self.mempool.in_use()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_pkt::FiveTuple;
+
+    fn mini_platform() -> (Platform, ChainId, FlowId) {
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("a", 0, 100));
+        let b = p.add_nf(NfSpec::new("b", 0, 200));
+        let chain = p.install_chain(&[a, b]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        (p, chain, flow)
+    }
+
+    fn inject(p: &mut Platform, n: u64, now: SimTime) {
+        for seq in 0..n {
+            p.nic.deliver(WireFrame {
+                tuple: FiveTuple::synthetic(0, Proto::Udp),
+                size: 64,
+                seq,
+                cost_class: 0,
+                ecn: Ecn::NotEct,
+                arrival: now,
+            });
+        }
+    }
+
+    #[test]
+    fn rx_poll_classifies_and_enqueues() {
+        let (mut p, _, _) = mini_platform();
+        inject(&mut p, 10, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        assert_eq!(p.nfs[0].pending(), 10);
+        assert_eq!(p.nfs[0].arrivals, 10);
+        assert!(tcp.is_empty());
+        assert!(p.packets_accounted());
+    }
+
+    #[test]
+    fn admission_denial_drops_at_entry() {
+        let (mut p, chain, flow) = mini_platform();
+        inject(&mut p, 5, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| false, &mut tcp);
+        assert_eq!(p.nfs[0].pending(), 0);
+        assert_eq!(p.stats.entry_throttle_drops, 5);
+        assert_eq!(p.stats.chains[chain.index()].entry_drops, 5);
+        assert_eq!(p.stats.flows[flow.index()].entry_drops, 5);
+        assert_eq!(p.mempool.in_use(), 0);
+    }
+
+    #[test]
+    fn batch_plan_and_finish_move_packets_through_chain() {
+        let (mut p, _, flow) = mini_platform();
+        inject(&mut p, 40, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        // NF a: one batch of 32
+        let plan = p.plan_batch(NfId(0));
+        match plan {
+            BatchPlan::Run { duration, n } => {
+                assert_eq!(n, 32);
+                // 32 * 100 cycles at 2.6GHz ≈ 1231ns
+                assert_eq!(duration, Duration::from_nanos(1231));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let fx = p.finish_batch(NfId(0), SimTime::from_micros(2));
+        assert!(fx.block.is_none());
+        assert_eq!(p.nfs[0].tx.len(), 32);
+        assert_eq!(p.nfs[0].processed, 32);
+        // TX thread moves them to NF b
+        let mut woken = Vec::new();
+        p.tx_drain(SimTime::from_micros(3), &mut |_| false, &mut tcp, &mut woken);
+        assert_eq!(p.nfs[1].pending(), 32);
+        // NF b processes and the packets exit
+        p.plan_batch(NfId(1));
+        p.finish_batch(NfId(1), SimTime::from_micros(5));
+        p.tx_drain(SimTime::from_micros(6), &mut |_| false, &mut tcp, &mut woken);
+        assert_eq!(p.stats.flows[flow.index()].delivered, 32);
+        assert_eq!(p.nic.tx_frames, 32);
+        assert!(p.packets_accounted());
+    }
+
+    #[test]
+    fn empty_rx_blocks() {
+        let (mut p, _, _) = mini_platform();
+        assert_eq!(p.plan_batch(NfId(0)), BatchPlan::Block(BlockReason::EmptyRx));
+    }
+
+    #[test]
+    fn yield_flag_consumed_once() {
+        let (mut p, _, _) = mini_platform();
+        inject(&mut p, 5, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.nfs[0].yield_flag = true;
+        assert_eq!(
+            p.plan_batch(NfId(0)),
+            BatchPlan::Block(BlockReason::Backpressure)
+        );
+        // Flag consumed: next plan runs normally.
+        assert!(matches!(p.plan_batch(NfId(0)), BatchPlan::Run { n: 5, .. }));
+    }
+
+    #[test]
+    fn downstream_ring_overflow_counts_wasted_work() {
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("a", 0, 100));
+        let b = p.add_nf(NfSpec::new("b", 0, 100).with_rings(16, 16));
+        let chain = p.install_chain(&[a, b]);
+        p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        inject(&mut p, 64, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        // a processes two batches of 32
+        for _ in 0..2 {
+            assert!(matches!(p.plan_batch(a), BatchPlan::Run { .. }));
+            p.finish_batch(a, SimTime::from_micros(1));
+        }
+        // all 64 in a's tx; b's ring holds 16 → 48 wasted
+        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        assert_eq!(p.nfs[a.index()].wasted_drops, 48);
+        assert_eq!(p.nfs[b.index()].pending(), 16);
+        assert!(p.packets_accounted());
+    }
+
+    #[test]
+    fn tx_full_spills_to_outbox_and_blocks() {
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("a", 0, 100).with_rings(4096, 16));
+        let b = p.add_nf(NfSpec::new("b", 0, 100));
+        let chain = p.install_chain(&[a, b]);
+        p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        inject(&mut p, 32, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(a);
+        p.finish_batch(a, SimTime::from_micros(1));
+        // 16 fit in tx, 16 spilled
+        assert_eq!(p.nfs[a.index()].tx.len(), 16);
+        assert_eq!(p.nfs[a.index()].outbox.len(), 16);
+        // next plan: outbox still stuck (tx full) → block TxFull
+        assert_eq!(p.plan_batch(a), BatchPlan::Block(BlockReason::TxFull));
+        p.mark_blocked(a, BlockReason::TxFull);
+        // TX thread drains and signals the NF can resume
+        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        assert_eq!(woken, vec![a]);
+        assert!(p.packets_accounted());
+    }
+
+    #[test]
+    fn handler_drop_frees_packet() {
+        struct DropAll;
+        impl PacketHandler for DropAll {
+            fn handle(&mut self, _p: &mut Packet, _now: SimTime) -> NfAction {
+                NfAction::Drop
+            }
+        }
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf_with_handler(NfSpec::new("fw", 0, 100), Box::new(DropAll));
+        let chain = p.install_chain(&[a]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(a);
+        p.finish_batch(a, SimTime::from_micros(1));
+        assert_eq!(p.mempool.in_use(), 0);
+        assert_eq!(p.stats.flows[flow.index()].dropped, 8);
+        assert_eq!(p.nfs[a.index()].processed, 8);
+    }
+
+    #[test]
+    fn tcp_flow_generates_feedback_events() {
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("a", 0, 100));
+        let chain = p.install_chain(&[a]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Tcp), chain);
+        for seq in 0..3u64 {
+            p.nic.deliver(WireFrame {
+                tuple: FiveTuple::synthetic(0, Proto::Tcp),
+                size: 1500,
+                seq,
+                cost_class: 0,
+                ecn: Ecn::Ect0,
+                arrival: SimTime::ZERO,
+            });
+        }
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(a);
+        p.finish_batch(a, SimTime::from_micros(1));
+        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        assert_eq!(tcp.len(), 3);
+        assert!(tcp
+            .iter()
+            .all(|e| e.flow == flow && e.kind == (TcpEventKind::Delivered { ce: false })));
+    }
+
+    #[test]
+    fn ecn_marking_applied_between_hops() {
+        let (mut p, _, _) = mini_platform();
+        // re-install flow as TCP with ECT(0)
+        let chain = ChainId(0);
+        let flow = p.install_flow(FiveTuple::synthetic(1, Proto::Tcp), chain);
+        p.nic.deliver(WireFrame {
+            tuple: FiveTuple::synthetic(1, Proto::Tcp),
+            size: 1500,
+            seq: 0,
+            cost_class: 0,
+            ecn: Ecn::Ect0,
+            arrival: SimTime::ZERO,
+        });
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(NfId(0));
+        p.finish_batch(NfId(0), SimTime::from_micros(1));
+        // mark everything entering NF b
+        p.tx_drain(SimTime::from_micros(2), &mut |_| true, &mut tcp, &mut woken);
+        p.plan_batch(NfId(1));
+        p.finish_batch(NfId(1), SimTime::from_micros(3));
+        p.tx_drain(SimTime::from_micros(4), &mut |_| false, &mut tcp, &mut woken);
+        let delivered: Vec<_> = tcp
+            .iter()
+            .filter(|e| e.flow == flow && matches!(e.kind, TcpEventKind::Delivered { .. }))
+            .collect();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].kind, TcpEventKind::Delivered { ce: true });
+    }
+
+    #[test]
+    fn sync_io_blocks_until_device_completion() {
+        use crate::nf::NfIoSpec;
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("log", 0, 100).with_io(NfIoSpec {
+            bytes_per_packet: 64,
+            mode: IoMode::Sync,
+        }));
+        let chain = p.install_chain(&[a]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        p.set_io_flow(flow);
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(a);
+        let fx = p.finish_batch(a, SimTime::from_micros(1));
+        assert_eq!(fx.block, Some(BlockReason::Io));
+        let wake = fx.io_wake_at.unwrap();
+        assert!(wake > SimTime::from_micros(100), "includes device latency");
+        p.mark_blocked(a, BlockReason::Io);
+        let out = p.on_io_complete(a, wake);
+        assert!(out.wake);
+        assert!(out.next_completion.is_none());
+    }
+
+    #[test]
+    fn async_io_overlaps_until_both_buffers_full() {
+        use crate::nf::NfIoSpec;
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 1,
+            ..Default::default()
+        });
+        // Buffer = 4 packets worth; batch of 32 fills both buffers fast.
+        let a = p.add_nf(NfSpec::new("log", 0, 100).with_io(NfIoSpec {
+            bytes_per_packet: 64,
+            mode: IoMode::Async { buf_size: 256 },
+        }));
+        let chain = p.install_chain(&[a]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        p.set_io_flow(flow);
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(a);
+        let fx = p.finish_batch(a, SimTime::from_micros(1));
+        // 8 pkts × 64B = 512B = both buffers: one flush + one blocked
+        assert_eq!(fx.flush_completions.len(), 1);
+        assert_eq!(fx.block, Some(BlockReason::Io));
+        p.mark_blocked(a, BlockReason::Io);
+        let out = p.on_io_complete(a, fx.flush_completions[0]);
+        assert!(out.wake);
+        assert!(out.next_completion.is_some(), "queued buffer flushes next");
+    }
+}

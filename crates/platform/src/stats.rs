@@ -1,0 +1,173 @@
+//! Platform-wide statistics and the TCP feedback channel.
+
+use nfv_des::{Duration, DurationHistogram, RateMeter};
+use nfv_pkt::{ChainId, FlowId, NfId};
+
+/// Where a packet died. Locations early in the pipeline wasted no work;
+/// drops at a downstream NF's full ring wasted the processing of every NF
+/// the packet already traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropLocation {
+    /// NIC hardware RX queue overflowed.
+    NicOverflow,
+    /// No flow-table rule matched.
+    Unclassified,
+    /// Shared mempool exhausted.
+    MempoolExhausted,
+    /// NFVnice selective early discard at the chain entry (throttled).
+    EntryThrottle,
+    /// An NF's RX ring was full.
+    RingFull(NfId),
+    /// The NF's handler decided to drop (functional drop).
+    Handler(NfId),
+}
+
+/// Congestion feedback destined for a responsive (TCP) source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpEvent {
+    /// The flow the event belongs to.
+    pub flow: FlowId,
+    /// Sequence number of the segment.
+    pub seq: u64,
+    /// What happened to it.
+    pub kind: TcpEventKind,
+}
+
+/// Outcome of a TCP segment inside the box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpEventKind {
+    /// Exited the chain; `ce` reports an ECN congestion-experienced mark.
+    Delivered {
+        /// ECN CE mark observed.
+        ce: bool,
+    },
+    /// Dropped somewhere inside the box.
+    Dropped,
+}
+
+/// Per-flow delivery accounting.
+#[derive(Debug, Default)]
+pub struct FlowStats {
+    /// Packets that exited the chain.
+    pub delivered: u64,
+    /// Bytes that exited the chain.
+    pub delivered_bytes: u64,
+    /// Packets dropped anywhere inside the box.
+    pub dropped: u64,
+    /// Packets discarded by admission control at chain entry.
+    pub entry_drops: u64,
+    /// Per-second delivered packet rate.
+    pub pps_meter: RateMeter,
+    /// Per-second delivered bit rate ÷ 8 (bytes/s meter).
+    pub bytes_meter: RateMeter,
+    /// End-to-end latency (NIC arrival → wire exit) of delivered packets.
+    pub latency: DurationHistogram,
+}
+
+/// Per-chain delivery accounting.
+#[derive(Debug, Default)]
+pub struct ChainStats {
+    /// Packets that completed the full chain.
+    pub delivered: u64,
+    /// Packets discarded by admission control at entry.
+    pub entry_drops: u64,
+    /// Per-second completed-packet rate.
+    pub pps_meter: RateMeter,
+}
+
+/// Global counters not attributable to one flow.
+#[derive(Debug, Default)]
+pub struct PlatformStats {
+    /// Frames lost in NIC hardware.
+    pub nic_overflow: u64,
+    /// Frames with no flow rule.
+    pub unclassified: u64,
+    /// Frames lost to mempool exhaustion.
+    pub mempool_fail: u64,
+    /// Packets discarded by entry admission (all chains).
+    pub entry_throttle_drops: u64,
+    /// Per-flow stats, indexed by `FlowId`.
+    pub flows: Vec<FlowStats>,
+    /// Per-chain stats, indexed by `ChainId`.
+    pub chains: Vec<ChainStats>,
+}
+
+impl PlatformStats {
+    /// Record a delivery for `flow` on `chain` with end-to-end `latency`.
+    pub fn delivered(&mut self, flow: FlowId, chain: ChainId, bytes: u32, latency: Duration) {
+        let f = &mut self.flows[flow.index()];
+        f.delivered += 1;
+        f.delivered_bytes += bytes as u64;
+        f.pps_meter.add(1);
+        f.bytes_meter.add(bytes as u64);
+        f.latency.record(latency);
+        let c = &mut self.chains[chain.index()];
+        c.delivered += 1;
+        c.pps_meter.add(1);
+    }
+
+    /// Record an in-box drop for `flow` (and entry bookkeeping when the
+    /// location is the chain entry).
+    pub fn dropped(&mut self, flow: FlowId, chain: ChainId, loc: DropLocation) {
+        self.flows[flow.index()].dropped += 1;
+        if loc == DropLocation::EntryThrottle {
+            self.flows[flow.index()].entry_drops += 1;
+            self.chains[chain.index()].entry_drops += 1;
+            self.entry_throttle_drops += 1;
+        }
+    }
+
+    /// Close the per-second measurement interval on every meter.
+    pub fn roll(&mut self, now: nfv_des::SimTime) {
+        for f in &mut self.flows {
+            f.pps_meter.roll(now);
+            f.bytes_meter.roll(now);
+        }
+        for c in &mut self.chains {
+            c.pps_meter.roll(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_des::SimTime;
+
+    #[test]
+    fn delivery_updates_flow_and_chain() {
+        let mut s = PlatformStats::default();
+        s.flows.push(FlowStats::default());
+        s.chains.push(ChainStats::default());
+        s.delivered(FlowId(0), ChainId(0), 64, Duration::from_micros(5));
+        s.delivered(FlowId(0), ChainId(0), 64, Duration::from_micros(7));
+        assert_eq!(s.flows[0].delivered, 2);
+        assert_eq!(s.flows[0].delivered_bytes, 128);
+        assert_eq!(s.chains[0].delivered, 2);
+        assert!(s.flows[0].latency.median().unwrap() >= Duration::from_micros(4));
+    }
+
+    #[test]
+    fn entry_drop_counts_at_all_levels() {
+        let mut s = PlatformStats::default();
+        s.flows.push(FlowStats::default());
+        s.chains.push(ChainStats::default());
+        s.dropped(FlowId(0), ChainId(0), DropLocation::EntryThrottle);
+        s.dropped(FlowId(0), ChainId(0), DropLocation::RingFull(NfId(1)));
+        assert_eq!(s.flows[0].dropped, 2);
+        assert_eq!(s.flows[0].entry_drops, 1);
+        assert_eq!(s.chains[0].entry_drops, 1);
+        assert_eq!(s.entry_throttle_drops, 1);
+    }
+
+    #[test]
+    fn rolling_produces_rates() {
+        let mut s = PlatformStats::default();
+        s.flows.push(FlowStats::default());
+        s.chains.push(ChainStats::default());
+        s.delivered(FlowId(0), ChainId(0), 64, Duration::from_micros(1));
+        s.roll(SimTime::from_secs(1));
+        let (_, mean, _) = s.flows[0].pps_meter.summary();
+        assert_eq!(mean, 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! cgroup `cpu.shares` controller model.
+//!
+//! NFVnice never modifies the kernel scheduler; it adjusts each NF's cgroup
+//! CPU shares through the sysfs virtual filesystem. Two properties of that
+//! interface matter to the system and are modeled here:
+//!
+//! 1. shares are clamped to the kernel's `[2, 262144]` range and map
+//!    directly onto CFS weights (1024 = default / nice 0);
+//! 2. each write costs real time (~5 µs measured in the paper, §4.3.8),
+//!    which is why NFVnice batches weight updates at 10 ms granularity
+//!    instead of writing on every load change.
+
+use crate::params::{MAX_SHARES, MIN_SHARES};
+use crate::scheduler::OsScheduler;
+use crate::task::TaskId;
+use nfv_des::Duration;
+
+/// The cgroup CPU controller: one group per task.
+#[derive(Debug)]
+pub struct CgroupCpu {
+    shares: Vec<u64>,
+    /// Cost of one `cpu.shares` sysfs write.
+    pub write_cost: Duration,
+    /// Number of writes performed (each also costing `write_cost`).
+    pub writes: u64,
+}
+
+impl CgroupCpu {
+    /// Default sysfs write cost measured by the paper.
+    pub const DEFAULT_WRITE_COST: Duration = Duration(5_000);
+
+    /// A controller with no groups yet.
+    pub fn new(write_cost: Duration) -> Self {
+        CgroupCpu {
+            shares: Vec::new(),
+            write_cost,
+            writes: 0,
+        }
+    }
+
+    /// Create the cgroup for a (newly added) task with default shares.
+    /// Tasks must be registered in creation order — ids are dense.
+    pub fn register(&mut self, task: TaskId) {
+        assert_eq!(task.index(), self.shares.len(), "register in id order");
+        self.shares.push(1024);
+    }
+
+    /// Current shares of a task's group.
+    pub fn shares(&self, task: TaskId) -> u64 {
+        self.shares[task.index()]
+    }
+
+    /// Write `cpu.shares` for `task`, clamping to the kernel's valid range
+    /// and propagating the weight into the scheduler. Returns the time the
+    /// write consumed (zero when the value is unchanged — NFVnice skips
+    /// redundant writes).
+    pub fn set_shares(&mut self, sched: &mut OsScheduler, task: TaskId, shares: u64) -> Duration {
+        let clamped = shares.clamp(MIN_SHARES, MAX_SHARES);
+        if self.shares[task.index()] == clamped {
+            return Duration::ZERO;
+        }
+        self.shares[task.index()] = clamped;
+        sched.set_weight(task, clamped);
+        self.writes += 1;
+        self.write_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CfsParams, Policy};
+    use nfv_des::Duration;
+
+    fn setup() -> (OsScheduler, CgroupCpu, TaskId) {
+        let mut s = OsScheduler::new(1, Policy::CfsNormal, CfsParams::default(), Duration::ZERO);
+        let t = s.add_task("t", 0);
+        let mut cg = CgroupCpu::new(CgroupCpu::DEFAULT_WRITE_COST);
+        cg.register(t);
+        (s, cg, t)
+    }
+
+    #[test]
+    fn default_shares_are_1024() {
+        let (_, cg, t) = setup();
+        assert_eq!(cg.shares(t), 1024);
+    }
+
+    #[test]
+    fn set_shares_clamps_to_kernel_range() {
+        let (mut s, mut cg, t) = setup();
+        cg.set_shares(&mut s, t, 0);
+        assert_eq!(cg.shares(t), MIN_SHARES);
+        cg.set_shares(&mut s, t, u64::MAX);
+        assert_eq!(cg.shares(t), MAX_SHARES);
+    }
+
+    #[test]
+    fn redundant_write_is_free() {
+        let (mut s, mut cg, t) = setup();
+        let c1 = cg.set_shares(&mut s, t, 2048);
+        let c2 = cg.set_shares(&mut s, t, 2048);
+        assert_eq!(c1, CgroupCpu::DEFAULT_WRITE_COST);
+        assert_eq!(c2, Duration::ZERO);
+        assert_eq!(cg.writes, 1);
+    }
+
+    #[test]
+    fn shares_propagate_to_scheduler_weight() {
+        let (mut s, mut cg, t) = setup();
+        cg.set_shares(&mut s, t, 4096);
+        // charge and observe vruntime scaling with the new weight
+        use nfv_des::SimTime;
+        s.wake(t, SimTime::ZERO);
+        s.dispatch(0, SimTime::ZERO);
+        s.charge_current(0, Duration::from_micros(4));
+        assert_eq!(s.task(t).vruntime, 1_000); // 4000ns * 1024/4096
+    }
+}

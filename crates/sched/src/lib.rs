@@ -1,0 +1,26 @@
+//! # nfv-sched — simulated OS CPU schedulers
+//!
+//! Faithful-in-shape models of the three Linux scheduling policies the
+//! NFVnice paper evaluates — CFS (`SCHED_NORMAL`), CFS batch
+//! (`SCHED_BATCH`) and round robin (`SCHED_RR` at 1 ms / 100 ms quanta) —
+//! plus the cgroup `cpu.shares` controller NFVnice drives from user space.
+//!
+//! The scheduler is passive: the platform event loop dispatches tasks,
+//! charges execution segments and consults [`OsScheduler::need_resched`] at
+//! batch boundaries, the same granularity at which a tick-based kernel
+//! makes preemption effective. Per-task accounting (voluntary/involuntary
+//! context switches, CPU time, scheduling latency) reproduces the columns
+//! of the paper's Tables 1, 2 and 4.
+
+#![warn(missing_docs)]
+
+pub mod cgroup;
+pub mod params;
+pub mod runqueue;
+pub mod scheduler;
+pub mod task;
+
+pub use cgroup::CgroupCpu;
+pub use params::{CfsParams, Policy, MAX_SHARES, MIN_SHARES, NICE0_WEIGHT};
+pub use scheduler::OsScheduler;
+pub use task::{SwitchKind, Task, TaskId, TaskState};

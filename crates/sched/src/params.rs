@@ -1,0 +1,112 @@
+//! Scheduling policies and their tunables.
+
+use nfv_des::Duration;
+
+/// Kernel scheduling policy for NF tasks, mirroring the three policies the
+/// paper evaluates (§2.2): `SCHED_NORMAL` (CFS), `SCHED_BATCH` (CFS without
+/// wakeup preemption) and `SCHED_RR` (fixed quantum round robin, evaluated
+/// at both 1 ms and 100 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Completely Fair Scheduler, default config: vruntime-ordered,
+    /// fine-grained preemption including preemption on wakeup.
+    CfsNormal,
+    /// CFS batch variant: identical bookkeeping but no wakeup preemption,
+    /// so fewer involuntary context switches and longer effective quanta.
+    CfsBatch,
+    /// Real-time round robin with a fixed time quantum; no notion of
+    /// fairness beyond equal turns, and cgroup CPU shares have no effect.
+    RoundRobin {
+        /// The RR time slice (`RR_TIMESLICE`); the paper uses 1 ms / 100 ms.
+        quantum: Duration,
+    },
+    /// Cooperative FIFO scheduling: tasks run until they voluntarily yield,
+    /// never preempted — the user-space "L-threads" model the paper's
+    /// related-work section discusses (§5). NFVnice's backpressure still
+    /// works here because yields happen at `libnf` batch boundaries.
+    Cooperative,
+}
+
+impl Policy {
+    /// The paper's "RR(1ms)" configuration.
+    pub fn rr_1ms() -> Policy {
+        Policy::RoundRobin {
+            quantum: Duration::from_millis(1),
+        }
+    }
+    /// The paper's "RR(100ms)" configuration (the kernel default
+    /// `RR_TIMESLICE`).
+    pub fn rr_100ms() -> Policy {
+        Policy::RoundRobin {
+            quantum: Duration::from_millis(100),
+        }
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::CfsNormal => "NORMAL".into(),
+            Policy::CfsBatch => "BATCH".into(),
+            Policy::RoundRobin { quantum } => {
+                format!("RR({}ms)", quantum.as_millis())
+            }
+            Policy::Cooperative => "COOP".into(),
+        }
+    }
+}
+
+/// CFS tunables (`/proc/sys/kernel/sched_*`). Values are per-core; the
+/// defaults are chosen so a core shared by three equal-weight tasks gives
+/// each a ~1 ms slice, matching the per-second context-switch counts in
+/// Tables 1–2 of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct CfsParams {
+    /// Target scheduling latency: every runnable task should run once per
+    /// this period when the core is uncongested.
+    pub latency: Duration,
+    /// Minimum slice any task receives, bounding how small slices get as
+    /// the runqueue grows.
+    pub min_granularity: Duration,
+    /// Wakeup preemption granularity: a waking task preempts the current
+    /// one only if its vruntime lags by more than this (CFS Normal only).
+    pub wakeup_granularity: Duration,
+}
+
+impl Default for CfsParams {
+    fn default() -> Self {
+        CfsParams {
+            latency: Duration::from_millis(3),
+            min_granularity: Duration::from_micros(400),
+            wakeup_granularity: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Weight assigned to a task with default cgroup shares (nice 0).
+pub const NICE0_WEIGHT: u64 = 1024;
+
+/// Lower bound the kernel enforces for `cpu.shares`.
+pub const MIN_SHARES: u64 = 2;
+/// Upper bound the kernel enforces for `cpu.shares`.
+pub const MAX_SHARES: u64 = 262_144;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::CfsNormal.label(), "NORMAL");
+        assert_eq!(Policy::CfsBatch.label(), "BATCH");
+        assert_eq!(Policy::rr_1ms().label(), "RR(1ms)");
+        assert_eq!(Policy::rr_100ms().label(), "RR(100ms)");
+    }
+
+    #[test]
+    fn default_cfs_slice_for_three_tasks_is_1ms() {
+        let p = CfsParams::default();
+        // period/nr = 3ms/3 = 1ms, above min_granularity.
+        assert_eq!(p.latency.as_nanos() / 3, 1_000_000);
+        assert!(p.min_granularity < Duration::from_millis(1));
+    }
+}

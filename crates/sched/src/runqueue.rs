@@ -1,0 +1,167 @@
+//! Per-core runqueues: a CFS red-black-tree equivalent and an RR FIFO.
+
+use crate::task::TaskId;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The queue of runnable (not running) tasks on one core.
+///
+/// CFS keeps tasks ordered by `(vruntime, id)` — the kernel uses a
+/// red-black tree; a B-tree set gives the same ordering guarantees and
+/// complexity. RR keeps strict FIFO arrival order.
+#[derive(Debug)]
+pub enum RunQueue {
+    /// Virtual-runtime ordered queue (CFS Normal and Batch).
+    Cfs {
+        /// Tasks keyed by (vruntime, id); leftmost runs next.
+        tree: BTreeSet<(u64, TaskId)>,
+        /// Monotonic floor of vruntime on this core, used to place waking
+        /// tasks so sleepers neither starve nor dominate.
+        min_vruntime: u64,
+    },
+    /// FIFO queue (round robin).
+    Rr {
+        /// Tasks in arrival order.
+        fifo: VecDeque<TaskId>,
+    },
+}
+
+impl RunQueue {
+    /// Empty CFS queue.
+    pub fn cfs() -> Self {
+        RunQueue::Cfs {
+            tree: BTreeSet::new(),
+            min_vruntime: 0,
+        }
+    }
+
+    /// Empty RR queue.
+    pub fn rr() -> Self {
+        RunQueue::Rr {
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// Insert a runnable task. `vruntime` is ignored for RR.
+    pub fn insert(&mut self, id: TaskId, vruntime: u64) {
+        match self {
+            RunQueue::Cfs { tree, .. } => {
+                let fresh = tree.insert((vruntime, id));
+                debug_assert!(fresh, "task {id} double-inserted");
+            }
+            RunQueue::Rr { fifo } => {
+                debug_assert!(!fifo.contains(&id), "task {id} double-inserted");
+                fifo.push_back(id);
+            }
+        }
+    }
+
+    /// Remove and return the next task to run, advancing `min_vruntime`
+    /// for CFS.
+    pub fn pop_next(&mut self) -> Option<TaskId> {
+        match self {
+            RunQueue::Cfs { tree, min_vruntime } => {
+                let &(v, id) = tree.iter().next()?;
+                tree.remove(&(v, id));
+                *min_vruntime = (*min_vruntime).max(v);
+                Some(id)
+            }
+            RunQueue::Rr { fifo } => fifo.pop_front(),
+        }
+    }
+
+    /// Current `min_vruntime` (0 for RR, which has no such notion).
+    pub fn min_vruntime(&self) -> u64 {
+        match self {
+            RunQueue::Cfs { min_vruntime, .. } => *min_vruntime,
+            RunQueue::Rr { .. } => 0,
+        }
+    }
+
+    /// Number of queued (runnable, not running) tasks.
+    pub fn len(&self) -> usize {
+        match self {
+            RunQueue::Cfs { tree, .. } => tree.len(),
+            RunQueue::Rr { fifo } => fifo.len(),
+        }
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over queued task ids (order: next-to-run first for CFS,
+    /// FIFO order for RR).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = TaskId> + '_> {
+        match self {
+            RunQueue::Cfs { tree, .. } => Box::new(tree.iter().map(|&(_, id)| id)),
+            RunQueue::Rr { fifo } => Box::new(fifo.iter().copied()),
+        }
+    }
+
+    /// Smallest queued vruntime, if any (CFS only).
+    pub fn leftmost_vruntime(&self) -> Option<u64> {
+        match self {
+            RunQueue::Cfs { tree, .. } => tree.iter().next().map(|&(v, _)| v),
+            RunQueue::Rr { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfs_pops_lowest_vruntime() {
+        let mut rq = RunQueue::cfs();
+        rq.insert(TaskId(1), 300);
+        rq.insert(TaskId(2), 100);
+        rq.insert(TaskId(3), 200);
+        assert_eq!(rq.pop_next(), Some(TaskId(2)));
+        assert_eq!(rq.pop_next(), Some(TaskId(3)));
+        assert_eq!(rq.pop_next(), Some(TaskId(1)));
+        assert_eq!(rq.pop_next(), None);
+    }
+
+    #[test]
+    fn cfs_equal_vruntime_breaks_by_id() {
+        let mut rq = RunQueue::cfs();
+        rq.insert(TaskId(5), 100);
+        rq.insert(TaskId(1), 100);
+        assert_eq!(rq.pop_next(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn cfs_min_vruntime_monotonic() {
+        let mut rq = RunQueue::cfs();
+        rq.insert(TaskId(1), 500);
+        rq.pop_next();
+        assert_eq!(rq.min_vruntime(), 500);
+        rq.insert(TaskId(2), 100); // a sleeper with old vruntime
+        rq.pop_next();
+        // min_vruntime never regresses
+        assert_eq!(rq.min_vruntime(), 500);
+    }
+
+    #[test]
+    fn rr_is_fifo() {
+        let mut rq = RunQueue::rr();
+        rq.insert(TaskId(3), 999);
+        rq.insert(TaskId(1), 0);
+        assert_eq!(rq.pop_next(), Some(TaskId(3)));
+        assert_eq!(rq.pop_next(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let mut rq = RunQueue::cfs();
+        rq.insert(TaskId(1), 10);
+        rq.insert(TaskId(2), 5);
+        assert_eq!(rq.len(), 2);
+        assert!(!rq.is_empty());
+        let order: Vec<_> = rq.iter().collect();
+        assert_eq!(order, vec![TaskId(2), TaskId(1)]);
+        assert_eq!(rq.leftmost_vruntime(), Some(5));
+    }
+}

@@ -1,0 +1,488 @@
+//! The OS CPU scheduler model.
+//!
+//! [`OsScheduler`] owns the task table and one runqueue per core, and is
+//! *driven* by the platform's event loop: the platform asks which task to
+//! dispatch, charges execution time in segments (batch boundaries), and
+//! checks [`OsScheduler::need_resched`] at each segment boundary. This
+//! mirrors how a tick-based kernel only acts at scheduler-tick/batch
+//! granularity, and keeps the model single-threaded and deterministic.
+//!
+//! Preemption model:
+//! * **Slice expiry** — each dispatch computes a time slice (CFS: from
+//!   target latency, runqueue size and weights; RR: the fixed quantum).
+//!   Once `now` passes the slice end *and* another task is waiting, the
+//!   platform must requeue the current task (involuntary switch).
+//! * **Wakeup preemption** (CFS Normal only) — a task waking with
+//!   sufficiently smaller vruntime flags `resched_pending`; the preemption
+//!   takes effect at the next segment boundary, a few microseconds later,
+//!   just as a real kernel preempts at the next tick or interrupt return.
+
+use crate::params::{CfsParams, Policy, NICE0_WEIGHT};
+use crate::runqueue::RunQueue;
+use crate::task::{SwitchKind, Task, TaskId, TaskState};
+use nfv_des::{Duration, SimTime};
+
+/// Per-core scheduling state.
+#[derive(Debug)]
+struct Core {
+    rq: RunQueue,
+    current: Option<TaskId>,
+    /// Absolute time the current task's slice expires.
+    slice_end: SimTime,
+    /// Set by wakeup preemption; consumed at the next segment boundary.
+    resched_pending: bool,
+    /// Task that most recently occupied the CPU (context-switch cost is
+    /// only paid when the incoming task differs).
+    last_ran: Option<TaskId>,
+    /// Total busy time (any task executing).
+    busy: Duration,
+}
+
+/// The simulated OS scheduler for all cores of the machine.
+#[derive(Debug)]
+pub struct OsScheduler {
+    policy: Policy,
+    cfs: CfsParams,
+    /// Direct cost of a context switch, charged on each dispatch that
+    /// changes tasks.
+    cs_cost: Duration,
+    tasks: Vec<Task>,
+    cores: Vec<Core>,
+}
+
+impl OsScheduler {
+    /// A scheduler for `num_cores` NF cores under `policy`.
+    pub fn new(num_cores: usize, policy: Policy, cfs: CfsParams, cs_cost: Duration) -> Self {
+        let mk_rq = || match policy {
+            Policy::CfsNormal | Policy::CfsBatch => RunQueue::cfs(),
+            Policy::RoundRobin { .. } | Policy::Cooperative => RunQueue::rr(),
+        };
+        OsScheduler {
+            policy,
+            cfs,
+            cs_cost,
+            tasks: Vec::new(),
+            cores: (0..num_cores)
+                .map(|_| Core {
+                    rq: mk_rq(),
+                    current: None,
+                    slice_end: SimTime::ZERO,
+                    resched_pending: false,
+                    last_ran: None,
+                    busy: Duration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Register a new task pinned to `core`, initially blocked.
+    pub fn add_task(&mut self, name: impl Into<String>, core: usize) -> TaskId {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        let id = TaskId(self.tasks.len() as u32);
+        let mut t = Task::new(name, core, NICE0_WEIGHT);
+        // Start at the core's current min_vruntime so the first wake is fair.
+        t.vruntime = self.cores[core].rq.min_vruntime();
+        self.tasks.push(t);
+        id
+    }
+
+    /// Immutable task access.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Number of registered tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of cores managed.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Update a task's scheduler weight (cgroup `cpu.shares` write).
+    /// Takes effect from the next charge/dispatch; the queue position is
+    /// keyed by vruntime, which is unaffected.
+    pub fn set_weight(&mut self, id: TaskId, weight: u64) {
+        self.tasks[id.index()].weight = weight.max(1);
+    }
+
+    /// Currently running task on `core`.
+    pub fn current(&self, core: usize) -> Option<TaskId> {
+        self.cores[core].current
+    }
+
+    /// Runnable tasks queued (excluding the running one) on `core`.
+    pub fn queued(&self, core: usize) -> usize {
+        self.cores[core].rq.len()
+    }
+
+    /// Total busy time accumulated on `core`.
+    pub fn core_busy(&self, core: usize) -> Duration {
+        self.cores[core].busy
+    }
+
+    /// Make `id` runnable (semaphore post). No-op if already runnable or
+    /// running. Returns `true` if the task's core had been idle, so the
+    /// caller knows to dispatch.
+    pub fn wake(&mut self, id: TaskId, now: SimTime) -> bool {
+        let core_idx = self.tasks[id.index()].core;
+        if self.tasks[id.index()].state != TaskState::Blocked {
+            return false;
+        }
+        // CFS wake placement: a sleeper resumes at no less than
+        // min_vruntime − latency/2, so it gets a modest wakeup bonus but
+        // cannot monopolize the core after a long sleep.
+        if matches!(self.policy, Policy::CfsNormal | Policy::CfsBatch) {
+            let floor = self.cores[core_idx]
+                .rq
+                .min_vruntime()
+                .saturating_sub(self.cfs.latency.as_nanos() / 2);
+            let t = &mut self.tasks[id.index()];
+            t.vruntime = t.vruntime.max(floor);
+        }
+        let vr = self.tasks[id.index()].vruntime;
+        self.tasks[id.index()].state = TaskState::Runnable;
+        self.tasks[id.index()].runnable_since = now;
+        self.cores[core_idx].rq.insert(id, vr);
+
+        // Wakeup preemption (CFS Normal only).
+        if self.policy == Policy::CfsNormal {
+            if let Some(curr) = self.cores[core_idx].current {
+                let curr_vr = self.tasks[curr.index()].vruntime;
+                if curr_vr > vr + self.cfs.wakeup_granularity.as_nanos() {
+                    self.cores[core_idx].resched_pending = true;
+                }
+            }
+        }
+        self.cores[core_idx].current.is_none()
+    }
+
+    /// True when `id` is blocked.
+    pub fn is_blocked(&self, id: TaskId) -> bool {
+        self.tasks[id.index()].state == TaskState::Blocked
+    }
+
+    /// Pick the next task to run on an idle `core`. Returns the task and
+    /// the context-switch overhead to charge before useful work starts.
+    ///
+    /// # Panics
+    /// Panics if the core already has a running task.
+    pub fn dispatch(&mut self, core: usize, now: SimTime) -> Option<(TaskId, Duration)> {
+        assert!(
+            self.cores[core].current.is_none(),
+            "dispatch on busy core {core}"
+        );
+        let id = self.cores[core].rq.pop_next()?;
+        let slice = self.slice_for(core, id);
+        let c = &mut self.cores[core];
+        c.current = Some(id);
+        c.slice_end = now + slice;
+        c.resched_pending = false;
+        let overhead = if c.last_ran == Some(id) {
+            Duration::ZERO
+        } else {
+            self.cs_cost
+        };
+        c.last_ran = Some(id);
+        let t = &mut self.tasks[id.index()];
+        debug_assert_eq!(t.state, TaskState::Runnable);
+        t.state = TaskState::Running;
+        t.sched_latency_sum += now.since(t.runnable_since);
+        t.dispatches += 1;
+        Some((id, overhead))
+    }
+
+    /// Compute the slice the dispatched task receives.
+    fn slice_for(&self, core: usize, id: TaskId) -> Duration {
+        match self.policy {
+            Policy::RoundRobin { quantum } => quantum,
+            // Cooperative tasks are never preempted; give an effectively
+            // infinite slice (a year of simulated time).
+            Policy::Cooperative => Duration::from_secs(31_536_000),
+            Policy::CfsNormal | Policy::CfsBatch => {
+                let nr = self.cores[core].rq.len() as u64 + 1;
+                let period = self
+                    .cfs
+                    .latency
+                    .max(Duration::from_nanos(self.cfs.min_granularity.as_nanos() * nr));
+                let total_weight: u64 = self.cores[core]
+                    .rq
+                    .iter()
+                    .map(|t| self.tasks[t.index()].weight)
+                    .sum::<u64>()
+                    + self.tasks[id.index()].weight;
+                let share =
+                    period.as_nanos() * self.tasks[id.index()].weight / total_weight.max(1);
+                Duration::from_nanos(share).max(self.cfs.min_granularity)
+            }
+        }
+    }
+
+    /// Charge `dur` of execution to the running task on `core`.
+    pub fn charge_current(&mut self, core: usize, dur: Duration) {
+        let id = self.cores[core].current.expect("charge on idle core");
+        self.tasks[id.index()].charge(dur);
+        self.cores[core].busy += dur;
+    }
+
+    /// Must the current task on `core` be descheduled at this boundary?
+    /// True when its slice has expired (and a competitor is waiting) or a
+    /// wakeup preemption is pending.
+    pub fn need_resched(&self, core: usize, now: SimTime) -> bool {
+        let c = &self.cores[core];
+        if c.current.is_none() {
+            return false;
+        }
+        if c.rq.is_empty() {
+            return false; // nobody to switch to
+        }
+        c.resched_pending || now >= c.slice_end
+    }
+
+    /// The current task blocks (empty ring, backpressure yield-to-sleep,
+    /// I/O wait, full TX ring). Voluntary switch.
+    pub fn block_current(&mut self, core: usize, _now: SimTime) -> TaskId {
+        let id = self.cores[core].current.take().expect("block on idle core");
+        let t = &mut self.tasks[id.index()];
+        t.state = TaskState::Blocked;
+        t.voluntary_switches += 1;
+        id
+    }
+
+    /// The current task leaves the CPU but stays runnable (slice expiry or
+    /// cooperative yield with work remaining). `kind` selects which context
+    /// switch counter it lands in.
+    pub fn requeue_current(&mut self, core: usize, now: SimTime, kind: SwitchKind) -> TaskId {
+        let id = self.cores[core]
+            .current
+            .take()
+            .expect("requeue on idle core");
+        self.cores[core].resched_pending = false;
+        let vr = self.tasks[id.index()].vruntime;
+        let t = &mut self.tasks[id.index()];
+        t.state = TaskState::Runnable;
+        t.runnable_since = now;
+        match kind {
+            SwitchKind::Voluntary => t.voluntary_switches += 1,
+            SwitchKind::Involuntary => t.involuntary_switches += 1,
+        }
+        self.cores[core].rq.insert(id, vr);
+        id
+    }
+
+    /// All registered task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(policy: Policy) -> OsScheduler {
+        OsScheduler::new(
+            2,
+            policy,
+            CfsParams::default(),
+            Duration::from_micros(2),
+        )
+    }
+
+    #[test]
+    fn dispatch_runs_lowest_vruntime_first() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        s.wake(a, SimTime::ZERO);
+        s.wake(b, SimTime::ZERO);
+        // run a for a while so its vruntime exceeds b's
+        let (first, _) = s.dispatch(0, SimTime::ZERO).unwrap();
+        assert_eq!(first, a); // tie broken by id
+        s.charge_current(0, Duration::from_millis(2));
+        s.requeue_current(0, SimTime::from_millis(2), SwitchKind::Involuntary);
+        let (second, _) = s.dispatch(0, SimTime::from_millis(2)).unwrap();
+        assert_eq!(second, b);
+    }
+
+    #[test]
+    fn cs_cost_only_on_task_change() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        s.wake(a, SimTime::ZERO);
+        let (_, cost1) = s.dispatch(0, SimTime::ZERO).unwrap();
+        assert_eq!(cost1, Duration::from_micros(2)); // from idle/other
+        s.block_current(0, SimTime::ZERO);
+        s.wake(a, SimTime::from_micros(10));
+        let (_, cost2) = s.dispatch(0, SimTime::from_micros(10)).unwrap();
+        assert_eq!(cost2, Duration::ZERO); // same task resumes
+    }
+
+    #[test]
+    fn weight_shifts_cpu_ratio() {
+        // Two always-runnable tasks, weights 3:1, alternate via slice
+        // expiry: cpu time ratio approaches 3:1.
+        let mut s = sched(Policy::CfsNormal);
+        let heavy = s.add_task("heavy", 0);
+        let light = s.add_task("light", 0);
+        s.set_weight(heavy, 3072);
+        s.set_weight(light, 1024);
+        let mut now = SimTime::ZERO;
+        s.wake(heavy, now);
+        s.wake(light, now);
+        for _ in 0..4000 {
+            if s.current(0).is_none() {
+                s.dispatch(0, now);
+            }
+            let step = Duration::from_micros(100);
+            s.charge_current(0, step);
+            now += step;
+            if s.need_resched(0, now) {
+                s.requeue_current(0, now, SwitchKind::Involuntary);
+            }
+        }
+        let h = s.task(heavy).cpu_time.as_nanos() as f64;
+        let l = s.task(light).cpu_time.as_nanos() as f64;
+        let ratio = h / l;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rr_ignores_weights() {
+        let mut s = sched(Policy::rr_1ms());
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        s.set_weight(a, 8192);
+        let mut now = SimTime::ZERO;
+        s.wake(a, now);
+        s.wake(b, now);
+        for _ in 0..2000 {
+            if s.current(0).is_none() {
+                s.dispatch(0, now);
+            }
+            let step = Duration::from_micros(100);
+            s.charge_current(0, step);
+            now += step;
+            if s.need_resched(0, now) {
+                s.requeue_current(0, now, SwitchKind::Involuntary);
+            }
+        }
+        let ra = s.task(a).cpu_time.as_nanos() as f64;
+        let rb = s.task(b).cpu_time.as_nanos() as f64;
+        assert!((ra / rb - 1.0).abs() < 0.05, "rr should split evenly");
+    }
+
+    #[test]
+    fn wakeup_preemption_only_in_normal() {
+        for (policy, expect_preempt) in [(Policy::CfsNormal, true), (Policy::CfsBatch, false)] {
+            let mut s = sched(policy);
+            let hog = s.add_task("hog", 0);
+            let sleeper = s.add_task("sleeper", 0);
+            let mut now = SimTime::ZERO;
+            s.wake(hog, now);
+            s.dispatch(0, now);
+            // hog runs 2ms — still inside its 3ms uncontested slice, so any
+            // resched must come from wakeup preemption, not slice expiry.
+            // Its vruntime (2ms) now exceeds the sleeper's (0) by more than
+            // the 1ms wakeup granularity.
+            s.charge_current(0, Duration::from_millis(2));
+            now = SimTime::from_millis(2);
+            s.wake(sleeper, now);
+            assert_eq!(
+                s.need_resched(0, now),
+                expect_preempt,
+                "policy {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_resched_without_competitor() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let mut now = SimTime::ZERO;
+        s.wake(a, now);
+        s.dispatch(0, now);
+        s.charge_current(0, Duration::from_secs(1));
+        now = SimTime::from_secs(1);
+        assert!(!s.need_resched(0, now), "alone on core: run forever");
+    }
+
+    #[test]
+    fn sched_latency_recorded() {
+        let mut s = sched(Policy::CfsBatch);
+        let a = s.add_task("a", 0);
+        s.wake(a, SimTime::from_millis(1));
+        s.dispatch(0, SimTime::from_millis(3)).unwrap();
+        assert_eq!(s.task(a).avg_sched_latency(), Duration::from_millis(2));
+        assert_eq!(s.task(a).dispatches, 1);
+    }
+
+    #[test]
+    fn switch_counters_classified() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        let now = SimTime::ZERO;
+        s.wake(a, now);
+        s.wake(b, now);
+        s.dispatch(0, now); // picks a (vruntime tie broken by id)
+        s.charge_current(0, Duration::from_micros(10)); // a falls behind b
+        s.requeue_current(0, now, SwitchKind::Involuntary);
+        s.dispatch(0, now); // now picks b
+        s.block_current(0, now);
+        assert_eq!(s.task(a).involuntary_switches, 1);
+        assert_eq!(s.task(b).voluntary_switches, 1);
+    }
+
+    #[test]
+    fn wake_returns_whether_core_idle() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        assert!(s.wake(a, SimTime::ZERO));
+        s.dispatch(0, SimTime::ZERO);
+        assert!(!s.wake(b, SimTime::ZERO)); // core busy
+        assert!(!s.wake(b, SimTime::ZERO)); // already runnable: no-op
+    }
+
+    #[test]
+    fn sleeper_gets_bounded_bonus_not_starvation_weapon() {
+        let mut s = sched(Policy::CfsNormal);
+        let worker = s.add_task("worker", 0);
+        let sleeper = s.add_task("sleeper", 0);
+        let mut now = SimTime::ZERO;
+        s.wake(worker, now);
+        s.dispatch(0, now);
+        // worker accumulates 1s of vruntime
+        s.charge_current(0, Duration::from_secs(1));
+        now = SimTime::from_secs(1);
+        s.requeue_current(0, now, SwitchKind::Involuntary);
+        // min_vruntime still 0 (nothing popped since) — wake placement uses
+        // the floor, then the sleeper runs but its slice is bounded, so the
+        // worker is not starved indefinitely: after the sleeper accumulates
+        // ~latency of vruntime it parks behind the worker's next slot.
+        s.wake(sleeper, now);
+        let (next, _) = s.dispatch(0, now).unwrap();
+        assert_eq!(next, sleeper);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch on busy core")]
+    fn double_dispatch_panics() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        s.wake(a, SimTime::ZERO);
+        s.wake(b, SimTime::ZERO);
+        s.dispatch(0, SimTime::ZERO);
+        s.dispatch(0, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,138 @@
+//! Schedulable task state and per-task accounting.
+
+use nfv_des::{Duration, SimTime};
+use std::fmt;
+
+/// Identifier of a schedulable task (one NF process, in platform terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting on its semaphore (or I/O); not eligible to run.
+    Blocked,
+    /// On a runqueue, waiting for the CPU.
+    Runnable,
+    /// Currently executing on its core.
+    Running,
+}
+
+/// Why a task left the CPU. Voluntary switches are yields/blocks initiated
+/// by the task (NFVnice's goal is to make almost all switches voluntary);
+/// involuntary ones are preemptions by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// The task blocked or yielded on its own (counted in `cswch/s`).
+    Voluntary,
+    /// The scheduler preempted the task (counted in `nvcswch/s`).
+    Involuntary,
+}
+
+/// A schedulable entity pinned to one core.
+#[derive(Debug)]
+pub struct Task {
+    /// Human-readable name (the NF's name).
+    pub name: String,
+    /// Core this task is pinned to.
+    pub core: usize,
+    /// Scheduler weight (cgroup `cpu.shares`; 1024 = default).
+    pub weight: u64,
+    /// CFS virtual runtime, in nanoseconds normalized to weight 1024.
+    pub vruntime: u64,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// When the task last became runnable (for scheduling-latency stats).
+    pub runnable_since: SimTime,
+
+    // ---- accounting ----
+    /// Total CPU time consumed.
+    pub cpu_time: Duration,
+    /// Voluntary context switches.
+    pub voluntary_switches: u64,
+    /// Involuntary context switches (preemptions).
+    pub involuntary_switches: u64,
+    /// Sum of (dispatch time − runnable_since) across dispatches.
+    pub sched_latency_sum: Duration,
+    /// Number of dispatches (denominator for average scheduling latency).
+    pub dispatches: u64,
+}
+
+impl Task {
+    /// A new blocked task with default weight.
+    pub fn new(name: impl Into<String>, core: usize, weight: u64) -> Self {
+        Task {
+            name: name.into(),
+            core,
+            weight,
+            vruntime: 0,
+            state: TaskState::Blocked,
+            runnable_since: SimTime::ZERO,
+            cpu_time: Duration::ZERO,
+            voluntary_switches: 0,
+            involuntary_switches: 0,
+            sched_latency_sum: Duration::ZERO,
+            dispatches: 0,
+        }
+    }
+
+    /// Average scheduling delay (runnable → running), or zero if never
+    /// dispatched.
+    pub fn avg_sched_latency(&self) -> Duration {
+        if self.dispatches == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.sched_latency_sum.as_nanos() / self.dispatches)
+        }
+    }
+
+    /// Advance vruntime for `dur` of real execution: `Δv = Δt · 1024 / w`.
+    pub fn charge(&mut self, dur: Duration) {
+        self.cpu_time += dur;
+        self.vruntime += dur.as_nanos() * crate::params::NICE0_WEIGHT / self.weight.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_scales_vruntime_by_weight() {
+        let mut heavy = Task::new("heavy", 0, 2048);
+        let mut light = Task::new("light", 0, 512);
+        heavy.charge(Duration::from_micros(100));
+        light.charge(Duration::from_micros(100));
+        // Same wall time: heavy's vruntime advances half as fast as nominal,
+        // light's twice as fast.
+        assert_eq!(heavy.vruntime, 50_000);
+        assert_eq!(light.vruntime, 200_000);
+        assert_eq!(heavy.cpu_time, light.cpu_time);
+    }
+
+    #[test]
+    fn zero_weight_does_not_divide_by_zero() {
+        let mut t = Task::new("t", 0, 0);
+        t.charge(Duration::from_nanos(10));
+        assert!(t.vruntime > 0);
+    }
+
+    #[test]
+    fn avg_sched_latency_handles_no_dispatches() {
+        let t = Task::new("t", 0, 1024);
+        assert_eq!(t.avg_sched_latency(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,16 @@
+//! # nfv-traffic — workload generators
+//!
+//! Stand-ins for the paper's traffic tools: [`CbrFlow`] models MoonGen /
+//! Pktgen-DPDK constant-rate (or Poisson) UDP flows with on/off windows and
+//! per-packet cost classes; [`TcpSource`] models an iperf3-style responsive
+//! flow with Reno AIMD dynamics and ECN response. Both are pure state
+//! machines polled/fed by the platform's event loop, keeping the crate free
+//! of any simulation-scheduling concerns.
+
+#![warn(missing_docs)]
+
+pub mod cbr;
+pub mod tcp;
+
+pub use cbr::{ArrivalProcess, CbrFlow, CostClassGen};
+pub use tcp::{Feedback, TcpSource};

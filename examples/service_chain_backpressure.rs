@@ -1,0 +1,71 @@
+//! Chain-aware backpressure across cores, with a custom packet handler.
+//!
+//! Reproduces the Table 5 scenario — a chain whose per-NF cost grows
+//! 550 → 2200 → 4500 cycles, one NF per core — and shows how selective
+//! early discard at the chain entry turns upstream cores from 100 % busy
+//! (doing doomed work) to nearly idle, without losing a packet of
+//! delivered throughput. The middle NF runs a custom handler (a toy
+//! firewall) to demonstrate the `PacketHandler` API.
+//!
+//! Run with: `cargo run --release --bin service_chain_backpressure`
+
+use nfvnice::{
+    Duration, NfAction, NfSpec, NfvniceConfig, Packet, PacketHandler, Policy, SimConfig,
+    Simulation,
+};
+
+/// A firewall that drops every 100th packet (policy denial, not congestion)
+/// and counts what it saw.
+struct SamplingFirewall {
+    seen: u64,
+}
+
+impl PacketHandler for SamplingFirewall {
+    fn handle(&mut self, _pkt: &mut Packet, _now: nfvnice::SimTime) -> NfAction {
+        self.seen += 1;
+        if self.seen % 100 == 0 {
+            NfAction::Drop
+        } else {
+            NfAction::Forward
+        }
+    }
+}
+
+fn run(variant: NfvniceConfig) -> nfvnice::Report {
+    let mut cfg = SimConfig::default();
+    cfg.platform.nf_cores = 3;
+    cfg.platform.policy = Policy::CfsNormal;
+    cfg.nfvnice = variant;
+    let mut sim = Simulation::new(cfg);
+    let nf1 = sim.add_nf(NfSpec::new("classifier", 0, 550));
+    let nf2 = sim.add_nf_with_handler(
+        NfSpec::new("firewall", 1, 2200),
+        Box::new(SamplingFirewall { seen: 0 }),
+    );
+    let nf3 = sim.add_nf(NfSpec::new("dpi", 2, 4500));
+    let chain = sim.add_chain(&[nf1, nf2, nf3]);
+    sim.add_udp(chain, 14_880_000.0, 64);
+    sim.run(Duration::from_secs(1))
+}
+
+fn main() {
+    for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
+        let r = run(variant);
+        println!("== {} ==", r.variant);
+        for nf in &r.nfs {
+            println!(
+                "  {:<11} core{}  service {:>9.0} pps   wasted {:>9.0} pps   cpu {:>5.1}%",
+                nf.name, nf.core, nf.svc_rate_pps, nf.wasted_rate_pps, nf.cpu_util * 100.0
+            );
+        }
+        println!(
+            "  delivered {:.3} Mpps, shed-at-entry {} pkts, wasted {} pkts\n",
+            r.throughput_mpps(),
+            r.entry_drops,
+            r.total_wasted_drops
+        );
+    }
+    println!("Backpressure sheds doomed packets before any CPU touches them:");
+    println!("upstream cores drop from 100% utilization to a trickle while the");
+    println!("bottleneck NF keeps its full line of work.");
+}

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerate all recorded experiment outputs (run from the repo root).
+set -e
+cargo run --release --bin nfv-bench | tee results/full_run.txt
+cargo run --release --bin nfv-bench -- ablations coop | tee results/ablations.txt
