@@ -71,7 +71,11 @@ impl Dpi {
 impl PacketHandler for Dpi {
     fn handle(&mut self, pkt: &mut Packet, _now: SimTime) -> NfAction {
         self.inspected += 1;
-        if self.signatures.binary_search(&Self::fingerprint(pkt)).is_ok() {
+        if self
+            .signatures
+            .binary_search(&Self::fingerprint(pkt))
+            .is_ok()
+        {
             self.matches += 1;
             match self.action {
                 DpiAction::Block => NfAction::Drop,

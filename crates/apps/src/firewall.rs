@@ -182,7 +182,10 @@ mod tests {
             src: Prefix::new(0x0a000000, 8),
             ..Rule::any(Verdict::Deny)
         };
-        let fw = Firewall::new(vec![specific_deny, Rule::any(Verdict::Allow)], Verdict::Deny);
+        let fw = Firewall::new(
+            vec![specific_deny, Rule::any(Verdict::Allow)],
+            Verdict::Deny,
+        );
         let inside = FiveTuple {
             src_ip: 0x0a010101,
             dst_ip: 1,

@@ -3,12 +3,12 @@
 use nfv_des::SimTime;
 use nfv_pkt::{FiveTuple, Packet};
 use nfv_platform::{NfAction, PacketHandler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow packet/byte accounting (the paper's "basic monitor NF").
 #[derive(Debug, Default)]
 pub struct FlowMonitor {
-    counts: HashMap<FiveTuple, (u64, u64)>,
+    counts: BTreeMap<FiveTuple, (u64, u64)>,
 }
 
 impl FlowMonitor {
@@ -27,15 +27,12 @@ impl FlowMonitor {
         self.counts.len()
     }
 
-    /// Top-k flows by packet count (descending; ties broken arbitrarily
-    /// but deterministically by byte count).
+    /// Top-k flows by packet count (descending; ties broken by byte count,
+    /// then by tuple order — fully deterministic).
     pub fn top_k(&self, k: usize) -> Vec<(FiveTuple, u64)> {
-        let mut v: Vec<(FiveTuple, u64, u64)> = self
-            .counts
-            .iter()
-            .map(|(&t, &(p, b))| (t, p, b))
-            .collect();
-        v.sort_by(|a, b| (b.1, b.2).cmp(&(a.1, a.2)));
+        let mut v: Vec<(FiveTuple, u64, u64)> =
+            self.counts.iter().map(|(&t, &(p, b))| (t, p, b)).collect();
+        v.sort_by_key(|&(t, p, b)| (std::cmp::Reverse((p, b)), t));
         v.truncate(k);
         v.into_iter().map(|(t, p, _)| (t, p)).collect()
     }
@@ -75,7 +72,7 @@ impl Sampler {
 impl PacketHandler for Sampler {
     fn handle(&mut self, _pkt: &mut Packet, _now: SimTime) -> NfAction {
         self.seen += 1;
-        if self.seen % self.n == 0 {
+        if self.seen.is_multiple_of(self.n) {
             self.sampled += 1;
         }
         NfAction::Forward
@@ -100,7 +97,10 @@ mod tests {
             m.handle(&mut pkt(1, 100), SimTime::ZERO);
         }
         m.handle(&mut pkt(2, 50), SimTime::ZERO);
-        assert_eq!(m.stats(&FiveTuple::synthetic(1, Proto::Udp)), Some((3, 300)));
+        assert_eq!(
+            m.stats(&FiveTuple::synthetic(1, Proto::Udp)),
+            Some((3, 300))
+        );
         assert_eq!(m.stats(&FiveTuple::synthetic(2, Proto::Udp)), Some((1, 50)));
         assert_eq!(m.flows_seen(), 2);
     }

@@ -4,7 +4,7 @@
 use nfv_des::SimTime;
 use nfv_pkt::{FiveTuple, Packet};
 use nfv_platform::{NfAction, PacketHandler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Source-NAT network function.
 #[derive(Debug)]
@@ -12,7 +12,7 @@ pub struct Nat {
     public_ip: u32,
     next_port: u16,
     /// original (src_ip, src_port, proto-agnostic) → allocated public port.
-    bindings: HashMap<(u32, u16), u16>,
+    bindings: BTreeMap<(u32, u16), u16>,
     /// Translations performed.
     pub translated: u64,
     /// Packets dropped because the port pool is exhausted.
@@ -28,7 +28,7 @@ impl Nat {
         Nat {
             public_ip,
             next_port: Self::PORT_BASE,
-            bindings: HashMap::new(),
+            bindings: BTreeMap::new(),
             translated: 0,
             exhausted: 0,
         }

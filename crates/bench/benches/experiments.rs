@@ -30,7 +30,12 @@ fn fig1_cells(c: &mut Criterion) {
         assert!(r.total_delivered_pps > 0.0);
     });
     bench_cell(c, "fig1b_heterogeneous_normal", || {
-        let r = fig1::run_cell(Policy::CfsNormal, fig1::Variant::Heterogeneous, true, quick());
+        let r = fig1::run_cell(
+            Policy::CfsNormal,
+            fig1::Variant::Heterogeneous,
+            true,
+            quick(),
+        );
         // Table 2's signature: light NF outruns heavy under CFS
         assert!(r.nfs[2].output_rate_pps > r.nfs[0].output_rate_pps);
     });
@@ -64,9 +69,22 @@ fn variable_and_orderings(c: &mut Criterion) {
         assert!(r.total_delivered_pps > 1e6);
     });
     bench_cell(c, "fig11_med_high_low_rr100", || {
-        let d = fig11::run_cell([270, 550, 120], Policy::rr_100ms(), NfvniceConfig::off(), quick());
-        let n = fig11::run_cell([270, 550, 120], Policy::rr_100ms(), NfvniceConfig::full(), quick());
-        assert!(n.chains[0].pps > d.chains[0].pps, "NFVnice rescues RR(100ms)");
+        let d = fig11::run_cell(
+            [270, 550, 120],
+            Policy::rr_100ms(),
+            NfvniceConfig::off(),
+            quick(),
+        );
+        let n = fig11::run_cell(
+            [270, 550, 120],
+            Policy::rr_100ms(),
+            NfvniceConfig::full(),
+            quick(),
+        );
+        assert!(
+            n.chains[0].pps > d.chains[0].pps,
+            "NFVnice rescues RR(100ms)"
+        );
     });
     bench_cell(c, "fig12_type3", || {
         let r = fig12::run_cell(3, Policy::CfsBatch, NfvniceConfig::full(), quick());

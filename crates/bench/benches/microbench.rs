@@ -109,7 +109,7 @@ fn scheduler_cycle(c: &mut Criterion) {
             }
             let step = Duration::from_micros(100);
             s.charge_current(0, step);
-            now = now + step;
+            now += step;
             if s.need_resched(0, now) {
                 s.requeue_current(0, now, SwitchKind::Involuntary);
             }

@@ -55,7 +55,10 @@ fn d1(len: RunLength) -> String {
             format!("{:.0}", r.throttle_events as f64 / secs),
         ]);
     }
-    format!("\n--- D1: control-loop (wakeup scan) period ---\n{}", t.render())
+    format!(
+        "\n--- D1: control-loop (wakeup scan) period ---\n{}",
+        t.render()
+    )
 }
 
 /// D2 — hysteresis. Compare the default HIGH/LOW + queuing-time gate
@@ -127,7 +130,10 @@ fn d3(len: RunLength) -> String {
             format!("{:.0}", r.cgroup_writes as f64 / secs),
         ]);
     }
-    format!("\n--- D3: service-time estimator under variable cost ---\n{}", t.render())
+    format!(
+        "\n--- D3: service-time estimator under variable cost ---\n{}",
+        t.render()
+    )
 }
 
 /// D4 — weight-update granularity: writing cgroup shares every 1 ms vs the
@@ -189,12 +195,20 @@ fn d5(len: RunLength) -> String {
         let r = s.run(len.steady);
         let udp_mbps: f64 = r.flows.iter().skip(1).map(|f| f.mbps).sum();
         t.row(vec![
-            if fine { "per-flow chains" } else { "shared chain id" }.into(),
+            if fine {
+                "per-flow chains"
+            } else {
+                "shared chain id"
+            }
+            .into(),
             format!("{:.1}", r.flows[tcp.index()].mbps),
             format!("{:.1}", udp_mbps),
         ]);
     }
-    format!("\n--- D5: throttle granularity (head-of-line blocking) ---\n{}", t.render())
+    format!(
+        "\n--- D5: throttle granularity (head-of-line blocking) ---\n{}",
+        t.render()
+    )
 }
 
 /// All five ablations.

@@ -23,9 +23,7 @@ pub fn run_cell(variant: NfvniceConfig, len: RunLength) -> Report {
 /// Render the comparison.
 pub fn run(len: RunLength) -> String {
     let mut out = String::new();
-    out.push_str(
-        "\n=== §5 related work — cooperative (L-thread) scheduling, L/M/H chain ===\n",
-    );
+    out.push_str("\n=== §5 related work — cooperative (L-thread) scheduling, L/M/H chain ===\n");
     let mut t = Table::new(&[
         "variant", "Mpps", "wasted/s", "NF1 cpu%", "NF2 cpu%", "NF3 cpu%",
     ]);

@@ -60,12 +60,17 @@ pub fn run(len: RunLength) -> String {
             v
         ));
         let mut tput = Table::new(&[
-            "load", "sched", "NF1 Mpps", "NF2 Mpps", "NF3 Mpps", "NF1 cpu%", "NF2 cpu%",
-            "NF3 cpu%",
+            "load", "sched", "NF1 Mpps", "NF2 Mpps", "NF3 Mpps", "NF1 cpu%", "NF2 cpu%", "NF3 cpu%",
         ]);
         let mut csw = Table::new(&[
-            "load", "sched", "NF1 cswch/s", "NF1 nvcswch/s", "NF2 cswch/s", "NF2 nvcswch/s",
-            "NF3 cswch/s", "NF3 nvcswch/s",
+            "load",
+            "sched",
+            "NF1 cswch/s",
+            "NF1 nvcswch/s",
+            "NF2 cswch/s",
+            "NF2 nvcswch/s",
+            "NF3 cswch/s",
+            "NF3 nvcswch/s",
         ]);
         for even in [true, false] {
             for policy in policies() {

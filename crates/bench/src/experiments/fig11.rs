@@ -20,12 +20,7 @@ pub fn orders() -> Vec<(&'static str, [u64; 3])> {
 }
 
 /// One (order, scheduler, variant) cell.
-pub fn run_cell(
-    costs: [u64; 3],
-    policy: Policy,
-    variant: NfvniceConfig,
-    len: RunLength,
-) -> Report {
+pub fn run_cell(costs: [u64; 3], policy: Policy, variant: NfvniceConfig, len: RunLength) -> Report {
     let mut s = sim(1, policy, variant);
     let nfs: Vec<_> = costs
         .iter()

@@ -4,8 +4,8 @@
 //! per-flow chains exercise chain-granularity backpressure.
 
 use crate::util::{all_policies, line_rate, mpps, sim, RunLength, Table};
-use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
 use nfv_des::SimRng;
+use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
 
 /// One (type, scheduler, variant) cell. `k` is the number of flows.
 pub fn run_cell(k: usize, policy: Policy, variant: NfvniceConfig, len: RunLength) -> Report {
@@ -14,7 +14,7 @@ pub fn run_cell(k: usize, policy: Policy, variant: NfvniceConfig, len: RunLength
         .map(|i| s.add_nf(NfSpec::new(format!("NF{}", i + 1), 0, 300)))
         .collect();
     // Deterministic random orders, distinct per flow where possible.
-    let mut rng = SimRng::seed_from_u64(0xF16_12 + k as u64);
+    let mut rng = SimRng::seed_from_u64(0xF1612 + k as u64);
     let rate = line_rate(64) / k as f64;
     for _ in 0..k {
         let mut order = nfs.clone();

@@ -66,13 +66,22 @@ pub fn run(len: RunLength) -> String {
     let n = run_cell(NfvniceConfig::full(), len);
     let secs = d.report.series.flow_mbps[0].len();
     let mut t = Table::new(&[
-        "sec", "TCP (Default)", "UDP agg (Default)", "TCP (NFVnice)", "UDP agg (NFVnice)",
+        "sec",
+        "TCP (Default)",
+        "UDP agg (Default)",
+        "TCP (NFVnice)",
+        "UDP agg (NFVnice)",
     ]);
     for sec in 0..secs {
         let udp_sum = |r: &Fig13Run| -> f64 {
             r.udp_flows
                 .iter()
-                .map(|&f| r.report.series.flow_mbps[f].get(sec).copied().unwrap_or(0.0))
+                .map(|&f| {
+                    r.report.series.flow_mbps[f]
+                        .get(sec)
+                        .copied()
+                        .unwrap_or(0.0)
+                })
                 .sum()
         };
         t.row(vec![

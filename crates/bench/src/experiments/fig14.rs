@@ -22,7 +22,9 @@ pub fn run_cell(frame: u32, async_io: bool, len: RunLength) -> Report {
     };
     let mut s = sim(1, Policy::CfsBatch, variant);
     let mode = if async_io {
-        IoMode::Async { buf_size: 64 * 1024 }
+        IoMode::Async {
+            buf_size: 64 * 1024,
+        }
     } else {
         IoMode::Sync
     };
@@ -45,8 +47,13 @@ pub fn run(len: RunLength) -> String {
     let mut out = String::new();
     out.push_str("\n=== Fig 14 — async I/O: aggregate throughput (Mpps) vs frame size ===\n");
     let mut t = Table::new(&[
-        "frame", "Default (sync writes)", "NFVnice (async writes)", "io-flow Mpps (Def)",
-        "io-flow Mpps (Nice)", "other-flow Mpps (Def)", "other-flow Mpps (Nice)",
+        "frame",
+        "Default (sync writes)",
+        "NFVnice (async writes)",
+        "io-flow Mpps (Def)",
+        "io-flow Mpps (Nice)",
+        "other-flow Mpps (Def)",
+        "other-flow Mpps (Nice)",
     ]);
     for frame in SIZES {
         let d = run_cell(frame, false, len);

@@ -9,9 +9,7 @@
 //! (c) CPU share vs per-flow throughput at diversity 6.
 
 use crate::util::{sim, RunLength, Table};
-use nfvnice::{
-    Action, CostModel, Duration, NfSpec, NfvniceConfig, Policy, Report, SimTime,
-};
+use nfvnice::{Action, CostModel, Duration, NfSpec, NfvniceConfig, Policy, Report, SimTime};
 
 /// Fig 15a timeline in paper-seconds.
 pub const PHASE1_END: u64 = 31;
@@ -52,8 +50,8 @@ pub fn run_diversity_cell(level: usize, variant: NfvniceConfig, len: RunLength) 
     const RATIOS: [u64; 6] = [1, 2, 5, 20, 40, 60];
     let mut s = sim(1, Policy::CfsNormal, variant);
     // base 500 cycles; rate chosen so the core is overloaded at level 1+.
-    for i in 0..level {
-        let nf = s.add_nf(NfSpec::new(format!("NF{}", i + 1), 0, 500 * RATIOS[i]));
+    for (i, &ratio) in RATIOS.iter().enumerate().take(level) {
+        let nf = s.add_nf(NfSpec::new(format!("NF{}", i + 1), 0, 500 * ratio));
         let chain = s.add_chain(&[nf]);
         s.add_udp(chain, 2_000_000.0 / level as f64, 64);
     }
@@ -68,7 +66,11 @@ pub fn run(len: RunLength) -> String {
     let d = run_15a_cell(NfvniceConfig::off(), len);
     let n = run_15a_cell(NfvniceConfig::full(), len);
     let mut ta = Table::new(&[
-        "sec", "NF1% (NORMAL)", "NF2% (NORMAL)", "NF1% (NFVnice)", "NF2% (NFVnice)",
+        "sec",
+        "NF1% (NORMAL)",
+        "NF2% (NORMAL)",
+        "NF1% (NFVnice)",
+        "NF2% (NFVnice)",
     ]);
     for sec in 0..d.series.cpu_pct[0].len() {
         ta.row(vec![
@@ -99,7 +101,11 @@ pub fn run(len: RunLength) -> String {
     out.push_str("\n=== Fig 15c — CPU share and throughput at diversity 6 ===\n");
     let (d, n) = last.unwrap();
     let mut tc = Table::new(&[
-        "NF", "cpu% (NORMAL)", "kpps (NORMAL)", "cpu% (NFVnice)", "kpps (NFVnice)",
+        "NF",
+        "cpu% (NORMAL)",
+        "kpps (NORMAL)",
+        "cpu% (NFVnice)",
+        "kpps (NFVnice)",
         "shares (NFVnice)",
     ]);
     for i in 0..6 {

@@ -13,11 +13,7 @@ pub fn run_cell(length: usize, multicore: bool, variant: NfvniceConfig, len: Run
     let nfs: Vec<_> = (0..length)
         .map(|i| {
             let core = if multicore { i % 3 } else { 0 };
-            s.add_nf(NfSpec::new(
-                format!("NF{}", i + 1),
-                core,
-                cost_cycle[i % 3],
-            ))
+            s.add_nf(NfSpec::new(format!("NF{}", i + 1), core, cost_cycle[i % 3]))
         })
         .collect();
     let chain = s.add_chain(&nfs);
@@ -30,11 +26,15 @@ pub fn run(len: RunLength) -> String {
     let mut out = String::new();
     out.push_str("\n=== Fig 16 — chain length sweep (Mpps), BATCH scheduler ===\n");
     let mut t = Table::new(&[
-        "length", "SC Default", "SC NFVnice", "MC Default", "MC NFVnice", "MC cpu% Def",
+        "length",
+        "SC Default",
+        "SC NFVnice",
+        "MC Default",
+        "MC NFVnice",
+        "MC cpu% Def",
         "MC cpu% Nice",
     ]);
-    let total_cpu =
-        |r: &Report| -> f64 { r.nfs.iter().map(|n| n.cpu_util * 100.0).sum() };
+    let total_cpu = |r: &Report| -> f64 { r.nfs.iter().map(|n| n.cpu_util * 100.0).sum() };
     for length in 1..=10 {
         let scd = run_cell(length, false, NfvniceConfig::off(), len);
         let scn = run_cell(length, false, NfvniceConfig::full(), len);

@@ -2,7 +2,9 @@
 //! A Low(120)–Med(270)–High(550) cycle chain shares one core; 64 B UDP at
 //! 10 G line rate; four schedulers × four NFVnice variants.
 
-use crate::util::{all_policies, all_variants, human_count, line_rate, mpps, sim, RunLength, Table};
+use crate::util::{
+    all_policies, all_variants, human_count, line_rate, mpps, sim, RunLength, Table,
+};
 use nfvnice::{NfSpec, NfvniceConfig, Policy, Report};
 
 /// Run one (scheduler, variant) cell.
@@ -22,12 +24,21 @@ pub fn run(len: RunLength) -> String {
     out.push_str("\n=== Fig 7 — chain throughput (Mpps), 3-NF Low/Med/High on one core ===\n");
     let mut fig = Table::new(&["sched", "Default", "CGroup", "OnlyBKPR", "NFVnice"]);
     let mut t3 = Table::new(&[
-        "sched", "NF1 drop/s (Default)", "NF2 drop/s (Default)", "NF1 drop/s (NFVnice)",
+        "sched",
+        "NF1 drop/s (Default)",
+        "NF2 drop/s (Default)",
+        "NF1 drop/s (NFVnice)",
         "NF2 drop/s (NFVnice)",
     ]);
     let mut t4 = Table::new(&[
-        "sched", "variant", "NF1 delay", "NF1 runtime(ms)", "NF2 delay", "NF2 runtime(ms)",
-        "NF3 delay", "NF3 runtime(ms)",
+        "sched",
+        "variant",
+        "NF1 delay",
+        "NF1 runtime(ms)",
+        "NF2 delay",
+        "NF2 runtime(ms)",
+        "NF3 delay",
+        "NF3 runtime(ms)",
     ]);
     for policy in all_policies() {
         let mut cells = vec![policy.label()];

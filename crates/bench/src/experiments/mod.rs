@@ -5,7 +5,6 @@
 pub mod ablations;
 pub mod coop;
 pub mod fig1;
-pub mod fig7;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -13,5 +12,6 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod fig7;
 pub mod multicore;
 pub mod tuning;

@@ -42,7 +42,11 @@ pub fn run_table5(len: RunLength) -> String {
         "\n=== Table 5 — 3-NF chain (550/2200/4500 cyc), one NF per core, line rate ===\n",
     );
     let mut t = Table::new(&[
-        "variant", "NF", "svc rate", "drop rate (wasted)", "CPU util %",
+        "variant",
+        "NF",
+        "svc rate",
+        "drop rate (wasted)",
+        "CPU util %",
     ]);
     for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
         let r = run_table5_cell(variant, len);
@@ -59,7 +63,10 @@ pub fn run_table5(len: RunLength) -> String {
             variant.label().into(),
             "Aggregate".into(),
             format!("{} Mpps delivered", mpps(r.chains[0].pps)),
-            format!("{} entry-shed/s", human_count(r.entry_drops as f64 / r.wall.as_secs_f64())),
+            format!(
+                "{} entry-shed/s",
+                human_count(r.entry_drops as f64 / r.wall.as_secs_f64())
+            ),
             format!(
                 "{:.0} (sum)",
                 r.nfs.iter().map(|n| n.cpu_util * 100.0).sum::<f64>()
@@ -73,12 +80,17 @@ pub fn run_table5(len: RunLength) -> String {
 /// Render Fig 9 + Table 6.
 pub fn run_fig9(len: RunLength) -> String {
     let mut out = String::new();
-    out.push_str(
-        "\n=== Fig 9 / Table 6 — two chains sharing NF1 & NF4 across 4 cores ===\n",
-    );
+    out.push_str("\n=== Fig 9 / Table 6 — two chains sharing NF1 & NF4 across 4 cores ===\n");
     let mut t = Table::new(&[
-        "variant", "chain1 Mpps", "chain2 Mpps", "NF1 svc", "NF1 cpu%", "NF2 cpu%", "NF3 cpu%",
-        "NF4 cpu%", "wasted/s",
+        "variant",
+        "chain1 Mpps",
+        "chain2 Mpps",
+        "NF1 svc",
+        "NF1 cpu%",
+        "NF2 cpu%",
+        "NF3 cpu%",
+        "NF4 cpu%",
+        "wasted/s",
     ]);
     for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
         let r = run_fig9_cell(variant, len);

@@ -35,7 +35,14 @@ pub fn run_cell(high_pct: u32, low_pct: u32, len: RunLength) -> Report {
 pub fn run(len: RunLength) -> String {
     let mut out = String::new();
     out.push_str("\n=== §4.3.8 — HIGH_WATER_MARK sweep (margin 20) ===\n");
-    let mut t = Table::new(&["HIGH%", "LOW%", "Mpps", "wasted/s", "throttles/s", "entry-shed/s"]);
+    let mut t = Table::new(&[
+        "HIGH%",
+        "LOW%",
+        "Mpps",
+        "wasted/s",
+        "throttles/s",
+        "entry-shed/s",
+    ]);
     for high in [50u32, 60, 70, 80, 90, 95] {
         let low = high.saturating_sub(20);
         let r = run_cell(high, low, len);

@@ -10,4 +10,4 @@
 pub mod experiments;
 pub mod util;
 
-pub use util::{RunLength, Table};
+pub use util::{enable_sanitizer, sanitizer_enabled, RunLength, Table};

@@ -1,6 +1,9 @@
-//! CLI driver: `nfv-bench [experiment...] [--quick]`.
+//! CLI driver: `nfv-bench [experiment...] [--quick] [--sanitize]`.
 //!
 //! With no arguments, runs the full evaluation suite in paper order.
+//! `--sanitize` runs every experiment with the runtime sim-sanitizer in
+//! strict mode: conservation, hysteresis and suppression-safety are
+//! audited at every event, and a violation aborts the run.
 
 use nfv_bench::experiments::*;
 use nfv_bench::RunLength;
@@ -8,12 +11,20 @@ use nfv_bench::RunLength;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--sanitize") {
+        nfv_bench::enable_sanitizer();
+        eprintln!("nfv-bench: sim-sanitizer enabled (strict)");
+    }
     let len = if quick {
         RunLength::quick()
     } else {
         RunLength::full()
     };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = wanted.is_empty();
     let want = |name: &str| all || wanted.contains(&name);
 

@@ -1,10 +1,24 @@
 //! Shared experiment plumbing: simulation builders, the paper's canonical
 //! NF cost sets, line-rate arithmetic and table rendering.
 
-use nfvnice::{
-    Duration, NfvniceConfig, Policy, Report, SimConfig, Simulation,
-};
 use nfv_pkt::line_rate_pps;
+use nfvnice::{Duration, NfvniceConfig, Policy, Report, SanitizerConfig, SimConfig, Simulation};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide switch: when set (the `--sanitize` CLI flag), every
+/// experiment config built by [`sim_config`] runs with the sim-sanitizer
+/// in strict mode, so any invariant violation aborts the bench run.
+static SANITIZE: AtomicBool = AtomicBool::new(false);
+
+/// Enable the runtime sim-sanitizer for all subsequently built configs.
+pub fn enable_sanitizer() {
+    SANITIZE.store(true, Ordering::Relaxed);
+}
+
+/// Is the sim-sanitizer globally enabled?
+pub fn sanitizer_enabled() -> bool {
+    SANITIZE.load(Ordering::Relaxed)
+}
 
 /// The paper's canonical Low/Medium/High per-packet costs for the
 /// single-core chain experiments (§4.2.1).
@@ -45,6 +59,9 @@ pub fn sim_config(cores: usize, policy: Policy, nfvnice: NfvniceConfig) -> SimCo
     cfg.platform.nf_cores = cores;
     cfg.platform.policy = policy;
     cfg.nfvnice = nfvnice;
+    if sanitizer_enabled() {
+        cfg.sanitizer = SanitizerConfig::strict();
+    }
     cfg
 }
 

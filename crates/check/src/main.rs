@@ -1,0 +1,67 @@
+//! `nfv-lint` binary: scan the workspace for determinism hazards.
+//!
+//! Usage: `nfv-lint [--root <dir>] [--quiet]`
+//!
+//! Prints a JSON report to stdout and a human summary to stderr; exits
+//! nonzero when any finding is not allowlisted. Run from the workspace
+//! root (as `cargo run -p nfv-check --bin nfv-lint` does) or point it
+//! elsewhere with `--root`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("nfv-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: nfv-lint [--root <dir>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nfv-lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match nfv_check::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nfv-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", nfv_check::to_json(&findings));
+
+    if !quiet {
+        for f in &findings {
+            eprintln!(
+                "{}: {}:{}: [{}] {}",
+                f.severity, f.path, f.line, f.rule, f.snippet
+            );
+        }
+        if findings.is_empty() {
+            eprintln!("nfv-lint: clean");
+        } else {
+            eprintln!("nfv-lint: {} violation(s)", findings.len());
+        }
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests for the `nfv-lint` binary: the real workspace must
+//! scan clean, and a scratch tree seeded with each hazard pattern must
+//! fail with a JSON finding carrying the rule id and file:line.
+
+use std::fs;
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn run_lint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nfv-lint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn nfv-lint")
+}
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_lint(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace has lint findings:\n{stdout}"
+    );
+    assert!(stdout.contains("\"total\": 0"), "json: {stdout}");
+}
+
+#[test]
+fn seeded_hazards_fail_with_json_findings() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-hazards");
+    // `crates/core/` in the path arms the float-accumulation rule.
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).unwrap();
+    let bad = "\
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn hazards() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _s: std::collections::HashSet<u32> = Default::default();
+    let _t = Instant::now();
+    std::thread::spawn(|| {});
+    let _r: u64 = rand::random();
+    let mut acc = 0.0f64;
+    acc += 0.25;
+    let _ = acc;
+}
+";
+    fs::write(src.join("bad.rs"), bad).unwrap();
+
+    let out = run_lint(&root);
+    assert!(!out.status.success(), "seeded hazards must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "hash-map",
+        "hash-set",
+        "wall-clock",
+        "thread-spawn",
+        "raw-rand",
+        "float-accum",
+    ] {
+        assert!(stdout.contains(rule), "missing rule {rule} in: {stdout}");
+    }
+    // file:line location: `use std::collections::HashMap;` is line 1.
+    assert!(stdout.contains("bad.rs"), "path missing: {stdout}");
+    assert!(stdout.contains("\"line\": 1"), "line missing: {stdout}");
+
+    // An allowlist comment silences the finding.
+    let ok = "\
+use std::collections::HashMap; // nfv-lint: allow(hash-map)
+
+// nfv-lint: allow(hash-map)
+fn fine() -> HashMap<u32, u32> {
+    HashMap::new() // nfv-lint: allow(hash-map)
+}
+";
+    fs::write(src.join("bad.rs"), ok).unwrap();
+    let out = run_lint(&root);
+    assert!(
+        out.status.success(),
+        "allowlisted file should pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -4,6 +4,7 @@ use crate::backpressure::BackpressureConfig;
 use crate::ecn::EcnConfig;
 use crate::load::LoadConfig;
 use nfv_des::Duration;
+pub use nfv_des::SanitizerConfig;
 pub use nfv_platform::PlatformConfig;
 
 /// Which NFVnice subsystems are active. The paper's Fig 7/10/11 evaluate
@@ -99,6 +100,9 @@ pub struct SimConfig {
     pub wakeup_period: Duration,
     /// RNG seed (whole runs are deterministic given the seed).
     pub seed: u64,
+    /// Runtime invariant auditing (off by default; the event-trace digest
+    /// in [`Report::trace_digest`](crate::Report) is maintained regardless).
+    pub sanitizer: SanitizerConfig,
 }
 
 impl Default for SimConfig {
@@ -111,6 +115,7 @@ impl Default for SimConfig {
             tx_poll: Duration::from_micros(10),
             wakeup_period: Duration::from_micros(10),
             seed: 0x4e46_5675,
+            sanitizer: SanitizerConfig::default(),
         }
     }
 }

@@ -10,19 +10,18 @@
 //! continue, preempt, or block — which is exactly the batch-boundary
 //! yield/preemption model of `libnf` (§3.2).
 
-use crate::backpressure::Backpressure;
+use crate::backpressure::{Backpressure, BpState};
 use crate::config::SimConfig;
 use crate::ecn::EcnMarker;
+use crate::invariants;
 use crate::load::{compute_shares, LoadMonitor};
 use crate::report::{ChainReport, FlowReport, NfReport, Report, Series};
-use nfv_des::{Duration, EventQueue, SimRng, SimTime};
+use nfv_des::{Duration, EventQueue, Sanitizer, Severity, SimRng, SimTime};
 use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
-use nfv_platform::{
-    BatchPlan, CostModel, NfSpec, PacketHandler, Platform, TcpEvent, TcpEventKind,
-};
+use nfv_platform::{BatchPlan, CostModel, NfSpec, PacketHandler, Platform, TcpEvent, TcpEventKind};
 use nfv_sched::SwitchKind;
 use nfv_traffic::{CbrFlow, Feedback, TcpSource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A configuration change applied mid-run (Fig 15a changes an NF's cost at
 /// t = 31 s and back at t = 60 s).
@@ -47,6 +46,33 @@ enum Ev {
     Action { idx: usize },
 }
 
+/// A stable encoding of an event for the sanitizer's trace digest:
+/// variant discriminant in the high byte, payload below. Any pure
+/// function of the event works; this one keeps distinct events distinct
+/// for every payload the engine actually produces.
+fn ev_tag(ev: &Ev) -> u64 {
+    const SHIFT: u32 = 56;
+    match ev {
+        Ev::Traffic => 1 << SHIFT,
+        Ev::RxPoll => 2 << SHIFT,
+        Ev::TxPoll => 3 << SHIFT,
+        Ev::Wakeup => 4 << SHIFT,
+        Ev::Monitor => 5 << SHIFT,
+        Ev::StatsRoll => 6 << SHIFT,
+        Ev::CoreRun { core } => (7 << SHIFT) | *core as u64,
+        Ev::BatchDone { core } => (8 << SHIFT) | *core as u64,
+        Ev::IoComplete { nf } => (9 << SHIFT) | nf.index() as u64,
+        Ev::TcpFeedback { src, fb } => {
+            let (kind, seq) = match fb {
+                Feedback::Delivered { seq, ce } => (if *ce { 1u64 } else { 0 }, *seq),
+                Feedback::Dropped { seq } => (2, *seq),
+            };
+            (10 << SHIFT) | (kind << 48) | ((*src as u64 & 0xff) << 40) | (seq & 0xff_ffff_ffff)
+        }
+        Ev::Action { idx } => (11 << SHIFT) | *idx as u64,
+    }
+}
+
 /// A configured simulation: build it, attach NFs/chains/traffic, `run`.
 pub struct Simulation {
     cfg: SimConfig,
@@ -54,9 +80,12 @@ pub struct Simulation {
     pub platform: Platform,
     queue: EventQueue<Ev>,
     rng: SimRng,
+    /// Runtime invariant auditor + event-trace digest (public so tests can
+    /// inspect violations after `run`, e.g. `sim.sanitizer.assert_clean()`).
+    pub sanitizer: Sanitizer,
     udp: Vec<CbrFlow>,
     tcp: Vec<TcpSource>,
-    tcp_by_flow: HashMap<FlowId, usize>,
+    tcp_by_flow: BTreeMap<FlowId, usize>,
     flow_chain: Vec<ChainId>,
     bp: Backpressure,
     load: LoadMonitor,
@@ -85,9 +114,10 @@ impl Simulation {
             platform,
             queue: EventQueue::new(),
             rng,
+            sanitizer: Sanitizer::new(cfg.sanitizer),
             udp: Vec::new(),
             tcp: Vec::new(),
-            tcp_by_flow: HashMap::new(),
+            tcp_by_flow: BTreeMap::new(),
             flow_chain: Vec::new(),
             bp: Backpressure::new(cfg.nfvnice.bp, 0, 0),
             load: LoadMonitor::new(cfg.nfvnice.load, 0),
@@ -114,11 +144,7 @@ impl Simulation {
     }
 
     /// Deploy an NF with a custom handler.
-    pub fn add_nf_with_handler(
-        &mut self,
-        spec: NfSpec,
-        handler: Box<dyn PacketHandler>,
-    ) -> NfId {
+    pub fn add_nf_with_handler(&mut self, spec: NfSpec, handler: Box<dyn PacketHandler>) -> NfId {
         self.platform.add_nf_with_handler(spec, handler)
     }
 
@@ -234,7 +260,11 @@ impl Simulation {
         self.load = LoadMonitor::new(self.cfg.nfvnice.load, n_nfs);
         self.ecn = EcnMarker::new(
             self.cfg.nfvnice.ecn_cfg,
-            self.platform.nfs.iter().map(|nf| nf.rx.capacity()).collect(),
+            self.platform
+                .nfs
+                .iter()
+                .map(|nf| nf.rx.capacity())
+                .collect(),
         );
         self.cpu_snapshot = vec![Duration::ZERO; n_nfs];
         self.flow_bytes_snapshot = vec![0; self.platform.stats.flows.len()];
@@ -246,7 +276,10 @@ impl Simulation {
         q.push(SimTime::ZERO + self.cfg.rx_poll, Ev::RxPoll);
         q.push(SimTime::ZERO + self.cfg.tx_poll, Ev::TxPoll);
         q.push(SimTime::ZERO + self.cfg.wakeup_period, Ev::Wakeup);
-        q.push(SimTime::ZERO + self.cfg.nfvnice.load.sample_period, Ev::Monitor);
+        q.push(
+            SimTime::ZERO + self.cfg.nfvnice.load.sample_period,
+            Ev::Monitor,
+        );
         q.push(SimTime::ZERO + Duration::from_secs(1), Ev::StatsRoll);
         let actions = std::mem::take(&mut self.actions);
         for (idx, (t, _)) in actions.iter().enumerate() {
@@ -262,6 +295,7 @@ impl Simulation {
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, end: SimTime) {
+        self.sanitizer.on_event(now, ev_tag(&ev));
         match ev {
             Ev::Traffic => {
                 self.do_traffic(now);
@@ -303,6 +337,24 @@ impl Simulation {
                         self.platform.nfs[nf.index()].spec.cost = cost;
                     }
                 }
+            }
+        }
+        if self.sanitizer.wants_conservation() {
+            let ledger = invariants::conservation_ledger(&self.platform);
+            self.sanitizer.check_conservation(
+                now,
+                ledger.classified,
+                ledger.delivered,
+                ledger.dropped,
+                ledger.in_flight,
+            );
+            if !self.platform.packets_accounted() {
+                let detail = format!(
+                    "mempool in-use ({}) disagrees with ring/outbox/batch occupancy",
+                    self.platform.mempool.in_use()
+                );
+                self.sanitizer
+                    .record(Severity::Error, "conservation", now, detail);
             }
         }
     }
@@ -427,7 +479,13 @@ impl Simulation {
             // Control half of backpressure: run each NF through the
             // watermark state machine (detection happened implicitly via
             // ring occupancy).
-            let Simulation { platform, bp, .. } = self;
+            let Simulation {
+                platform,
+                bp,
+                sanitizer,
+                cfg,
+                ..
+            } = self;
             for idx in 0..platform.nfs.len() {
                 let nf = &platform.nfs[idx];
                 let head_age = platform.rx_head_age(NfId(idx as u32), now);
@@ -438,31 +496,69 @@ impl Simulation {
                     head_age,
                     nf.pending_by_chain.keys(),
                 );
+                // Hysteresis audit: a HIGH↔LOW flip faster than the
+                // queuing-time threshold means the watermark gap is not
+                // filtering transients.
+                let throttled = matches!(bp.state(NfId(idx as u32)), BpState::Throttle);
+                sanitizer.note_watermark(idx, now, throttled, cfg.nfvnice.bp.qtime_threshold);
             }
         }
         // Wake / yield classification.
         for idx in 0..self.platform.nfs.len() {
             let suppressed = bp_on && self.nf_suppressed(idx);
+            if suppressed {
+                self.audit_suppression(idx, now);
+            }
             let nf = &mut self.platform.nfs[idx];
             use nfv_platform::BlockReason::*;
             match nf.blocked {
-                Some(EmptyRx) | Some(Backpressure) => {
-                    if nf.pending() > 0 && !suppressed {
-                        let id = NfId(idx as u32);
-                        self.platform.wake_nf(id, now);
-                        self.kick(self.platform.core_of(id), now);
-                    }
+                Some(EmptyRx) | Some(Backpressure) if nf.pending() > 0 && !suppressed => {
+                    let id = NfId(idx as u32);
+                    self.platform.wake_nf(id, now);
+                    self.kick(self.platform.core_of(id), now);
                 }
-                None => {
-                    // Running or runnable: if its whole backlog is doomed
-                    // (every pending chain has a bottleneck downstream),
-                    // tell the NF to relinquish the CPU.
-                    if suppressed {
-                        nf.yield_flag = true;
-                    }
+                // Running or runnable: if its whole backlog is doomed
+                // (every pending chain has a bottleneck downstream),
+                // tell the NF to relinquish the CPU.
+                None if suppressed => {
+                    nf.yield_flag = true;
                 }
                 _ => {}
             }
+        }
+    }
+
+    /// Sanitizer cross-check of a suppression decision: NF `idx` is about
+    /// to be suppressed, so every chain pending at it must have an active
+    /// bottleneck *strictly downstream*. If the NF is itself a throttler
+    /// of one of those chains with nothing downstream of it, the wakeup
+    /// logic just parked the only NF that can drain the congestion.
+    fn audit_suppression(&mut self, idx: usize, now: SimTime) {
+        if !self.sanitizer.wants_suppression() {
+            return;
+        }
+        let me = NfId(idx as u32);
+        let mut deadlocked: Vec<usize> = Vec::new();
+        {
+            let nf = &self.platform.nfs[idx];
+            for &c in nf.pending_by_chain.keys() {
+                let Some(my_pos) = self.platform.chains.first_position(c, me) else {
+                    continue;
+                };
+                let me_throttler = self.bp.throttlers(c).any(|b| b == me);
+                let downstream = self.bp.throttlers(c).any(|b| {
+                    self.platform
+                        .chains
+                        .first_position(c, b)
+                        .is_some_and(|p| p > my_pos)
+                });
+                if me_throttler && !downstream {
+                    deadlocked.push(c.index());
+                }
+            }
+        }
+        for chain in deadlocked {
+            self.sanitizer.note_bottleneck_suppressed(now, idx, chain);
         }
     }
 
@@ -501,7 +597,9 @@ impl Simulation {
         let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
             / self.cfg.nfvnice.load.sample_period.as_nanos())
         .max(1);
-        if self.cfg.nfvnice.cgroup_weights && self.monitor_ticks % ticks_per_weight_update == 0 {
+        if self.cfg.nfvnice.cgroup_weights
+            && self.monitor_ticks.is_multiple_of(ticks_per_weight_update)
+        {
             for core in 0..self.cfg.platform.nf_cores {
                 let entries: Vec<(usize, f64, f64)> = (0..self.platform.nfs.len())
                     .filter(|&i| self.platform.nfs[i].spec.core == core)
@@ -510,9 +608,7 @@ impl Simulation {
                 if entries.len() < 2 {
                     continue; // a lone NF owns its core regardless of weight
                 }
-                for (idx, shares) in
-                    compute_shares(&entries, self.cfg.nfvnice.load.shares_scale)
-                {
+                for (idx, shares) in compute_shares(&entries, self.cfg.nfvnice.load.shares_scale) {
                     self.platform.set_nf_shares(NfId(idx as u32), shares);
                 }
             }
@@ -691,6 +787,7 @@ impl Simulation {
             cgroup_writes: self.platform.cgroups.writes,
             throttle_events: self.bp.throttle_events,
             ecn_marks: self.ecn.marks,
+            trace_digest: self.sanitizer.digest(),
             series: std::mem::take(&mut self.series),
         }
     }
@@ -720,10 +817,14 @@ mod tests {
         let r = sim.run(Duration::from_millis(200));
         let f = &r.flows[0];
         let offered = 20_000; // 100 kpps * 0.2 s
-        assert!(f.delivered as i64 >= offered - 300, "delivered {}", f.delivered);
+        assert!(
+            f.delivered as i64 >= offered - 300,
+            "delivered {}",
+            f.delivered
+        );
         assert_eq!(f.dropped, 0);
         assert_eq!(r.total_wasted_drops, 0);
-        assert!(sim.platform.packets_accounted());
+        assert!(invariants::packets_conserved(&sim.platform));
     }
 
     #[test]
@@ -735,7 +836,47 @@ mod tests {
         sim.add_udp(chain, 1_000_000.0, 64); // 10x overload
         let r = sim.run(Duration::from_millis(200));
         let got = r.flows[0].delivered_pps;
-        assert!((70_000.0..110_000.0).contains(&got), "rate {got}");
+        // ±22.5% of 90 kpps ≈ the sustainable floor … capacity ceiling
+        // window (70–110 kpps).
+        assert!(invariants::within_pct(got, 90_000.0, 22.5), "rate {got}");
+        assert!(invariants::packets_conserved(&sim.platform));
+    }
+
+    #[test]
+    fn sanitizer_audits_overloaded_chain_clean() {
+        // Full NFVnice under 10x overload with every runtime check on:
+        // conservation at each event, watermark hysteresis, suppression
+        // safety. A clean pass means the invariants hold throughout the
+        // run, not just at the end.
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.sanitizer = crate::SanitizerConfig::audit();
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp(chain, 1_000_000.0, 64);
+        let r = sim.run(Duration::from_millis(100));
+        sim.sanitizer.assert_clean();
+        assert!(invariants::packets_conserved(&sim.platform));
+        assert!(sim.sanitizer.event_count() > 0);
+        assert_eq!(r.trace_digest, sim.sanitizer.digest());
+    }
+
+    #[test]
+    fn trace_digest_is_reproducible_and_seed_sensitive() {
+        let run = |seed: u64| {
+            let mut cfg = base_cfg(1, Policy::CfsNormal, NfvniceConfig::full());
+            cfg.seed = seed;
+            let mut sim = Simulation::new(cfg);
+            let nf = sim.add_nf(NfSpec::new("bridge", 0, 250));
+            let chain = sim.add_chain(&[nf]);
+            // Poisson arrivals so the seed actually shapes the event trace
+            // (a pure constant-rate flow consumes no randomness).
+            sim.add_udp_with(chain, 200_000.0, 64, |f| f.poisson());
+            sim.run(Duration::from_millis(50)).trace_digest
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]
@@ -766,7 +907,11 @@ mod tests {
         };
         let default = run(NfvniceConfig::off());
         let nice = run(NfvniceConfig::full());
-        assert!(default.total_wasted_drops > 100_000, "default wastes: {}", default.total_wasted_drops);
+        assert!(
+            default.total_wasted_drops > 100_000,
+            "default wastes: {}",
+            default.total_wasted_drops
+        );
         assert!(
             nice.total_wasted_drops < default.total_wasted_drops / 20,
             "nfvnice {} vs default {}",
@@ -855,7 +1000,8 @@ mod tests {
             r.flows[0].delivered_pps
         );
         assert!(
-            (70_000.0..140_000.0).contains(&r.flows[1].delivered_pps),
+            // ±33.4% of 105 kpps ≈ the old 70–140 kpps bottleneck window.
+            invariants::within_pct(r.flows[1].delivered_pps, 105_000.0, 33.4),
             "congested flow should ride the bottleneck: {}",
             r.flows[1].delivered_pps
         );

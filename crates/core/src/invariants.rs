@@ -1,0 +1,90 @@
+//! Reusable correctness predicates shared by the test suite and the
+//! runtime sim-sanitizer.
+//!
+//! These grew out of ad-hoc assertions scattered through the engine tests
+//! (packet accounting, delivery-rate bounds); promoting them here gives
+//! the sanitizer, the integration tests and the experiment harnesses one
+//! definition of "the simulation is conserving packets".
+
+use nfv_platform::Platform;
+
+/// A snapshot of the platform's packet-conservation ledger, valid at any
+/// event boundary (not mid-event, while a packet is between rings).
+///
+/// Frames dropped *before* classification (NIC overflow, no matching
+/// rule) are outside the ledger: classification is where a frame becomes
+/// a tracked packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationLedger {
+    /// Packets classified into a flow (flow-table hit counters).
+    pub classified: u64,
+    /// Packets that exited the chain onto the wire.
+    pub delivered: u64,
+    /// Packets dropped after classification (entry discard, mempool
+    /// exhaustion, ring overflow, handler drops).
+    pub dropped: u64,
+    /// Packets still held by the mempool (in rings, outboxes, or batches
+    /// in progress).
+    pub in_flight: u64,
+}
+
+impl ConservationLedger {
+    /// Does the ledger balance? Every classified packet must be delivered,
+    /// dropped, or still in flight.
+    pub fn balances(&self) -> bool {
+        self.classified == self.delivered + self.dropped + self.in_flight
+    }
+}
+
+/// Read the conservation ledger off a platform.
+pub fn conservation_ledger(p: &Platform) -> ConservationLedger {
+    ConservationLedger {
+        classified: p.flow_table.entries().map(|e| e.packets).sum(),
+        delivered: p.stats.flows.iter().map(|f| f.delivered).sum(),
+        dropped: p.stats.flows.iter().map(|f| f.dropped).sum(),
+        in_flight: p.mempool.in_use() as u64,
+    }
+}
+
+/// Full packet-conservation predicate: the mempool's in-use count matches
+/// what the rings/outboxes/batches actually hold (`packets_accounted`),
+/// *and* the classification ledger balances.
+pub fn packets_conserved(p: &Platform) -> bool {
+    p.packets_accounted() && conservation_ledger(p).balances()
+}
+
+/// Is `actual` within ±`pct` percent of `expect`? Used for delivery-rate
+/// bound assertions ("capacity-bound NF delivers ~service rate").
+pub fn within_pct(actual: f64, expect: f64, pct: f64) -> bool {
+    if expect == 0.0 {
+        return actual == 0.0;
+    }
+    ((actual - expect) / expect).abs() * 100.0 <= pct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_balance_arithmetic() {
+        let l = ConservationLedger {
+            classified: 100,
+            delivered: 70,
+            dropped: 25,
+            in_flight: 5,
+        };
+        assert!(l.balances());
+        let broken = ConservationLedger { in_flight: 4, ..l };
+        assert!(!broken.balances());
+    }
+
+    #[test]
+    fn within_pct_bounds() {
+        assert!(within_pct(95.0, 100.0, 5.0));
+        assert!(within_pct(105.0, 100.0, 5.0));
+        assert!(!within_pct(94.9, 100.0, 5.0));
+        assert!(within_pct(0.0, 0.0, 1.0));
+        assert!(!within_pct(1.0, 0.0, 1.0));
+    }
+}

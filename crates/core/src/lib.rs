@@ -42,6 +42,7 @@ pub mod backpressure;
 pub mod config;
 pub mod ecn;
 pub mod engine;
+pub mod invariants;
 pub mod libnf;
 pub mod load;
 pub mod report;
@@ -50,12 +51,13 @@ pub use backpressure::{Backpressure, BackpressureConfig, BpState};
 pub use config::{NfvniceConfig, SimConfig};
 pub use ecn::{EcnConfig, EcnMarker};
 pub use engine::{Action, Simulation};
+pub use invariants::{conservation_ledger, packets_conserved, within_pct, ConservationLedger};
 pub use load::{compute_shares, LoadConfig, LoadMonitor};
 pub use report::{ChainReport, FlowReport, NfReport, Report, Series};
 
 // Re-export the pieces users need to assemble experiments without naming
 // every substrate crate.
-pub use nfv_des::{CpuFreq, Duration, SimTime};
+pub use nfv_des::{CpuFreq, Duration, Sanitizer, SanitizerConfig, SimTime};
 pub use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Packet, Proto};
 pub use nfv_platform::{
     BlockReason, CostModel, IoMode, NfAction, NfIoSpec, NfSpec, PacketHandler, PlatformConfig,

@@ -195,7 +195,12 @@ mod tests {
         let mut m = LoadMonitor::new(LoadConfig::default(), 1);
         // λ = 100k pps, s = 1µs → load = 0.1
         for ms in 1..=100 {
-            m.sample(0, SimTime::from_millis(ms), Duration::from_micros(1), ms * 100);
+            m.sample(
+                0,
+                SimTime::from_millis(ms),
+                Duration::from_micros(1),
+                ms * 100,
+            );
         }
         let load = m.load(0);
         assert!((load - 0.1).abs() < 0.01, "load={load}");
@@ -233,11 +238,17 @@ mod tests {
     fn extreme_diversity_clamped_to_kernel_range() {
         // diversity level 6 (Fig 15b): costs 1:2:5:20:40:60
         let costs = [1.0, 2.0, 5.0, 20.0, 40.0, 60.0];
-        let entries: Vec<_> = costs.iter().enumerate().map(|(i, &c)| (i, c, 1.0)).collect();
+        let entries: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, c, 1.0))
+            .collect();
         let shares = compute_shares(&entries, 1024);
         for w in shares.windows(2) {
             assert!(w[0].1 <= w[1].1, "monotone in load");
         }
-        assert!(shares.iter().all(|&(_, s)| (nfv_sched::MIN_SHARES..=nfv_sched::MAX_SHARES).contains(&s)));
+        assert!(shares
+            .iter()
+            .all(|&(_, s)| (nfv_sched::MIN_SHARES..=nfv_sched::MAX_SHARES).contains(&s)));
     }
 }

@@ -111,6 +111,10 @@ pub struct Report {
     pub throttle_events: u64,
     /// ECN CE marks applied.
     pub ecn_marks: u64,
+    /// FNV-1a digest of the event trace `(time, event)` pairs. Two runs of
+    /// the same scenario with the same seed must produce the same digest —
+    /// the determinism tests compare exactly this.
+    pub trace_digest: u64,
     /// Per-second series.
     pub series: Series,
 }
@@ -216,6 +220,7 @@ mod tests {
             cgroup_writes: 0,
             throttle_events: 0,
             ecn_marks: 0,
+            trace_digest: 0,
             series: Series::default(),
         }
     }

@@ -3,52 +3,107 @@
 //! All stochastic behaviour in the simulator (Poisson arrivals, random chain
 //! orders, variable per-packet costs) flows through a [`SimRng`] seeded from
 //! the experiment configuration, so every run is reproducible.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained **xoshiro256++** (Blackman & Vigna)
+//! seeded through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! uses on 64-bit targets — implemented in-tree so the simulator has zero
+//! external dependencies and the whole random stream is auditable. This is
+//! the *only* sanctioned randomness source in the workspace: `nfv-lint`'s
+//! `raw-rand` rule flags any other `rand` usage.
 
 /// The simulator's random number generator: a small, fast, seedable PRNG.
 ///
-/// Wraps `SmallRng` with the handful of distributions the workloads need.
+/// xoshiro256++ with the handful of distributions the workloads need.
+/// Identical seeds produce identical streams on every platform.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One step of SplitMix64: used to expand a 64-bit seed into generator
+/// state. Guarantees no all-zero state for any seed.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Construct from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Derive an independent child RNG (for per-flow or per-NF streams) so
     /// adding one consumer does not perturb another's sequence.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        let seed = self.next_u64();
+        SimRng::seed_from_u64(seed)
     }
 
-    /// Uniform in `[0, n)`.
+    /// Uniform in `[0, n)`, unbiased (Lemire's widening-multiply rejection).
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0)");
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform in `[lo, hi]`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        assert!(lo <= hi, "range_inclusive({lo}, {hi})");
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed value with the given mean (for Poisson
     /// inter-arrival times). Returns at least 1 to keep event times strictly
     /// advancing.
     pub fn exponential(&mut self, mean: f64) -> u64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.unit().max(f64::MIN_POSITIVE);
         let v = -mean * u.ln();
         (v.max(1.0)) as u64
     }
@@ -85,7 +140,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 
@@ -145,5 +202,39 @@ mod tests {
             }
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SimRng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::seed_from_u64(19);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_000..11_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the canonical state
+        // [1, 2, 3, 4] (Vigna's reference implementation).
+        let mut r = SimRng {
+            state: [1, 2, 3, 4],
+        };
+        let expected: [u64; 4] = [41943041, 58720359, 3588806011781223, 3591011842654386];
+        for e in expected {
+            assert_eq!(r.next_u64(), e);
+        }
     }
 }

@@ -184,7 +184,22 @@ impl WindowedMedian {
     }
 
     /// Record a sample at time `now`, evicting anything older than the window.
+    ///
+    /// `now` must not precede the newest sample already recorded (equal
+    /// timestamps are fine): the eviction scan assumes front-to-back time
+    /// order. Debug builds assert; release builds clamp the sample to the
+    /// newest recorded time so the deque stays ordered.
     pub fn observe(&mut self, now: SimTime, value: u64) {
+        let now = match self.samples.back() {
+            Some(&(newest, _)) => {
+                debug_assert!(
+                    now >= newest,
+                    "WindowedMedian::observe time went backwards: {now} < {newest}"
+                );
+                now.max(newest)
+            }
+            None => now,
+        };
         self.samples.push_back((now, value));
         self.evict(now);
     }
@@ -247,14 +262,24 @@ impl RateMeter {
 
     /// Close the current interval at `now` and start a new one, recording
     /// the interval's rate (events per second).
+    ///
+    /// `now` must not precede the previous roll (a same-instant roll is a
+    /// no-op interval and records nothing). Debug builds assert; release
+    /// builds treat a backwards roll as zero-length, so the interval start
+    /// never regresses and no negative-span rate is recorded.
     pub fn roll(&mut self, now: SimTime) {
+        debug_assert!(
+            now >= self.interval_start,
+            "RateMeter::roll time went backwards: {now} < {}",
+            self.interval_start
+        );
         let span = now.since(self.interval_start);
         if span > Duration::ZERO {
             self.per_second
                 .push(self.count_in_interval as f64 / span.as_secs_f64());
+            self.count_in_interval = 0;
         }
-        self.count_in_interval = 0;
-        self.interval_start = now;
+        self.interval_start = self.interval_start.max(now);
     }
 
     /// Total events recorded over the whole run.
@@ -422,6 +447,52 @@ mod tests {
     fn rate_meter_empty_summary() {
         let r = RateMeter::new();
         assert_eq!(r.summary(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rate_meter_same_instant_roll_records_nothing() {
+        let mut r = RateMeter::new();
+        r.add(7);
+        r.roll(SimTime::from_secs(1));
+        r.roll(SimTime::from_secs(1)); // zero-length interval: no sample
+        assert_eq!(r.rates().len(), 1);
+        assert_eq!(r.total(), 7);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time went backwards"))]
+    fn rate_meter_rejects_backwards_roll() {
+        let mut r = RateMeter::new();
+        r.roll(SimTime::from_secs(2));
+        r.add(10);
+        r.roll(SimTime::from_secs(1));
+        // Release builds clamp: the interval start never regresses, the
+        // backwards roll records no rate, and the pending count survives
+        // into the next well-formed interval.
+        assert_eq!(r.rates().len(), 1);
+        r.roll(SimTime::from_secs(3));
+        assert_eq!(r.rates().len(), 2);
+        assert_eq!(r.rates()[1], 10.0);
+    }
+
+    #[test]
+    fn windowed_median_same_instant_samples_ok() {
+        let mut m = WindowedMedian::new(Duration::from_millis(1));
+        m.observe(SimTime::from_millis(5), 1);
+        m.observe(SimTime::from_millis(5), 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "time went backwards"))]
+    fn windowed_median_rejects_backwards_observe() {
+        let mut m = WindowedMedian::new(Duration::from_millis(100));
+        m.observe(SimTime::from_millis(50), 1);
+        m.observe(SimTime::from_millis(10), 2);
+        // Release builds clamp the late sample to the newest recorded time,
+        // keeping the deque time-ordered for eviction.
+        m.observe(SimTime::from_millis(200), 3);
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

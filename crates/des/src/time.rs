@@ -234,7 +234,7 @@ impl CpuFreq {
     pub fn cycles_to_duration(self, cycles: u64) -> Duration {
         // ns = cycles * 1e9 / hz = cycles * 1e6 / khz, computed in u128 to
         // avoid overflow for large batch costs.
-        let ns = ((cycles as u128) * 1_000_000 + self.khz as u128 - 1) / self.khz as u128;
+        let ns = ((cycles as u128) * 1_000_000).div_ceil(self.khz as u128);
         Duration(ns as u64)
     }
 

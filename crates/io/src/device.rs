@@ -93,9 +93,6 @@ mod tests {
         let mut d = StorageDevice::default_ssd();
         let done = d.submit_write(SimTime::ZERO, 500_000_000);
         // 1 second of transfer + 100us latency
-        assert_eq!(
-            done,
-            SimTime::from_secs(1) + Duration::from_micros(100)
-        );
+        assert_eq!(done, SimTime::from_secs(1) + Duration::from_micros(100));
     }
 }

@@ -172,7 +172,10 @@ mod tests {
         let next = b.on_flush_complete(SimTime::from_micros(100), &mut d);
         assert!(next.is_some());
         assert!(b.writable());
-        assert_eq!(b.write(SimTime::from_micros(100), 10, &mut d), WriteOutcome::Buffered);
+        assert_eq!(
+            b.write(SimTime::from_micros(100), 10, &mut d),
+            WriteOutcome::Buffered
+        );
         // Second completion with nothing queued.
         assert_eq!(b.on_flush_complete(next.unwrap(), &mut d), None);
         assert_eq!(b.flushes, 2);
@@ -184,7 +187,7 @@ mod tests {
         let mut b = DoubleBuffer::new(100);
         b.write(SimTime::ZERO, 100, &mut d); // flush 1
         b.write(SimTime::ZERO, 100, &mut d); // blocked (queued)
-        // Retry while still blocked: still blocked, byte count unchanged.
+                                             // Retry while still blocked: still blocked, byte count unchanged.
         assert_eq!(b.write(SimTime::ZERO, 50, &mut d), WriteOutcome::Blocked);
         assert_eq!(b.blocks, 2);
         b.on_flush_complete(SimTime::from_micros(100), &mut d);

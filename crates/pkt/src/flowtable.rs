@@ -8,7 +8,7 @@
 use crate::ids::{ChainId, FlowId};
 use crate::packet::FiveTuple;
 use crate::pattern::TuplePattern;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-flow record.
 #[derive(Debug, Clone)]
@@ -38,7 +38,7 @@ struct WildcardRule {
 /// from OpenFlow.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    map: HashMap<FiveTuple, FlowEntry>,
+    map: BTreeMap<FiveTuple, FlowEntry>,
     by_id: Vec<FiveTuple>,
     wildcards: Vec<WildcardRule>,
 }
@@ -80,7 +80,8 @@ impl FlowTable {
         });
         // Highest priority first; stable sort keeps installation order for
         // equal priorities.
-        self.wildcards.sort_by_key(|r| std::cmp::Reverse(r.priority));
+        self.wildcards
+            .sort_by_key(|r| std::cmp::Reverse(r.priority));
     }
 
     /// Number of wildcard rules installed.

@@ -9,10 +9,9 @@
 use crate::ids::{ChainId, FlowId};
 use nfv_des::SimTime;
 
-
 /// Transport protocol of a flow; determines whether it responds to
 /// congestion signals (TCP backs off, UDP does not — §4.3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Proto {
     /// Non-responsive datagram traffic.
     Udp,
@@ -34,7 +33,7 @@ pub enum Ecn {
 }
 
 /// A classic 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: u32,

@@ -99,9 +99,9 @@ impl TuplePattern {
     pub fn matches(&self, t: &FiveTuple) -> bool {
         self.src.contains(t.src_ip)
             && self.dst.contains(t.dst_ip)
-            && self.src_port.map_or(true, |p| p == t.src_port)
-            && self.dst_port.map_or(true, |p| p == t.dst_port)
-            && self.proto.map_or(true, |p| p == t.proto)
+            && self.src_port.is_none_or(|p| p == t.src_port)
+            && self.dst_port.is_none_or(|p| p == t.dst_port)
+            && self.proto.is_none_or(|p| p == t.proto)
     }
 }
 

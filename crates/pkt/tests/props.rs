@@ -1,8 +1,8 @@
 //! Property-based tests for rings, mempool and flow table.
 
-use nfv_pkt::{Enqueue, FiveTuple, FlowTable, Mempool, Packet, PktId, Proto, Ring};
-use nfv_pkt::{ChainId, FlowId};
 use nfv_des::SimTime;
+use nfv_pkt::{ChainId, FlowId};
+use nfv_pkt::{Enqueue, FiveTuple, FlowTable, Mempool, Packet, PktId, Proto, Ring};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 

@@ -287,8 +287,7 @@ impl NfRuntime {
     /// `throttled` (vacuously false when nothing is pending — an idle NF is
     /// not "fully throttled", it is just idle).
     pub fn fully_throttled(&self, throttled: impl Fn(ChainId) -> bool) -> bool {
-        !self.pending_by_chain.is_empty()
-            && self.pending_by_chain.keys().all(|&c| throttled(c))
+        !self.pending_by_chain.is_empty() && self.pending_by_chain.keys().all(|&c| throttled(c))
     }
 
     /// Packets pending in the RX ring.

@@ -9,9 +9,7 @@
 //! that would exist on any run of the platform, NFVnice or not.
 
 use crate::chain::ChainRegistry;
-use crate::nf::{
-    BlockReason, ForwardAll, IoMode, NfAction, NfRuntime, NfSpec, PacketHandler,
-};
+use crate::nf::{BlockReason, ForwardAll, IoMode, NfAction, NfRuntime, NfSpec, PacketHandler};
 use crate::stats::{DropLocation, PlatformStats, TcpEvent, TcpEventKind};
 use nfv_des::{CpuFreq, Duration, SimTime};
 use nfv_io::{StorageDevice, WriteOutcome};
@@ -19,7 +17,7 @@ use nfv_pkt::{
     ChainId, Ecn, Enqueue, FlowId, FlowTable, Mempool, NfId, Nic, Packet, Proto, WireFrame,
 };
 use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Static platform configuration.
 #[derive(Debug, Clone)]
@@ -118,9 +116,9 @@ pub struct Platform {
     pub stats: PlatformStats,
     /// Flows whose packets trigger storage I/O at NFs that have an I/O
     /// profile.
-    pub io_flows: HashSet<FlowId>,
+    pub io_flows: BTreeSet<FlowId>,
     handlers: Vec<Option<Box<dyn PacketHandler>>>,
-    tcp_flows: HashSet<FlowId>,
+    tcp_flows: BTreeSet<FlowId>,
     scratch_frames: Vec<WireFrame>,
 }
 
@@ -138,9 +136,9 @@ impl Platform {
             cgroups: CgroupCpu::new(CgroupCpu::DEFAULT_WRITE_COST),
             storage: StorageDevice::default_ssd(),
             stats: PlatformStats::default(),
-            io_flows: HashSet::new(),
+            io_flows: BTreeSet::new(),
             handlers: Vec::new(),
-            tcp_flows: HashSet::new(),
+            tcp_flows: BTreeSet::new(),
             scratch_frames: Vec::new(),
             cfg,
         }
@@ -246,7 +244,8 @@ impl Platform {
             pkt.enqueued_at = now;
             let Some(pid) = self.mempool.alloc(pkt) else {
                 self.stats.mempool_fail += 1;
-                self.stats.dropped(flow, chain, DropLocation::MempoolExhausted);
+                self.stats
+                    .dropped(flow, chain, DropLocation::MempoolExhausted);
                 self.note_tcp_drop(flow, frame.seq, tcp_out);
                 continue;
             };
@@ -447,7 +446,8 @@ impl Platform {
             match action {
                 NfAction::Drop => {
                     self.mempool.free(pid);
-                    self.stats.dropped(flow, chain, DropLocation::Handler(nf_id));
+                    self.stats
+                        .dropped(flow, chain, DropLocation::Handler(nf_id));
                 }
                 NfAction::Forward => {
                     self.mempool.get_mut(pid).hops_done += 1;
@@ -615,12 +615,22 @@ mod tests {
         assert_eq!(p.nfs[0].processed, 32);
         // TX thread moves them to NF b
         let mut woken = Vec::new();
-        p.tx_drain(SimTime::from_micros(3), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(3),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         assert_eq!(p.nfs[1].pending(), 32);
         // NF b processes and the packets exit
         p.plan_batch(NfId(1));
         p.finish_batch(NfId(1), SimTime::from_micros(5));
-        p.tx_drain(SimTime::from_micros(6), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(6),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         assert_eq!(p.stats.flows[flow.index()].delivered, 32);
         assert_eq!(p.nic.tx_frames, 32);
         assert!(p.packets_accounted());
@@ -629,7 +639,10 @@ mod tests {
     #[test]
     fn empty_rx_blocks() {
         let (mut p, _, _) = mini_platform();
-        assert_eq!(p.plan_batch(NfId(0)), BatchPlan::Block(BlockReason::EmptyRx));
+        assert_eq!(
+            p.plan_batch(NfId(0)),
+            BatchPlan::Block(BlockReason::EmptyRx)
+        );
     }
 
     #[test]
@@ -667,7 +680,12 @@ mod tests {
             p.finish_batch(a, SimTime::from_micros(1));
         }
         // all 64 in a's tx; b's ring holds 16 → 48 wasted
-        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(2),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         assert_eq!(p.nfs[a.index()].wasted_drops, 48);
         assert_eq!(p.nfs[b.index()].pending(), 16);
         assert!(p.packets_accounted());
@@ -696,7 +714,12 @@ mod tests {
         assert_eq!(p.plan_batch(a), BatchPlan::Block(BlockReason::TxFull));
         p.mark_blocked(a, BlockReason::TxFull);
         // TX thread drains and signals the NF can resume
-        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(2),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         assert_eq!(woken, vec![a]);
         assert!(p.packets_accounted());
     }
@@ -750,7 +773,12 @@ mod tests {
         p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
         p.plan_batch(a);
         p.finish_batch(a, SimTime::from_micros(1));
-        p.tx_drain(SimTime::from_micros(2), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(2),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         assert_eq!(tcp.len(), 3);
         assert!(tcp
             .iter()
@@ -780,7 +808,12 @@ mod tests {
         p.tx_drain(SimTime::from_micros(2), &mut |_| true, &mut tcp, &mut woken);
         p.plan_batch(NfId(1));
         p.finish_batch(NfId(1), SimTime::from_micros(3));
-        p.tx_drain(SimTime::from_micros(4), &mut |_| false, &mut tcp, &mut woken);
+        p.tx_drain(
+            SimTime::from_micros(4),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
         let delivered: Vec<_> = tcp
             .iter()
             .filter(|e| e.flow == flow && matches!(e.kind, TcpEventKind::Delivered { .. }))

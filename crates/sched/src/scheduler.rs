@@ -208,18 +208,16 @@ impl OsScheduler {
             Policy::Cooperative => Duration::from_secs(31_536_000),
             Policy::CfsNormal | Policy::CfsBatch => {
                 let nr = self.cores[core].rq.len() as u64 + 1;
-                let period = self
-                    .cfs
-                    .latency
-                    .max(Duration::from_nanos(self.cfs.min_granularity.as_nanos() * nr));
+                let period = self.cfs.latency.max(Duration::from_nanos(
+                    self.cfs.min_granularity.as_nanos() * nr,
+                ));
                 let total_weight: u64 = self.cores[core]
                     .rq
                     .iter()
                     .map(|t| self.tasks[t.index()].weight)
                     .sum::<u64>()
                     + self.tasks[id.index()].weight;
-                let share =
-                    period.as_nanos() * self.tasks[id.index()].weight / total_weight.max(1);
+                let share = period.as_nanos() * self.tasks[id.index()].weight / total_weight.max(1);
                 Duration::from_nanos(share).max(self.cfs.min_granularity)
             }
         }
@@ -288,12 +286,7 @@ mod tests {
     use super::*;
 
     fn sched(policy: Policy) -> OsScheduler {
-        OsScheduler::new(
-            2,
-            policy,
-            CfsParams::default(),
-            Duration::from_micros(2),
-        )
+        OsScheduler::new(2, policy, CfsParams::default(), Duration::from_micros(2))
     }
 
     #[test]
@@ -395,11 +388,7 @@ mod tests {
             s.charge_current(0, Duration::from_millis(2));
             now = SimTime::from_millis(2);
             s.wake(sleeper, now);
-            assert_eq!(
-                s.need_resched(0, now),
-                expect_preempt,
-                "policy {policy:?}"
-            );
+            assert_eq!(s.need_resched(0, now), expect_preempt, "policy {policy:?}");
         }
     }
 

@@ -92,11 +92,10 @@ impl Task {
     /// Average scheduling delay (runnable → running), or zero if never
     /// dispatched.
     pub fn avg_sched_latency(&self) -> Duration {
-        if self.dispatches == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.sched_latency_sum.as_nanos() / self.dispatches)
-        }
+        self.sched_latency_sum
+            .as_nanos()
+            .checked_div(self.dispatches)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     /// Advance vruntime for `dur` of real execution: `Δv = Δt · 1024 / w`.

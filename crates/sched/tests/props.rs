@@ -19,7 +19,7 @@ fn drive(sched: &mut OsScheduler, tasks: &[TaskId], steps: u32, step_us: u64) ->
         }
         let step = Duration::from_micros(step_us);
         sched.charge_current(0, step);
-        now = now + step;
+        now += step;
         if sched.need_resched(0, now) {
             sched.requeue_current(0, now, SwitchKind::Involuntary);
         }

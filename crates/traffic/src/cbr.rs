@@ -162,7 +162,12 @@ mod tests {
     #[test]
     fn constant_rate_is_exact_over_time() {
         let mut f = CbrFlow::new(FiveTuple::synthetic(0, Proto::Udp), 64, 1_000_000.0);
-        let n = run_flow(&mut f, Duration::from_millis(100), Duration::from_micros(20), 1);
+        let n = run_flow(
+            &mut f,
+            Duration::from_millis(100),
+            Duration::from_micros(20),
+            1,
+        );
         // 1 Mpps for 100 ms = 100_000 packets (± rounding of the last poll)
         assert!((n as i64 - 100_000).abs() <= 1, "n={n}");
     }
@@ -177,9 +182,13 @@ mod tests {
 
     #[test]
     fn poisson_rate_close_to_mean() {
-        let mut f =
-            CbrFlow::new(FiveTuple::synthetic(0, Proto::Udp), 64, 500_000.0).poisson();
-        let n = run_flow(&mut f, Duration::from_millis(200), Duration::from_micros(20), 7);
+        let mut f = CbrFlow::new(FiveTuple::synthetic(0, Proto::Udp), 64, 500_000.0).poisson();
+        let n = run_flow(
+            &mut f,
+            Duration::from_millis(200),
+            Duration::from_micros(20),
+            7,
+        );
         let expect = 100_000.0;
         assert!(
             ((n as f64 - expect) / expect).abs() < 0.03,

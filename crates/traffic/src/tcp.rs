@@ -130,7 +130,11 @@ impl TcpSource {
                 size: self.frame_size,
                 seq,
                 cost_class: 0,
-                ecn: if self.ecn_capable { Ecn::Ect0 } else { Ecn::NotEct },
+                ecn: if self.ecn_capable {
+                    Ecn::Ect0
+                } else {
+                    Ecn::NotEct
+                },
                 arrival: now,
             });
             self.in_flight += 1;
@@ -222,7 +226,13 @@ mod tests {
         s.pump(SimTime::ZERO, &mut out);
         let now = SimTime::from_millis(1);
         for w in out.drain(..) {
-            s.on_feedback(Feedback::Delivered { seq: w.seq, ce: false }, now);
+            s.on_feedback(
+                Feedback::Delivered {
+                    seq: w.seq,
+                    ce: false,
+                },
+                now,
+            );
         }
         assert_eq!(s.cwnd() as u64, 20); // 10 acks, +1 each
     }
@@ -282,7 +292,7 @@ mod tests {
         let mut out = Vec::new();
         s.pump(SimTime::ZERO, &mut out);
         s.on_feedback(Feedback::Dropped { seq: 0 }, SimTime::ZERO); // ssthresh=5
-        // Deliver the rest of the flight plus retransmit: cwnd ≥ ssthresh ⇒ CA.
+                                                                    // Deliver the rest of the flight plus retransmit: cwnd ≥ ssthresh ⇒ CA.
         let before = s.cwnd();
         for seq in 1..10 {
             s.on_feedback(Feedback::Delivered { seq, ce: false }, SimTime::ZERO);

@@ -36,14 +36,9 @@ fn main() {
             Verdict::Deny,
         )),
     );
-    let nat = sim.add_nf_with_handler(
-        NfSpec::new("nat", 0, 250),
-        Box::new(Nat::new(0xc0a8_0001)),
-    );
-    let monitor = sim.add_nf_with_handler(
-        NfSpec::new("monitor", 0, 100),
-        Box::new(FlowMonitor::new()),
-    );
+    let nat = sim.add_nf_with_handler(NfSpec::new("nat", 0, 250), Box::new(Nat::new(0xc0a8_0001)));
+    let monitor =
+        sim.add_nf_with_handler(NfSpec::new("monitor", 0, 100), Box::new(FlowMonitor::new()));
 
     let chain = sim.add_chain(&[policer, firewall, nat, monitor]);
     // Three tenants at different offered rates; the policer caps the total.

@@ -31,7 +31,12 @@ fn run(mode: IoMode, variant: NfvniceConfig) -> nfvnice::Report {
 
 fn main() {
     let sync = run(IoMode::Sync, NfvniceConfig::off());
-    let async_ = run(IoMode::Async { buf_size: 64 * 1024 }, NfvniceConfig::full());
+    let async_ = run(
+        IoMode::Async {
+            buf_size: 64 * 1024,
+        },
+        NfvniceConfig::full(),
+    );
     println!("mode   logged-flow kpps   other-flow kpps   aggregate Mpps");
     for (name, r) in [("sync ", &sync), ("async", &async_)] {
         println!(

@@ -45,7 +45,9 @@ fn run(variant: NfvniceConfig) -> (nfvnice::Report, usize, Vec<usize>) {
 fn main() {
     let (d, dtcp, dudp) = run(NfvniceConfig::off());
     let (n, ntcp, nudp) = run(NfvniceConfig::full());
-    println!("sec   TCP Mbps (Default)  UDP Mbps (Default)  TCP Mbps (NFVnice)  UDP Mbps (NFVnice)");
+    println!(
+        "sec   TCP Mbps (Default)  UDP Mbps (Default)  TCP Mbps (NFVnice)  UDP Mbps (NFVnice)"
+    );
     for sec in 0..d.series.flow_mbps[dtcp].len() {
         let sum = |r: &nfvnice::Report, flows: &[usize]| -> f64 {
             flows

@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release --bin service_chain_backpressure`
 
 use nfvnice::{
-    Duration, NfAction, NfSpec, NfvniceConfig, Packet, PacketHandler, Policy, SimConfig,
-    Simulation,
+    Duration, NfAction, NfSpec, NfvniceConfig, Packet, PacketHandler, Policy, SimConfig, Simulation,
 };
 
 /// A firewall that drops every 100th packet (policy denial, not congestion)
@@ -23,7 +22,7 @@ struct SamplingFirewall {
 impl PacketHandler for SamplingFirewall {
     fn handle(&mut self, _pkt: &mut Packet, _now: nfvnice::SimTime) -> NfAction {
         self.seen += 1;
-        if self.seen % 100 == 0 {
+        if self.seen.is_multiple_of(100) {
             NfAction::Drop
         } else {
             NfAction::Forward
@@ -55,7 +54,11 @@ fn main() {
         for nf in &r.nfs {
             println!(
                 "  {:<11} core{}  service {:>9.0} pps   wasted {:>9.0} pps   cpu {:>5.1}%",
-                nf.name, nf.core, nf.svc_rate_pps, nf.wasted_rate_pps, nf.cpu_util * 100.0
+                nf.name,
+                nf.core,
+                nf.svc_rate_pps,
+                nf.wasted_rate_pps,
+                nf.cpu_util * 100.0
             );
         }
         println!(

@@ -1,9 +1,7 @@
 //! End-to-end backpressure behaviour: selective early discard, hysteresis,
 //! cross-chain selectivity, local (TX-ring) backpressure and ECN marking.
 
-use nfvnice::{
-    BackpressureConfig, Duration, NfSpec, NfvniceConfig, Policy, SimConfig, Simulation,
-};
+use nfvnice::{BackpressureConfig, Duration, NfSpec, NfvniceConfig, Policy, SimConfig, Simulation};
 
 fn cfg(cores: usize, variant: NfvniceConfig) -> SimConfig {
     let mut c = SimConfig::default();
@@ -88,7 +86,11 @@ fn tx_ring_local_backpressure_is_lossless() {
     let r = sim.run(Duration::from_millis(300));
     // Throughput flows despite the 64-slot TX ring, and no packet that NF a
     // processed is ever dropped between a's outbox and b's (large) ring.
-    assert!(r.flows[0].delivered_pps > 800_000.0, "{}", r.flows[0].delivered_pps);
+    assert!(
+        r.flows[0].delivered_pps > 800_000.0,
+        "{}",
+        r.flows[0].delivered_pps
+    );
     assert_eq!(r.nfs[0].wasted_drops, 0);
 }
 

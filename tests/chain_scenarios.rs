@@ -2,9 +2,7 @@
 //! exercising the full stack (traffic → NIC → flow table → rings →
 //! scheduler → NFs → delivery).
 
-use nfvnice::{
-    Duration, NfSpec, NfvniceConfig, Policy, Report, SimConfig, SimTime, Simulation,
-};
+use nfvnice::{Duration, NfSpec, NfvniceConfig, Policy, Report, SimConfig, SimTime, Simulation};
 
 fn cfg(cores: usize, policy: Policy, variant: NfvniceConfig) -> SimConfig {
     let mut c = SimConfig::default();

@@ -93,7 +93,10 @@ fn no_starvation_under_extreme_diversity() {
     assert!(light > 20_000.0, "light starved: {light}");
     assert!(heavy > 20_000.0, "heavy starved: {heavy}");
     let ratio = light / heavy;
-    assert!((0.6..1.8).contains(&ratio), "outputs should converge: {ratio}");
+    assert!(
+        (0.6..1.8).contains(&ratio),
+        "outputs should converge: {ratio}"
+    );
     // Contrast: the vanilla scheduler splits CPU 50/50, so the light NF
     // outputs ~50x more than the heavy one.
     let d = run_standalone(
@@ -145,7 +148,8 @@ proptest! {
         prop_assert!(normalized_jain(&f) > 0.7);
     }
 
-    /// Property: packet accounting holds for arbitrary chain shapes.
+    /// Property: packet accounting holds for arbitrary chain shapes — at
+    /// every event (the sim-sanitizer audits each one), not just at the end.
     #[test]
     fn conservation_over_random_chains(
         len in 1usize..=5,
@@ -157,6 +161,7 @@ proptest! {
         cfg.platform.policy = Policy::CfsBatch;
         cfg.nfvnice = NfvniceConfig::full();
         cfg.seed = seed;
+        cfg.sanitizer = nfvnice::SanitizerConfig::audit();
         let mut sim = Simulation::new(cfg);
         let nfs: Vec<_> = (0..len)
             .map(|i| sim.add_nf(NfSpec::new(format!("nf{i}"), i % 2, 100 * cost_scale * (i as u64 + 1))))
@@ -164,10 +169,11 @@ proptest! {
         let chain = sim.add_chain(&nfs);
         sim.add_udp_with(chain, 3_000_000.0, 64, |f| f.poisson());
         let r = sim.run(Duration::from_millis(60));
-        let p = &sim.platform;
-        let classified = p.flow_table.entries().map(|e| e.packets).sum::<u64>();
-        let in_flight = p.mempool.in_use() as u64 + p.nic.rx_pending() as u64;
-        prop_assert!(p.packets_accounted());
-        prop_assert_eq!(classified, r.flows[0].delivered + r.flows[0].dropped + in_flight);
+        let errors = sim.sanitizer.errors().count();
+        prop_assert!(errors == 0, "sanitizer errors:\n{}", sim.sanitizer.summary());
+        prop_assert!(nfvnice::packets_conserved(&sim.platform));
+        let ledger = nfvnice::conservation_ledger(&sim.platform);
+        prop_assert_eq!(ledger.delivered + ledger.dropped,
+            r.flows[0].delivered + r.flows[0].dropped);
     }
 }

@@ -97,7 +97,10 @@ fn apps_chain_functional_under_nfvnice() {
     );
     let fw = sim.add_nf_with_handler(
         NfSpec::new("fw", 0, 300),
-        Box::new(Firewall::new(vec![Rule::any(Verdict::Allow)], Verdict::Deny)),
+        Box::new(Firewall::new(
+            vec![Rule::any(Verdict::Allow)],
+            Verdict::Deny,
+        )),
     );
     let nat = sim.add_nf_with_handler(NfSpec::new("nat", 0, 250), Box::new(Nat::new(0xc0a80001)));
     let mon = sim.add_nf_with_handler(NfSpec::new("mon", 0, 100), Box::new(FlowMonitor::new()));
