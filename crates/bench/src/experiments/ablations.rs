@@ -8,7 +8,7 @@ use nfvnice::{
     SimConfig, Simulation,
 };
 
-fn lmh_chain(cfg: SimConfig, variable_cost: bool, len: RunLength) -> Report {
+fn lmh_chain(cell: &str, cfg: SimConfig, variable_cost: bool, len: RunLength) -> Report {
     let mut s = Simulation::new(cfg);
     let costs = [LOW, MED, HIGH];
     let nfs: Vec<_> = costs
@@ -34,7 +34,7 @@ fn lmh_chain(cfg: SimConfig, variable_cost: bool, len: RunLength) -> Report {
             f
         }
     });
-    s.run(len.steady)
+    crate::util::run_logged("ablations", cell, &mut s, len.steady)
 }
 
 /// D1 — separating overload detection (TX threads) from control (wakeup
@@ -46,7 +46,7 @@ fn d1(len: RunLength) -> String {
     for us in [1u64, 10, 100, 1000] {
         let mut cfg = sim_config(1, Policy::CfsBatch, NfvniceConfig::full());
         cfg.wakeup_period = Duration::from_micros(us);
-        let r = lmh_chain(cfg, false, len);
+        let r = lmh_chain(&format!("d1/scan{us}us"), cfg, false, len);
         let secs = r.wall.as_secs_f64();
         t.row(vec![
             format!("{us}us"),
@@ -98,7 +98,8 @@ fn d2(len: RunLength) -> String {
         let c = s.add_nf(NfSpec::new("NF3", 0, HIGH).with_rings(RING, RING));
         let chain = s.add_chain(&[a, b, c]);
         s.add_udp(chain, line_rate(64), 64);
-        let r = s.run(len.steady);
+        let cell = format!("d2/{label}");
+        let r = crate::util::run_logged("ablations", &cell, &mut s, len.steady);
         let secs = r.wall.as_secs_f64();
         t.row(vec![
             label.into(),
@@ -122,7 +123,12 @@ fn d3(len: RunLength) -> String {
         let mut variant = NfvniceConfig::cgroups_only();
         variant.load.window = window;
         let cfg = sim_config(1, Policy::CfsBatch, variant);
-        let r = lmh_chain(cfg, true, len);
+        let r = lmh_chain(
+            &format!("d3/window{}us", window.as_micros()),
+            cfg,
+            true,
+            len,
+        );
         let secs = r.wall.as_secs_f64();
         t.row(vec![
             label.into(),
@@ -145,7 +151,7 @@ fn d4(len: RunLength) -> String {
         let mut variant = NfvniceConfig::full();
         variant.load.weight_period = Duration::from_millis(ms);
         let cfg = sim_config(1, Policy::CfsBatch, variant);
-        let r = lmh_chain(cfg, false, len);
+        let r = lmh_chain(&format!("d4/weight{ms}ms"), cfg, false, len);
         let secs = r.wall.as_secs_f64();
         let writes_per_s = r.cgroup_writes as f64 / secs;
         t.row(vec![
@@ -192,7 +198,8 @@ fn d5(len: RunLength) -> String {
             };
             s.add_udp(c, 800_000.0, 64);
         }
-        let r = s.run(len.steady);
+        let cell = format!("d5/{}", if fine { "fine" } else { "coarse" });
+        let r = crate::util::run_logged("ablations", &cell, &mut s, len.steady);
         let udp_mbps: f64 = r.flows.iter().skip(1).map(|f| f.mbps).sum();
         t.row(vec![
             if fine {

@@ -17,7 +17,7 @@ pub fn run_cell(variant: NfvniceConfig, len: RunLength) -> Report {
     let c = s.add_nf(NfSpec::new("NF3", 0, HIGH));
     let chain = s.add_chain(&[a, b, c]);
     s.add_udp(chain, line_rate(64), 64);
-    s.run(len.steady)
+    crate::util::run_logged("coop", variant.label(), &mut s, len.steady)
 }
 
 /// Render the comparison.

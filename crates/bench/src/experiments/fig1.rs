@@ -41,7 +41,13 @@ pub fn run_cell(policy: Policy, v: Variant, even: bool, len: RunLength) -> Repor
         let chain = s.add_chain(&[nf]);
         s.add_udp(chain, ls[i], 64);
     }
-    s.run(len.steady)
+    let cell = format!(
+        "{}/{:?}/{}",
+        policy.label(),
+        v,
+        if even { "even" } else { "uneven" }
+    );
+    crate::util::run_logged("fig1", &cell, &mut s, len.steady)
 }
 
 /// The three schedulers Fig 1 compares (RR uses the kernel-default 100 ms

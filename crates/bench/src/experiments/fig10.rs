@@ -28,7 +28,8 @@ pub fn run_cell(policy: Policy, variant: NfvniceConfig, len: RunLength) -> Repor
     s.add_udp_with(chain, crate::util::line_rate(64), 64, |f| {
         f.with_cost_class(CostClassGen::Uniform(27))
     });
-    s.run(len.steady)
+    let cell = format!("{}/{}", policy.label(), variant.label());
+    crate::util::run_logged("fig10", &cell, &mut s, len.steady)
 }
 
 /// Full figure.

@@ -29,7 +29,15 @@ pub fn run_cell(costs: [u64; 3], policy: Policy, variant: NfvniceConfig, len: Ru
         .collect();
     let chain = s.add_chain(&nfs);
     s.add_udp(chain, crate::util::line_rate(64), 64);
-    s.run(len.steady)
+    let cell = format!(
+        "{}-{}-{}/{}/{}",
+        costs[0],
+        costs[1],
+        costs[2],
+        policy.label(),
+        variant.label()
+    );
+    crate::util::run_logged("fig11", &cell, &mut s, len.steady)
 }
 
 /// Full figure: throughput per ordering, Default vs NFVnice per scheduler.

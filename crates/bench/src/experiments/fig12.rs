@@ -22,7 +22,8 @@ pub fn run_cell(k: usize, policy: Policy, variant: NfvniceConfig, len: RunLength
         let chain = s.add_chain(&order);
         s.add_udp(chain, rate, 64);
     }
-    s.run(len.steady)
+    let cell = format!("k{k}/{}/{}", policy.label(), variant.label());
+    crate::util::run_logged("fig12", &cell, &mut s, len.steady)
 }
 
 /// Full figure: aggregate throughput per workload type.

@@ -50,7 +50,12 @@ pub fn run_cell(variant: NfvniceConfig, len: RunLength) -> Fig13Run {
         let f = s.add_udp_with(chain, 800_000.0, 64, |f| f.window(on, off));
         udp_flows.push(f.index());
     }
-    let report = s.run(Duration::from_millis(TOTAL * 1000 / scale));
+    let report = crate::util::run_logged(
+        "fig13",
+        variant.label(),
+        &mut s,
+        Duration::from_millis(TOTAL * 1000 / scale),
+    );
     Fig13Run {
         tcp_flow: tcp.index(),
         udp_flows,

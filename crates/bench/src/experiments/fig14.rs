@@ -39,7 +39,8 @@ pub fn run_cell(frame: u32, async_io: bool, len: RunLength) -> Report {
     let f1 = s.add_udp(c1, line_rate(frame) / 2.0, frame);
     s.add_udp(c2, line_rate(frame) / 2.0, frame);
     s.mark_io_flow(f1);
-    s.run(len.steady)
+    let cell = format!("frame{frame}/{}", if async_io { "async" } else { "sync" });
+    crate::util::run_logged("fig14", &cell, &mut s, len.steady)
 }
 
 /// Full figure.

@@ -41,7 +41,13 @@ pub fn run_15a_cell(variant: NfvniceConfig, len: RunLength) -> Report {
         SimTime::from_millis(PHASE2_END * 1000 / scale),
         Action::SetCost(nf1, CostModel::Fixed(5_000)),
     );
-    s.run(Duration::from_millis(TOTAL * 1000 / scale))
+    let cell = format!("15a/{}", variant.label());
+    crate::util::run_logged(
+        "fig15",
+        &cell,
+        &mut s,
+        Duration::from_millis(TOTAL * 1000 / scale),
+    )
 }
 
 /// Diversity-level setup shared by 15b and 15c: `level` NFs with cost
@@ -55,7 +61,8 @@ pub fn run_diversity_cell(level: usize, variant: NfvniceConfig, len: RunLength) 
         let chain = s.add_chain(&[nf]);
         s.add_udp(chain, 2_000_000.0 / level as f64, 64);
     }
-    s.run(len.steady)
+    let cell = format!("diversity{level}/{}", variant.label());
+    crate::util::run_logged("fig15", &cell, &mut s, len.steady)
 }
 
 /// Render all three parts.

@@ -18,7 +18,12 @@ pub fn run_cell(length: usize, multicore: bool, variant: NfvniceConfig, len: Run
         .collect();
     let chain = s.add_chain(&nfs);
     s.add_udp(chain, line_rate(64), 64);
-    s.run(len.steady)
+    let cell = format!(
+        "len{length}/{}/{}",
+        if multicore { "3core" } else { "1core" },
+        variant.label()
+    );
+    crate::util::run_logged("fig16", &cell, &mut s, len.steady)
 }
 
 /// Full figure.

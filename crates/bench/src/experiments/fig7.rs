@@ -15,7 +15,8 @@ pub fn run_cell(policy: Policy, variant: NfvniceConfig, len: RunLength) -> Repor
     let high = s.add_nf(NfSpec::new("NF3-high", 0, 550));
     let chain = s.add_chain(&[low, med, high]);
     s.add_udp(chain, line_rate(64), 64);
-    s.run(len.steady)
+    let cell = format!("{}/{}", policy.label(), variant.label());
+    crate::util::run_logged("fig7", &cell, &mut s, len.steady)
 }
 
 /// Full figure + tables.

@@ -17,7 +17,7 @@ pub fn run_table5_cell(variant: NfvniceConfig, len: RunLength) -> Report {
     let nf3 = s.add_nf(NfSpec::new("NF3", 2, 4500));
     let chain = s.add_chain(&[nf1, nf2, nf3]);
     s.add_udp(chain, line_rate(64), 64);
-    s.run(len.steady)
+    crate::util::run_logged("table5", variant.label(), &mut s, len.steady)
 }
 
 /// One Fig 9 / Table 6 run: two chains over four cores sharing NF1/NF4.
@@ -32,7 +32,7 @@ pub fn run_fig9_cell(variant: NfvniceConfig, len: RunLength) -> Report {
     // Line rate split equally between the two flows.
     s.add_udp(chain1, line_rate(64) / 2.0, 64);
     s.add_udp(chain2, line_rate(64) / 2.0, 64);
-    s.run(len.steady)
+    crate::util::run_logged("fig9", variant.label(), &mut s, len.steady)
 }
 
 /// Render Table 5.

@@ -28,7 +28,8 @@ pub fn run_cell(high_pct: u32, low_pct: u32, len: RunLength) -> Report {
     let c = s.add_nf(NfSpec::new("NF3", 0, HIGH).with_rings(RING, RING));
     let chain = s.add_chain(&[a, b, c]);
     s.add_udp(chain, line_rate(64), 64);
-    s.run(len.steady)
+    let cell = format!("high{high_pct}/low{low_pct}");
+    crate::util::run_logged("tuning", &cell, &mut s, len.steady)
 }
 
 /// Full sweep.

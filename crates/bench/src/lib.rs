@@ -10,4 +10,7 @@
 pub mod experiments;
 pub mod util;
 
-pub use util::{enable_sanitizer, sanitizer_enabled, RunLength, Table};
+pub use util::{
+    enable_metrics, enable_sanitizer, enable_trace, flush_trace, metrics_csv, metrics_json,
+    print_timings, run_logged, sanitizer_enabled, timings_json, RunLength, Table,
+};

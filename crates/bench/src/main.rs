@@ -1,73 +1,110 @@
-//! CLI driver: `nfv-bench [experiment...] [--quick] [--sanitize]`.
+//! CLI driver: `nfv-bench [experiment...] [--quick] [--sanitize]
+//! [--trace <path>] [--metrics-out <path>]`.
 //!
 //! With no arguments, runs the full evaluation suite in paper order.
 //! `--sanitize` runs every experiment with the runtime sim-sanitizer in
 //! strict mode: conservation, hysteresis and suppression-safety are
 //! audited at every event, and a violation aborts the run.
+//!
+//! `--trace <path>` streams structured events (throttles, drops, ECN
+//! marks, share writes, context switches, ...) from every cell as JSONL.
+//! `--metrics-out <path>` writes per-NF/per-chain time series for every
+//! cell as one JSON document (or CSV sections when the path ends in
+//! `.csv`). Either flag also emits per-cell wall-clock timings to stderr
+//! and writes them to `BENCH_timings.json` next to the metrics file (or
+//! in the working directory for `--trace` alone); wall times live in
+//! their own file so the metrics document stays byte-reproducible.
 
 use nfv_bench::experiments::*;
 use nfv_bench::RunLength;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if args.iter().any(|a| a == "--sanitize") {
-        nfv_bench::enable_sanitizer();
-        eprintln!("nfv-bench: sim-sanitizer enabled (strict)");
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--sanitize" => {
+                nfv_bench::enable_sanitizer();
+                eprintln!("nfv-bench: sim-sanitizer enabled (strict)");
+            }
+            "--trace" => {
+                let p = it.next().expect("--trace requires a path");
+                nfv_bench::enable_trace(p).expect("failed to open --trace output");
+                trace_path = Some(p.clone());
+            }
+            "--metrics-out" => {
+                let p = it.next().expect("--metrics-out requires a path");
+                nfv_bench::enable_metrics();
+                metrics_path = Some(p.clone());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("nfv-bench: ignoring unknown flag {flag}");
+            }
+            name => wanted.push(name.to_string()),
+        }
     }
     let len = if quick {
         RunLength::quick()
     } else {
         RunLength::full()
     };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
     let all = wanted.is_empty();
-    let want = |name: &str| all || wanted.contains(&name);
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
-    if want("fig1") {
-        println!("{}", fig1::run(len));
+    type Exp = (&'static str, fn(RunLength) -> String);
+    let suite: &[Exp] = &[
+        ("fig1", fig1::run),
+        ("fig7", fig7::run),
+        ("table5", multicore::run_table5),
+        ("fig9", multicore::run_fig9),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("tuning", tuning::run),
+        ("ablations", ablations::run),
+        ("coop", coop::run),
+    ];
+    for (name, run) in suite {
+        if want(name) {
+            println!("{}", run(len));
+        }
     }
-    if want("fig7") {
-        println!("{}", fig7::run(len));
-    }
-    if want("table5") {
-        println!("{}", multicore::run_table5(len));
-    }
-    if want("fig9") {
-        println!("{}", multicore::run_fig9(len));
-    }
-    if want("fig10") {
-        println!("{}", fig10::run(len));
-    }
-    if want("fig11") {
-        println!("{}", fig11::run(len));
-    }
-    if want("fig12") {
-        println!("{}", fig12::run(len));
-    }
-    if want("fig13") {
-        println!("{}", fig13::run(len));
-    }
-    if want("fig14") {
-        println!("{}", fig14::run(len));
-    }
-    if want("fig15") {
-        println!("{}", fig15::run(len));
-    }
-    if want("fig16") {
-        println!("{}", fig16::run(len));
-    }
-    if want("tuning") {
-        println!("{}", tuning::run(len));
-    }
-    if want("ablations") {
-        println!("{}", ablations::run(len));
-    }
-    if want("coop") {
-        println!("{}", coop::run(len));
+
+    if trace_path.is_some() || metrics_path.is_some() {
+        nfv_bench::flush_trace();
+        nfv_bench::print_timings();
+        if let Some(p) = &metrics_path {
+            if let Some(dir) = std::path::Path::new(p).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("failed to create metrics dir");
+                }
+            }
+            let body = if p.ends_with(".csv") {
+                nfv_bench::metrics_csv()
+            } else {
+                nfv_bench::metrics_json()
+            };
+            std::fs::write(p, body).expect("failed to write --metrics-out");
+            eprintln!("nfv-bench: wrote metrics to {p}");
+        }
+        // Wall-clock timings are nondeterministic by nature, so they go in
+        // their own file and never pollute the metrics document.
+        let timings = std::path::Path::new(metrics_path.as_deref().unwrap_or(""))
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+            .map(|d| d.join("BENCH_timings.json"))
+            .unwrap_or_else(|| std::path::PathBuf::from("BENCH_timings.json"));
+        std::fs::write(&timings, nfv_bench::timings_json())
+            .expect("failed to write BENCH_timings.json");
+        eprintln!("nfv-bench: wrote timings to {}", timings.display());
     }
 }

@@ -2,8 +2,14 @@
 //! NF cost sets, line-rate arithmetic and table rendering.
 
 use nfv_pkt::line_rate_pps;
-use nfvnice::{Duration, NfvniceConfig, Policy, Report, SanitizerConfig, SimConfig, Simulation};
+use nfvnice::{
+    trace_to_jsonl, Duration, MetricsRecorder, NfvniceConfig, Policy, Report, SanitizerConfig,
+    SimConfig, Simulation,
+};
+use std::fmt::Write as _;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide switch: when set (the `--sanitize` CLI flag), every
 /// experiment config built by [`sim_config`] runs with the sim-sanitizer
@@ -18,6 +24,166 @@ pub fn enable_sanitizer() {
 /// Is the sim-sanitizer globally enabled?
 pub fn sanitizer_enabled() -> bool {
     SANITIZE.load(Ordering::Relaxed)
+}
+
+/// `--trace`: record structured events and stream them as JSONL.
+static OBS_TRACE: AtomicBool = AtomicBool::new(false);
+/// `--metrics-out`: sample per-NF/per-chain time series every monitor tick.
+static OBS_METRICS: AtomicBool = AtomicBool::new(false);
+/// The open `--trace` output; cells stream into it as they finish so trace
+/// memory never accumulates across the suite.
+static TRACE_OUT: Mutex<Option<std::io::BufWriter<std::fs::File>>> = Mutex::new(None);
+/// Observability records of every cell run through [`run_logged`].
+static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+
+/// One experiment cell's observability record.
+struct CellRecord {
+    experiment: String,
+    cell: String,
+    sim_secs: f64,
+    /// Host wall-clock time of the cell (telemetry only — never fed back
+    /// into the simulation).
+    wall_ms: f64,
+    trace_digest: u64,
+    metrics: Option<MetricsRecorder>,
+}
+
+/// Enable structured tracing, streaming JSONL to `path`.
+pub fn enable_trace(path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let f = std::fs::File::create(path)?;
+    *TRACE_OUT.lock().unwrap() = Some(std::io::BufWriter::new(f));
+    OBS_TRACE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Enable metrics recording for all subsequently built configs.
+pub fn enable_metrics() {
+    OBS_METRICS.store(true, Ordering::Relaxed);
+}
+
+/// Run one experiment cell with observability: wall-clock timing, trace
+/// streaming and metrics capture, keyed by `experiment`/`cell` labels.
+/// Drop-in replacement for `Simulation::run` in experiment code.
+pub fn run_logged(experiment: &str, cell: &str, s: &mut Simulation, dur: Duration) -> Report {
+    // Wall-clock is bench telemetry only; it never enters the simulation.
+    let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock)
+    let r = s.run(dur);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if OBS_TRACE.load(Ordering::Relaxed) {
+        let events = s.take_trace();
+        if let Some(w) = TRACE_OUT.lock().unwrap().as_mut() {
+            // One header object per cell, then the cell's raw event lines.
+            let _ = writeln!(
+                w,
+                "{{\"cell\":{{\"experiment\":{experiment:?},\"cell\":{cell:?},\"events\":{}}}}}",
+                events.len()
+            );
+            let _ = w.write_all(trace_to_jsonl(&events).as_bytes());
+        }
+    }
+    let metrics = OBS_METRICS
+        .load(Ordering::Relaxed)
+        .then(|| s.take_metrics());
+    CELLS.lock().unwrap().push(CellRecord {
+        experiment: experiment.to_string(),
+        cell: cell.to_string(),
+        sim_secs: dur.as_secs_f64(),
+        wall_ms,
+        trace_digest: r.trace_digest,
+        metrics,
+    });
+    r
+}
+
+/// Render every recorded cell's metrics as one JSON document. Contains
+/// only deterministic fields (simulated time, digests, time series) so two
+/// same-seed runs are byte-identical.
+pub fn metrics_json() -> String {
+    let cells = CELLS.lock().unwrap();
+    let mut s = String::from("{\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"experiment\":{:?},\"cell\":{:?},\"sim_secs\":{},\"trace_digest\":{}",
+            c.experiment, c.cell, c.sim_secs, c.trace_digest
+        );
+        if let Some(m) = &c.metrics {
+            let _ = write!(s, ",\"metrics\":{}", m.to_json());
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Render every recorded cell's metrics as CSV (one commented section per
+/// cell). Used when `--metrics-out` ends in `.csv`.
+pub fn metrics_csv() -> String {
+    let cells = CELLS.lock().unwrap();
+    let mut s = String::new();
+    for c in cells.iter() {
+        let _ = writeln!(
+            s,
+            "# {}/{} sim_secs={} trace_digest={}",
+            c.experiment, c.cell, c.sim_secs, c.trace_digest
+        );
+        if let Some(m) = &c.metrics {
+            s.push_str(&m.to_csv());
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Render per-cell wall-clock timings as JSON (nondeterministic by nature;
+/// kept separate from [`metrics_json`] so that file stays reproducible).
+pub fn timings_json() -> String {
+    let cells = CELLS.lock().unwrap();
+    let mut s = String::from("{\"cells\":[");
+    let mut total = 0.0;
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        total += c.wall_ms;
+        let _ = write!(
+            s,
+            "{{\"experiment\":{:?},\"cell\":{:?},\"sim_secs\":{},\"wall_ms\":{:.3}}}",
+            c.experiment, c.cell, c.sim_secs, c.wall_ms
+        );
+    }
+    let _ = write!(s, "],\"total_wall_ms\":{total:.3}}}");
+    s
+}
+
+/// Print per-cell wall-clock timings to stderr, grouped by experiment.
+pub fn print_timings() {
+    let cells = CELLS.lock().unwrap();
+    if cells.is_empty() {
+        return;
+    }
+    eprintln!("nfv-bench: per-cell wall-clock timings");
+    for c in cells.iter() {
+        eprintln!(
+            "  {:>9.1} ms  {}/{} ({} s simulated)",
+            c.wall_ms, c.experiment, c.cell, c.sim_secs
+        );
+    }
+}
+
+/// Flush the streaming trace output, if any.
+pub fn flush_trace() {
+    if let Some(w) = TRACE_OUT.lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
 }
 
 /// The paper's canonical Low/Medium/High per-packet costs for the
@@ -62,6 +228,8 @@ pub fn sim_config(cores: usize, policy: Policy, nfvnice: NfvniceConfig) -> SimCo
     if sanitizer_enabled() {
         cfg.sanitizer = SanitizerConfig::strict();
     }
+    cfg.obs.trace = OBS_TRACE.load(Ordering::Relaxed);
+    cfg.obs.metrics = OBS_METRICS.load(Ordering::Relaxed);
     cfg
 }
 

@@ -16,7 +16,8 @@
 //! A chain may be throttled by several bottlenecks at once, so each chain
 //! keeps the *set* of NFs currently throttling it.
 
-use nfv_des::Duration;
+use nfv_des::{Duration, SimTime};
+use nfv_obs::{TraceKind, TraceSink};
 use nfv_pkt::{ChainId, NfId};
 use std::collections::BTreeSet;
 
@@ -63,6 +64,8 @@ pub struct Backpressure {
     marked: Vec<BTreeSet<ChainId>>,
     /// Throttle activations over the run.
     pub throttle_events: u64,
+    /// Structured-event sink (off unless observability is enabled).
+    trace: TraceSink,
 }
 
 impl Backpressure {
@@ -74,7 +77,14 @@ impl Backpressure {
             throttled_by: vec![BTreeSet::new(); num_chains],
             marked: vec![BTreeSet::new(); num_nfs],
             throttle_events: 0,
+            trace: TraceSink::off(),
         }
+    }
+
+    /// Attach a trace sink recording throttle transitions and chain
+    /// mark/clear events.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Is `chain` currently subject to entry-point discard?
@@ -101,6 +111,7 @@ impl Backpressure {
     ///   service chain they are part of").
     pub fn evaluate<'a>(
         &mut self,
+        now: SimTime,
         nf: NfId,
         qlen: usize,
         capacity: usize,
@@ -115,34 +126,60 @@ impl Backpressure {
                 if above_high && aged {
                     self.state[nf.index()] = BpState::Throttle;
                     self.throttle_events += 1;
-                    self.mark_chains(nf, pending_chains);
+                    self.trace
+                        .record(now, TraceKind::ThrottleEnter { nf: nf.0 });
+                    self.mark_chains(now, nf, pending_chains);
                 }
             }
             BpState::Throttle => {
                 if below_low {
                     self.state[nf.index()] = BpState::Watch;
-                    self.clear_chains(nf);
-                } else {
-                    // Still congested: chains that started queueing here
-                    // after the transition get throttled too.
-                    self.mark_chains(nf, pending_chains);
+                    self.trace.record(now, TraceKind::ThrottleExit { nf: nf.0 });
+                    self.clear_chains(now, nf);
+                } else if above_high && aged {
+                    // Still at/over HIGH with an aged head: chains that
+                    // started queueing here after the transition meet the
+                    // same criterion and get throttled too. In the
+                    // LOW..HIGH hysteresis band, existing marks persist
+                    // but no *new* chain is throttled — a chain must never
+                    // be throttled without witnessing HIGH ∧ aged (Fig 4).
+                    self.mark_chains(now, nf, pending_chains);
                 }
             }
         }
     }
 
-    fn mark_chains<'a>(&mut self, nf: NfId, chains: impl Iterator<Item = &'a ChainId>) {
+    fn mark_chains<'a>(
+        &mut self,
+        now: SimTime,
+        nf: NfId,
+        chains: impl Iterator<Item = &'a ChainId>,
+    ) {
         for &c in chains {
             if self.marked[nf.index()].insert(c) {
                 self.throttled_by[c.index()].insert(nf);
+                self.trace.record(
+                    now,
+                    TraceKind::ChainMark {
+                        nf: nf.0,
+                        chain: c.0,
+                    },
+                );
             }
         }
     }
 
-    fn clear_chains(&mut self, nf: NfId) {
+    fn clear_chains(&mut self, now: SimTime, nf: NfId) {
         let marked = std::mem::take(&mut self.marked[nf.index()]);
         for c in marked {
             self.throttled_by[c.index()].remove(&nf);
+            self.trace.record(
+                now,
+                TraceKind::ChainClear {
+                    nf: nf.0,
+                    chain: c.0,
+                },
+            );
         }
     }
 }
@@ -156,6 +193,7 @@ mod tests {
     }
 
     const CAP: usize = 100;
+    const T: SimTime = SimTime::ZERO;
     fn age(us: u64) -> Option<Duration> {
         Some(Duration::from_micros(us))
     }
@@ -164,7 +202,7 @@ mod tests {
     fn throttles_above_high_with_aged_queue() {
         let mut b = bp();
         let chains = [ChainId(0)];
-        b.evaluate(NfId(1), 80, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 80, CAP, age(200), chains.iter());
         assert_eq!(b.state(NfId(1)), BpState::Throttle);
         assert!(b.is_throttled(ChainId(0)));
         assert!(!b.is_throttled(ChainId(1)));
@@ -176,7 +214,7 @@ mod tests {
         let mut b = bp();
         let chains = [ChainId(0)];
         // over HIGH but the head packet is young: a burst, not overload
-        b.evaluate(NfId(1), 90, CAP, age(10), chains.iter());
+        b.evaluate(T, NfId(1), 90, CAP, age(10), chains.iter());
         assert_eq!(b.state(NfId(1)), BpState::Watch);
         assert!(!b.is_throttled(ChainId(0)));
     }
@@ -185,13 +223,13 @@ mod tests {
     fn hysteresis_clears_only_below_low() {
         let mut b = bp();
         let chains = [ChainId(0)];
-        b.evaluate(NfId(1), 85, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 85, CAP, age(200), chains.iter());
         assert!(b.is_throttled(ChainId(0)));
         // Drops to 70 (between LOW and HIGH): still throttled.
-        b.evaluate(NfId(1), 70, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 70, CAP, age(200), chains.iter());
         assert!(b.is_throttled(ChainId(0)));
         // Below LOW (60): cleared.
-        b.evaluate(NfId(1), 59, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 59, CAP, age(200), chains.iter());
         assert!(!b.is_throttled(ChainId(0)));
         assert_eq!(b.state(NfId(1)), BpState::Watch);
     }
@@ -200,12 +238,12 @@ mod tests {
     fn multiple_bottlenecks_must_all_clear() {
         let mut b = bp();
         let chains = [ChainId(0)];
-        b.evaluate(NfId(1), 90, CAP, age(200), chains.iter());
-        b.evaluate(NfId(2), 90, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 90, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(2), 90, CAP, age(200), chains.iter());
         assert!(b.is_throttled(ChainId(0)));
-        b.evaluate(NfId(1), 10, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(1), 10, CAP, age(200), chains.iter());
         assert!(b.is_throttled(ChainId(0)), "NF2 still congested");
-        b.evaluate(NfId(2), 10, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(2), 10, CAP, age(200), chains.iter());
         assert!(!b.is_throttled(ChainId(0)));
     }
 
@@ -213,14 +251,14 @@ mod tests {
     fn late_arriving_chain_marked_while_throttled() {
         let mut b = bp();
         let first = [ChainId(0)];
-        b.evaluate(NfId(1), 90, CAP, age(200), first.iter());
+        b.evaluate(T, NfId(1), 90, CAP, age(200), first.iter());
         assert!(!b.is_throttled(ChainId(1)));
         // Next scan: chain 1's packets are now queued here too.
         let both = [ChainId(0), ChainId(1)];
-        b.evaluate(NfId(1), 90, CAP, age(200), both.iter());
+        b.evaluate(T, NfId(1), 90, CAP, age(200), both.iter());
         assert!(b.is_throttled(ChainId(1)));
         // Clearing unmarks both.
-        b.evaluate(NfId(1), 0, CAP, None, [].iter());
+        b.evaluate(T, NfId(1), 0, CAP, None, [].iter());
         assert!(!b.is_throttled(ChainId(0)));
         assert!(!b.is_throttled(ChainId(1)));
     }
@@ -230,7 +268,7 @@ mod tests {
         // Fig 5: chain B does not pass the bottleneck, stays admitted.
         let mut b = Backpressure::new(BackpressureConfig::default(), 5, 4);
         let at_bottleneck = [ChainId(0), ChainId(2), ChainId(3)];
-        b.evaluate(NfId(3), 95, CAP, age(500), at_bottleneck.iter());
+        b.evaluate(T, NfId(3), 95, CAP, age(500), at_bottleneck.iter());
         assert!(b.is_throttled(ChainId(0)));
         assert!(!b.is_throttled(ChainId(1)));
         assert!(b.is_throttled(ChainId(2)));
@@ -238,9 +276,64 @@ mod tests {
     }
 
     #[test]
+    fn no_new_marks_in_hysteresis_band() {
+        let mut b = bp();
+        let first = [ChainId(0)];
+        b.evaluate(T, NfId(1), 90, CAP, age(200), first.iter());
+        assert!(b.is_throttled(ChainId(0)));
+        // Occupancy falls into the LOW..HIGH band; chain 1's packets show
+        // up. It never witnessed HIGH ∧ aged here, so it must NOT be
+        // throttled — the old code re-marked it anyway.
+        let both = [ChainId(0), ChainId(1)];
+        b.evaluate(T, NfId(1), 70, CAP, age(200), both.iter());
+        assert!(b.is_throttled(ChainId(0)), "existing mark persists");
+        assert!(!b.is_throttled(ChainId(1)), "no new mark in the band");
+        // Back over HIGH with an aged head: now chain 1 qualifies.
+        b.evaluate(T, NfId(1), 90, CAP, age(200), both.iter());
+        assert!(b.is_throttled(ChainId(1)));
+    }
+
+    #[test]
+    fn trace_records_throttle_lifecycle() {
+        let mut b = bp();
+        let sink = TraceSink::recording();
+        b.set_trace(sink.clone());
+        let chains = [ChainId(0)];
+        b.evaluate(
+            SimTime::from_micros(1),
+            NfId(1),
+            90,
+            CAP,
+            age(200),
+            chains.iter(),
+        );
+        b.evaluate(
+            SimTime::from_micros(2),
+            NfId(1),
+            10,
+            CAP,
+            age(200),
+            chains.iter(),
+        );
+        let evs = sink.take();
+        let labels: Vec<&str> = evs.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "throttle_enter",
+                "chain_mark",
+                "throttle_exit",
+                "chain_clear"
+            ]
+        );
+        assert_eq!(evs[0].t, SimTime::from_micros(1));
+        assert_eq!(evs[2].t, SimTime::from_micros(2));
+    }
+
+    #[test]
     fn empty_queue_never_throttles() {
         let mut b = bp();
-        b.evaluate(NfId(0), 0, CAP, None, [].iter());
+        b.evaluate(T, NfId(0), 0, CAP, None, [].iter());
         assert_eq!(b.state(NfId(0)), BpState::Watch);
     }
 }

@@ -83,6 +83,32 @@ impl NfvniceConfig {
     }
 }
 
+/// Observability switches: structured tracing and monitor-tick metrics.
+///
+/// Both default to off, where recording is a single branch on a `None`
+/// handle — experiments pay nothing unless they opt in. Recording never
+/// feeds back into the simulation, so the event-trace digest
+/// ([`Report::trace_digest`](crate::Report)) is identical with and without
+/// observability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsConfig {
+    /// Record structured trace events (throttle transitions, chain
+    /// mark/clear, share writes, NF sleep/wake/yield, drops, ECN marks).
+    pub trace: bool,
+    /// Sample per-NF / per-chain time series on every monitor tick.
+    pub metrics: bool,
+}
+
+impl ObsConfig {
+    /// Everything on.
+    pub fn all() -> Self {
+        ObsConfig {
+            trace: true,
+            metrics: true,
+        }
+    }
+}
+
 /// Full simulation configuration: platform + NFVnice + driver periods.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -103,6 +129,8 @@ pub struct SimConfig {
     /// Runtime invariant auditing (off by default; the event-trace digest
     /// in [`Report::trace_digest`](crate::Report) is maintained regardless).
     pub sanitizer: SanitizerConfig,
+    /// Structured tracing and metrics recording (off by default).
+    pub obs: ObsConfig,
 }
 
 impl Default for SimConfig {
@@ -116,6 +144,7 @@ impl Default for SimConfig {
             wakeup_period: Duration::from_micros(10),
             seed: 0x4e46_5675,
             sanitizer: SanitizerConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::invariants;
 use crate::load::{compute_shares, LoadMonitor};
 use crate::report::{ChainReport, FlowReport, NfReport, Report, Series};
 use nfv_des::{Duration, EventQueue, Sanitizer, Severity, SimRng, SimTime};
+use nfv_obs::{DropCause, MetricsRecorder, TraceEvent, TraceKind, TraceSink, NO_ID};
 use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
 use nfv_platform::{BatchPlan, CostModel, NfSpec, PacketHandler, Platform, TcpEvent, TcpEventKind};
 use nfv_sched::SwitchKind;
@@ -92,6 +93,9 @@ pub struct Simulation {
     ecn: EcnMarker,
     core_active: Vec<bool>,
     actions: Vec<(SimTime, Action)>,
+    trace: TraceSink,
+    metrics: MetricsRecorder,
+    mgr_cgroup_time: Duration,
     monitor_ticks: u64,
     tuple_counter: u32,
     last_roll: SimTime,
@@ -124,6 +128,17 @@ impl Simulation {
             ecn: EcnMarker::new(cfg.nfvnice.ecn_cfg, Vec::new()),
             core_active: vec![false; cfg.platform.nf_cores],
             actions: Vec::new(),
+            trace: if cfg.obs.trace {
+                TraceSink::recording()
+            } else {
+                TraceSink::off()
+            },
+            metrics: if cfg.obs.metrics {
+                MetricsRecorder::recording()
+            } else {
+                MetricsRecorder::off()
+            },
+            mgr_cgroup_time: Duration::ZERO,
             monitor_ticks: 0,
             tuple_counter: 0,
             last_roll: SimTime::ZERO,
@@ -224,6 +239,18 @@ impl Simulation {
         &self.tcp[self.tcp_by_flow[&flow]]
     }
 
+    /// Drain the structured trace recorded so far (empty unless
+    /// [`ObsConfig::trace`](crate::config::ObsConfig) was set).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Take the metrics time series recorded so far (empty unless
+    /// [`ObsConfig::metrics`](crate::config::ObsConfig) was set).
+    pub fn take_metrics(&mut self) -> MetricsRecorder {
+        std::mem::take(&mut self.metrics)
+    }
+
     // ------------------------------------------------------------------
     // main loop
     // ------------------------------------------------------------------
@@ -265,6 +292,16 @@ impl Simulation {
                 .iter()
                 .map(|nf| nf.rx.capacity())
                 .collect(),
+        );
+        // Hand every subsystem the shared trace handle; recording is
+        // observation only and never feeds back into any decision, so the
+        // event-trace digest is unchanged whether or not it is on.
+        self.bp.set_trace(self.trace.clone());
+        self.platform.trace = self.trace.clone();
+        self.platform.sched.set_trace(self.trace.clone());
+        self.metrics.init(
+            self.platform.nfs.iter().map(|nf| nf.spec.name.as_str()),
+            n_chains,
         );
         self.cpu_snapshot = vec![Duration::ZERO; n_nfs];
         self.flow_bytes_snapshot = vec![0; self.platform.stats.flows.len()];
@@ -386,9 +423,24 @@ impl Simulation {
         }
         for f in frames.drain(..) {
             // UDP is non-responsive: NIC overflow is silent loss.
-            let _ = self.platform.nic.deliver(f);
+            if !self.platform.nic.deliver(f) {
+                self.trace_nic_overflow(now);
+            }
         }
         self.scratch_frames = frames;
+    }
+
+    fn trace_nic_overflow(&self, now: SimTime) {
+        // Classification has not happened yet, so flow/chain are unknown.
+        self.trace.record(
+            now,
+            TraceKind::PacketDrop {
+                cause: DropCause::NicOverflow,
+                flow: NO_ID,
+                chain: NO_ID,
+                nf: NO_ID,
+            },
+        );
     }
 
     fn pump_tcp(&mut self, src: usize, now: SimTime) {
@@ -398,6 +450,7 @@ impl Simulation {
         let rtt = self.tcp[src].rtt;
         for f in frames.drain(..) {
             if !self.platform.nic.deliver(f) {
+                self.trace_nic_overflow(now);
                 // Hardware drop: the sender finds out a round trip later.
                 self.queue.push(
                     now + rtt,
@@ -490,6 +543,7 @@ impl Simulation {
                 let nf = &platform.nfs[idx];
                 let head_age = platform.rx_head_age(NfId(idx as u32), now);
                 bp.evaluate(
+                    now,
                     NfId(idx as u32),
                     nf.rx.len(),
                     nf.rx.capacity(),
@@ -520,8 +574,10 @@ impl Simulation {
                 // Running or runnable: if its whole backlog is doomed
                 // (every pending chain has a bottleneck downstream),
                 // tell the NF to relinquish the CPU.
-                None if suppressed => {
+                None if suppressed && !nf.yield_flag => {
                     nf.yield_flag = true;
+                    self.trace
+                        .record(now, TraceKind::NfYield { nf: idx as u32 });
                 }
                 _ => {}
             }
@@ -594,6 +650,7 @@ impl Simulation {
             self.load.sample(idx, now, nf.last_ppp, nf.arrivals);
             self.ecn.observe(idx, nf.rx.len());
         }
+        self.sample_metrics(now);
         let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
             / self.cfg.nfvnice.load.sample_period.as_nanos())
         .max(1);
@@ -609,9 +666,51 @@ impl Simulation {
                     continue; // a lone NF owns its core regardless of weight
                 }
                 for (idx, shares) in compute_shares(&entries, self.cfg.nfvnice.load.shares_scale) {
-                    self.platform.set_nf_shares(NfId(idx as u32), shares);
+                    // Each effective sysfs write costs manager-thread CPU
+                    // time (redundant writes are filtered for free).
+                    let cost = self.platform.set_nf_shares(NfId(idx as u32), shares);
+                    if cost > Duration::ZERO {
+                        self.mgr_cgroup_time += cost;
+                        self.trace.record(
+                            now,
+                            TraceKind::ShareWrite {
+                                nf: idx as u32,
+                                shares,
+                            },
+                        );
+                    }
                 }
             }
+        }
+    }
+
+    /// One metrics sample column per monitor tick (no-op when metrics are
+    /// off).
+    fn sample_metrics(&mut self, now: SimTime) {
+        if !self.metrics.is_on() {
+            return;
+        }
+        self.metrics
+            .begin_tick(now, self.platform.mempool.in_use() as u64);
+        for idx in 0..self.platform.nfs.len() {
+            let nf = &self.platform.nfs[idx];
+            let id = NfId(idx as u32);
+            self.metrics.record_nf(
+                idx,
+                nf.rx.len() as u64,
+                matches!(self.bp.state(id), BpState::Throttle),
+                self.platform.cgroups.shares(nf.task),
+                self.load.arrival_rate_pps(idx),
+                self.load.service_time_ns(idx).unwrap_or(0),
+            );
+        }
+        for c in 0..self.platform.chains.count() {
+            let chain = ChainId(c as u32);
+            self.metrics.record_chain(
+                c,
+                self.bp.is_throttled(chain),
+                self.bp.throttlers(chain).count() as u64,
+            );
         }
     }
 
@@ -636,7 +735,7 @@ impl Simulation {
             }
             BatchPlan::Block(reason) => {
                 self.platform.sched.block_current(core, now);
-                self.platform.mark_blocked(nf, reason);
+                self.platform.mark_blocked(nf, reason, now);
                 self.core_active[core] = false;
                 self.kick(core, now);
             }
@@ -661,7 +760,7 @@ impl Simulation {
         }
         if let Some(reason) = fx.block {
             self.platform.sched.block_current(core, now);
-            self.platform.mark_blocked(nf, reason);
+            self.platform.mark_blocked(nf, reason, now);
             self.core_active[core] = false;
             self.kick(core, now);
         } else if self.platform.sched.need_resched(core, now) {
@@ -785,6 +884,7 @@ impl Simulation {
             entry_drops: self.platform.stats.entry_throttle_drops,
             total_wasted_drops: self.platform.nfs.iter().map(|nf| nf.wasted_drops).sum(),
             cgroup_writes: self.platform.cgroups.writes,
+            cgroup_write_time: self.mgr_cgroup_time,
             throttle_events: self.bp.throttle_events,
             ecn_marks: self.ecn.marks,
             trace_digest: self.sanitizer.digest(),
@@ -1025,6 +1125,46 @@ mod tests {
             "chain starved: {}",
             r.flows[0].delivered_pps
         );
+    }
+
+    #[test]
+    fn cgroup_write_cost_charged_to_manager_time() {
+        // Each effective cpu.shares write costs ~5 µs of manager CPU time;
+        // the engine's weight-update path must account every one of them
+        // (and nothing else — redundant writes are free).
+        let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::cgroups_only()));
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 2_400));
+        let ca = sim.add_chain(&[a]);
+        let cb = sim.add_chain(&[b]);
+        sim.add_udp(ca, 500_000.0, 64);
+        sim.add_udp(cb, 500_000.0, 64);
+        let r = sim.run(Duration::from_millis(100));
+        assert!(r.cgroup_writes > 0, "no weight updates happened");
+        assert_eq!(
+            r.cgroup_write_time,
+            nfv_sched::CgroupCpu::DEFAULT_WRITE_COST.times(r.cgroup_writes),
+        );
+    }
+
+    #[test]
+    fn ecn_marks_only_ect0_packets() {
+        // Non-ECT traffic through a congested NF must never be CE-marked
+        // even with the marker on: the platform checks the codepoint
+        // before consulting the policy, so the marks counter stays zero.
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::off());
+        cfg.nfvnice.ecn = true;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("fast", 0, 100));
+        let slow = sim.add_nf(NfSpec::new("slow", 0, 26_000));
+        let chain = sim.add_chain(&[a, slow]);
+        sim.add_udp(chain, 1_000_000.0, 64); // NotEct by construction
+        let r = sim.run(Duration::from_millis(200));
+        assert!(
+            r.flows[0].dropped + r.total_wasted_drops + r.nic_overflow > 0,
+            "scenario failed to congest the slow NF"
+        );
+        assert_eq!(r.ecn_marks, 0, "NotEct packets must not be CE-marked");
     }
 
     #[test]

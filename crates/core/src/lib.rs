@@ -48,7 +48,7 @@ pub mod load;
 pub mod report;
 
 pub use backpressure::{Backpressure, BackpressureConfig, BpState};
-pub use config::{NfvniceConfig, SimConfig};
+pub use config::{NfvniceConfig, ObsConfig, SimConfig};
 pub use ecn::{EcnConfig, EcnMarker};
 pub use engine::{Action, Simulation};
 pub use invariants::{conservation_ledger, packets_conserved, within_pct, ConservationLedger};
@@ -58,6 +58,10 @@ pub use report::{ChainReport, FlowReport, NfReport, Report, Series};
 // Re-export the pieces users need to assemble experiments without naming
 // every substrate crate.
 pub use nfv_des::{CpuFreq, Duration, Sanitizer, SanitizerConfig, SimTime};
+pub use nfv_obs::{
+    trace_to_csv, trace_to_jsonl, DropCause, MetricsRecorder, SleepReason, TraceEvent, TraceKind,
+    TraceSink,
+};
 pub use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Packet, Proto};
 pub use nfv_platform::{
     BlockReason, CostModel, IoMode, NfAction, NfIoSpec, NfSpec, PacketHandler, PlatformConfig,

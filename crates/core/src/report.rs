@@ -107,6 +107,9 @@ pub struct Report {
     pub total_wasted_drops: u64,
     /// cgroup sysfs writes performed.
     pub cgroup_writes: u64,
+    /// Manager CPU time spent performing those writes (~5 µs each): the
+    /// overhead the paper batches weight updates to bound.
+    pub cgroup_write_time: Duration,
     /// Backpressure throttle activations.
     pub throttle_events: u64,
     /// ECN CE marks applied.
@@ -218,6 +221,7 @@ mod tests {
             entry_drops: 0,
             total_wasted_drops: 0,
             cgroup_writes: 0,
+            cgroup_write_time: Duration::ZERO,
             throttle_events: 0,
             ecn_marks: 0,
             trace_digest: 0,

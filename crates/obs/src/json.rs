@@ -1,0 +1,90 @@
+//! Minimal deterministic JSON rendering helpers.
+//!
+//! The workspace forbids external dependencies, so the exporters assemble
+//! JSON by hand. Everything funnels through these helpers so escaping and
+//! number formatting are uniform: floats use Rust's shortest-roundtrip
+//! `Display`, which is a pure function of the bits, so two identical
+//! recordings render byte-identically.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (with escaping) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite float as a JSON number (`null` for NaN/∞, which JSON
+/// cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `[a, b, c]` for a u64 slice.
+pub fn push_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+/// Append `[a, b, c]` for an f64 slice (`null` for non-finite entries).
+pub fn push_f64_array(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *x);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn floats_render_shortest() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1);
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "0.1null");
+    }
+
+    #[test]
+    fn arrays_render() {
+        let mut s = String::new();
+        push_u64_array(&mut s, &[1, 2, 3]);
+        push_f64_array(&mut s, &[1.5]);
+        assert_eq!(s, "[1,2,3][1.5]");
+    }
+}

@@ -1,0 +1,466 @@
+//! Structured event tracing.
+//!
+//! Events are recorded at the existing decision points of the engine,
+//! platform, scheduler and backpressure subsystems; each carries the
+//! simulated timestamp and raw entity ids (`u32` NF/chain/flow/core/task
+//! indices, so this crate depends on nothing but `nfv-des`). The sink is a
+//! handle: clones share one buffer, and a sink built with [`TraceSink::off`]
+//! carries no buffer at all, making [`TraceSink::record`] a single
+//! `Option` branch on the hot path.
+
+use crate::json;
+use nfv_des::SimTime;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Sentinel for an id that does not apply to an event (e.g. the flow of a
+/// pre-classification NIC drop). Exporters omit fields holding it.
+pub const NO_ID: u32 = u32::MAX;
+
+/// Why an NF process went to sleep on its semaphore (mirror of the
+/// platform's block reasons, kept here to avoid a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepReason {
+    /// RX ring empty: nothing to do.
+    EmptyRx,
+    /// Manager-directed backpressure yield.
+    Backpressure,
+    /// The NF's own TX ring is full.
+    TxFull,
+    /// Waiting on a storage flush.
+    Io,
+}
+
+impl SleepReason {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepReason::EmptyRx => "empty_rx",
+            SleepReason::Backpressure => "backpressure",
+            SleepReason::TxFull => "tx_full",
+            SleepReason::Io => "io",
+        }
+    }
+}
+
+/// Where/why a packet (or frame) was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// NIC hardware RX queue overflowed (pre-classification).
+    NicOverflow,
+    /// No flow-table match (pre-admission).
+    Unclassified,
+    /// Shed at chain entry by backpressure's selective early discard.
+    EntryThrottle,
+    /// Shared mempool exhausted.
+    MempoolExhausted,
+    /// An NF's RX ring was full.
+    RingFull,
+    /// The NF's packet handler dropped it (policy, not congestion).
+    Handler,
+}
+
+impl DropCause {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropCause::NicOverflow => "nic_overflow",
+            DropCause::Unclassified => "unclassified",
+            DropCause::EntryThrottle => "entry_throttle",
+            DropCause::MempoolExhausted => "mempool_exhausted",
+            DropCause::RingFull => "ring_full",
+            DropCause::Handler => "handler",
+        }
+    }
+}
+
+/// What happened. All ids are raw indices (`NfId.0`, `ChainId.0`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An NF crossed the high watermark with an aged queue head and
+    /// entered the `Throttle` state.
+    ThrottleEnter {
+        /// The bottleneck NF.
+        nf: u32,
+    },
+    /// An NF fell below the low watermark and left `Throttle`.
+    ThrottleExit {
+        /// The recovering NF.
+        nf: u32,
+    },
+    /// `nf` (a throttling bottleneck) marked `chain` for entry discard.
+    ChainMark {
+        /// The bottleneck NF.
+        nf: u32,
+        /// The chain now subject to selective early discard.
+        chain: u32,
+    },
+    /// `nf` cleared its mark on `chain`.
+    ChainClear {
+        /// The recovering NF.
+        nf: u32,
+        /// The chain released from this bottleneck.
+        chain: u32,
+    },
+    /// The monitor wrote `cpu.shares` for an NF's cgroup (non-redundant
+    /// writes only — redundant writes are skipped and cost nothing).
+    ShareWrite {
+        /// The NF whose weight changed.
+        nf: u32,
+        /// The new shares value (post-clamping).
+        shares: u64,
+    },
+    /// An NF blocked on its semaphore.
+    NfSleep {
+        /// The NF going to sleep.
+        nf: u32,
+        /// Why it blocked.
+        reason: SleepReason,
+    },
+    /// A blocked NF was woken.
+    NfWake {
+        /// The woken NF.
+        nf: u32,
+    },
+    /// The wakeup thread set an NF's yield flag (its whole backlog is
+    /// doomed by a downstream bottleneck).
+    NfYield {
+        /// The NF directed to relinquish the CPU.
+        nf: u32,
+    },
+    /// A packet or frame was dropped. `flow`/`chain`/`nf` are [`NO_ID`]
+    /// when unknown at the drop point (e.g. NIC overflow).
+    PacketDrop {
+        /// Why it was dropped.
+        cause: DropCause,
+        /// Flow id, or [`NO_ID`].
+        flow: u32,
+        /// Chain id, or [`NO_ID`].
+        chain: u32,
+        /// NF at which the drop occurred, or [`NO_ID`].
+        nf: u32,
+    },
+    /// A CE mark was applied to an ECT(0) packet entering `nf`'s queue.
+    EcnMark {
+        /// The congested NF whose queue triggered the mark.
+        nf: u32,
+    },
+    /// A dispatch that changed the running task on a core (the point where
+    /// the direct context-switch cost is charged).
+    CtxSwitch {
+        /// The core.
+        core: u32,
+        /// The incoming task.
+        task: u32,
+    },
+}
+
+impl TraceKind {
+    /// Stable lowercase event name used by the exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::ThrottleEnter { .. } => "throttle_enter",
+            TraceKind::ThrottleExit { .. } => "throttle_exit",
+            TraceKind::ChainMark { .. } => "chain_mark",
+            TraceKind::ChainClear { .. } => "chain_clear",
+            TraceKind::ShareWrite { .. } => "share_write",
+            TraceKind::NfSleep { .. } => "nf_sleep",
+            TraceKind::NfWake { .. } => "nf_wake",
+            TraceKind::NfYield { .. } => "nf_yield",
+            TraceKind::PacketDrop { .. } => "drop",
+            TraceKind::EcnMark { .. } => "ecn_mark",
+            TraceKind::CtxSwitch { .. } => "ctx_switch",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (simulated time).
+    pub t: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Render as a single JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        fn field(s: &mut String, name: &str, v: u32) {
+            if v != NO_ID {
+                let _ = write!(s, ",\"{name}\":{v}");
+            }
+        }
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{{\"t_ns\":{},\"ev\":", self.t.as_nanos());
+        json::push_str_lit(&mut s, self.kind.label());
+        match self.kind {
+            TraceKind::ThrottleEnter { nf }
+            | TraceKind::ThrottleExit { nf }
+            | TraceKind::EcnMark { nf }
+            | TraceKind::NfWake { nf }
+            | TraceKind::NfYield { nf } => field(&mut s, "nf", nf),
+            TraceKind::ChainMark { nf, chain } | TraceKind::ChainClear { nf, chain } => {
+                field(&mut s, "nf", nf);
+                field(&mut s, "chain", chain);
+            }
+            TraceKind::ShareWrite { nf, shares } => {
+                field(&mut s, "nf", nf);
+                let _ = write!(s, ",\"shares\":{shares}");
+            }
+            TraceKind::NfSleep { nf, reason } => {
+                field(&mut s, "nf", nf);
+                s.push_str(",\"reason\":");
+                json::push_str_lit(&mut s, reason.label());
+            }
+            TraceKind::PacketDrop {
+                cause,
+                flow,
+                chain,
+                nf,
+            } => {
+                s.push_str(",\"cause\":");
+                json::push_str_lit(&mut s, cause.label());
+                field(&mut s, "flow", flow);
+                field(&mut s, "chain", chain);
+                field(&mut s, "nf", nf);
+            }
+            TraceKind::CtxSwitch { core, task } => {
+                field(&mut s, "core", core);
+                field(&mut s, "task", task);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Render events as JSONL (one JSON object per line, trailing newline).
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render events as CSV with a fixed header; inapplicable cells are empty.
+pub fn trace_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("t_ns,ev,nf,chain,flow,detail\n");
+    let opt = |v: u32| {
+        if v == NO_ID {
+            String::new()
+        } else {
+            v.to_string()
+        }
+    };
+    for e in events {
+        let (nf, chain, flow, detail) = match e.kind {
+            TraceKind::ThrottleEnter { nf }
+            | TraceKind::ThrottleExit { nf }
+            | TraceKind::EcnMark { nf }
+            | TraceKind::NfWake { nf }
+            | TraceKind::NfYield { nf } => (opt(nf), String::new(), String::new(), String::new()),
+            TraceKind::ChainMark { nf, chain } | TraceKind::ChainClear { nf, chain } => {
+                (opt(nf), opt(chain), String::new(), String::new())
+            }
+            TraceKind::ShareWrite { nf, shares } => {
+                (opt(nf), String::new(), String::new(), shares.to_string())
+            }
+            TraceKind::NfSleep { nf, reason } => {
+                (opt(nf), String::new(), String::new(), reason.label().into())
+            }
+            TraceKind::PacketDrop {
+                cause,
+                flow,
+                chain,
+                nf,
+            } => (opt(nf), opt(chain), opt(flow), cause.label().into()),
+            TraceKind::CtxSwitch { core, task } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("core{core}->task{task}"),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{nf},{chain},{flow},{detail}",
+            e.t.as_nanos(),
+            e.kind.label()
+        );
+    }
+    out
+}
+
+/// A recording handle. Clones share one buffer; a sink built with
+/// [`TraceSink::off`] records nothing at (almost) zero cost.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    buf: Option<Rc<RefCell<Vec<TraceEvent>>>>,
+}
+
+impl TraceSink {
+    /// A disabled sink: `record` is a no-op branch.
+    pub fn off() -> Self {
+        TraceSink { buf: None }
+    }
+
+    /// An enabled sink with a fresh shared buffer.
+    pub fn recording() -> Self {
+        TraceSink {
+            buf: Some(Rc::new(RefCell::new(Vec::new()))),
+        }
+    }
+
+    /// Is this sink recording?
+    pub fn is_on(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Record an event (no-op when off).
+    #[inline]
+    pub fn record(&self, t: SimTime, kind: TraceKind) {
+        if let Some(buf) = &self.buf {
+            buf.borrow_mut().push(TraceEvent { t, kind });
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.buf.as_ref().map_or(0, |b| b.borrow().len())
+    }
+
+    /// True when nothing has been recorded (or the sink is off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all recorded events (subsequent recording starts fresh).
+    pub fn take(&self) -> Vec<TraceEvent> {
+        self.buf
+            .as_ref()
+            .map_or_else(Vec::new, |b| std::mem::take(&mut b.borrow_mut()))
+    }
+
+    /// Count events matching a predicate without draining.
+    pub fn count(&self, pred: impl Fn(&TraceKind) -> bool) -> usize {
+        self.buf
+            .as_ref()
+            .map_or(0, |b| b.borrow().iter().filter(|e| pred(&e.kind)).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let s = TraceSink::off();
+        s.record(SimTime::ZERO, TraceKind::NfWake { nf: 0 });
+        assert!(!s.is_on());
+        assert!(s.is_empty());
+        assert!(s.take().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let s = TraceSink::recording();
+        let c = s.clone();
+        c.record(SimTime::from_micros(1), TraceKind::ThrottleEnter { nf: 2 });
+        s.record(SimTime::from_micros(2), TraceKind::ThrottleExit { nf: 2 });
+        assert_eq!(s.len(), 2);
+        let events = s.take();
+        assert_eq!(events[0].kind, TraceKind::ThrottleEnter { nf: 2 });
+        assert!(c.is_empty(), "take drains the shared buffer");
+    }
+
+    #[test]
+    fn count_filters() {
+        let s = TraceSink::recording();
+        s.record(SimTime::ZERO, TraceKind::EcnMark { nf: 1 });
+        s.record(SimTime::ZERO, TraceKind::NfYield { nf: 1 });
+        assert_eq!(s.count(|k| matches!(k, TraceKind::EcnMark { .. })), 1);
+    }
+
+    #[test]
+    fn jsonl_renders_each_variant() {
+        let t = SimTime::from_nanos(42);
+        let cases = [
+            (
+                TraceKind::ThrottleEnter { nf: 1 },
+                r#"{"t_ns":42,"ev":"throttle_enter","nf":1}"#,
+            ),
+            (
+                TraceKind::ChainMark { nf: 1, chain: 3 },
+                r#"{"t_ns":42,"ev":"chain_mark","nf":1,"chain":3}"#,
+            ),
+            (
+                TraceKind::ShareWrite {
+                    nf: 0,
+                    shares: 2048,
+                },
+                r#"{"t_ns":42,"ev":"share_write","nf":0,"shares":2048}"#,
+            ),
+            (
+                TraceKind::NfSleep {
+                    nf: 2,
+                    reason: SleepReason::TxFull,
+                },
+                r#"{"t_ns":42,"ev":"nf_sleep","nf":2,"reason":"tx_full"}"#,
+            ),
+            (
+                TraceKind::PacketDrop {
+                    cause: DropCause::NicOverflow,
+                    flow: NO_ID,
+                    chain: NO_ID,
+                    nf: NO_ID,
+                },
+                r#"{"t_ns":42,"ev":"drop","cause":"nic_overflow"}"#,
+            ),
+            (
+                TraceKind::PacketDrop {
+                    cause: DropCause::RingFull,
+                    flow: 7,
+                    chain: 1,
+                    nf: 4,
+                },
+                r#"{"t_ns":42,"ev":"drop","cause":"ring_full","flow":7,"chain":1,"nf":4}"#,
+            ),
+            (
+                TraceKind::CtxSwitch { core: 0, task: 5 },
+                r#"{"t_ns":42,"ev":"ctx_switch","core":0,"task":5}"#,
+            ),
+        ];
+        for (kind, want) in cases {
+            assert_eq!(TraceEvent { t, kind }.to_json(), want);
+        }
+    }
+
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let events = [
+            TraceEvent {
+                t: SimTime::from_nanos(1),
+                kind: TraceKind::ThrottleEnter { nf: 3 },
+            },
+            TraceEvent {
+                t: SimTime::from_nanos(2),
+                kind: TraceKind::PacketDrop {
+                    cause: DropCause::EntryThrottle,
+                    flow: 0,
+                    chain: 1,
+                    nf: NO_ID,
+                },
+            },
+        ];
+        let csv = trace_to_csv(&events);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_ns,ev,nf,chain,flow,detail");
+        assert_eq!(lines[1], "1,throttle_enter,3,,,");
+        assert_eq!(lines[2], "2,drop,,1,0,entry_throttle");
+    }
+}

@@ -13,6 +13,7 @@ use crate::nf::{BlockReason, ForwardAll, IoMode, NfAction, NfRuntime, NfSpec, Pa
 use crate::stats::{DropLocation, PlatformStats, TcpEvent, TcpEventKind};
 use nfv_des::{CpuFreq, Duration, SimTime};
 use nfv_io::{StorageDevice, WriteOutcome};
+use nfv_obs::{DropCause, SleepReason, TraceKind, TraceSink, NO_ID};
 use nfv_pkt::{
     ChainId, Ecn, Enqueue, FlowId, FlowTable, Mempool, NfId, Nic, Packet, Proto, WireFrame,
 };
@@ -117,6 +118,8 @@ pub struct Platform {
     /// Flows whose packets trigger storage I/O at NFs that have an I/O
     /// profile.
     pub io_flows: BTreeSet<FlowId>,
+    /// Structured-event sink (off unless observability is enabled).
+    pub trace: TraceSink,
     handlers: Vec<Option<Box<dyn PacketHandler>>>,
     tcp_flows: BTreeSet<FlowId>,
     scratch_frames: Vec<WireFrame>,
@@ -137,6 +140,7 @@ impl Platform {
             storage: StorageDevice::default_ssd(),
             stats: PlatformStats::default(),
             io_flows: BTreeSet::new(),
+            trace: TraceSink::off(),
             handlers: Vec::new(),
             tcp_flows: BTreeSet::new(),
             scratch_frames: Vec::new(),
@@ -219,6 +223,7 @@ impl Platform {
         for frame in frames.drain(..) {
             let Some((flow, chain)) = self.flow_table.classify(&frame.tuple, frame.size) else {
                 self.stats.unclassified += 1;
+                self.trace_drop(now, DropCause::Unclassified, NO_ID, NO_ID, NO_ID);
                 continue;
             };
             // Wildcard rules can mint new flows at runtime; keep per-flow
@@ -233,6 +238,7 @@ impl Platform {
             self.nfs[entry.index()].note_arrival();
             if !admit(chain, flow) {
                 self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
+                self.trace_drop(now, DropCause::EntryThrottle, flow.0, chain.0, entry.0);
                 self.note_tcp_drop(flow, frame.seq, tcp_out);
                 continue;
             }
@@ -246,6 +252,7 @@ impl Platform {
                 self.stats.mempool_fail += 1;
                 self.stats
                     .dropped(flow, chain, DropLocation::MempoolExhausted);
+                self.trace_drop(now, DropCause::MempoolExhausted, flow.0, chain.0, entry.0);
                 self.note_tcp_drop(flow, frame.seq, tcp_out);
                 continue;
             };
@@ -256,11 +263,24 @@ impl Platform {
                     self.mempool.free(pid);
                     self.stats
                         .dropped(flow, chain, DropLocation::RingFull(entry));
+                    self.trace_drop(now, DropCause::RingFull, flow.0, chain.0, entry.0);
                     self.note_tcp_drop(flow, frame.seq, tcp_out);
                 }
             }
         }
         self.scratch_frames = frames;
+    }
+
+    fn trace_drop(&self, now: SimTime, cause: DropCause, flow: u32, chain: u32, nf: u32) {
+        self.trace.record(
+            now,
+            TraceKind::PacketDrop {
+                cause,
+                flow,
+                chain,
+                nf,
+            },
+        );
     }
 
     fn note_tcp_drop(&mut self, flow: FlowId, seq: u64, tcp_out: &mut Vec<TcpEvent>) {
@@ -317,6 +337,7 @@ impl Platform {
                             p.enqueued_at = now;
                             if p.ecn == Ecn::Ect0 && mark_ce(next) {
                                 p.ecn = Ecn::Ce;
+                                self.trace.record(now, TraceKind::EcnMark { nf: next.0 });
                             }
                         }
                         let nf = &mut self.nfs[next.index()];
@@ -327,6 +348,7 @@ impl Platform {
                                 self.mempool.free(pid);
                                 self.stats
                                     .dropped(flow, chain, DropLocation::RingFull(next));
+                                self.trace_drop(now, DropCause::RingFull, flow.0, chain.0, next.0);
                                 // The previous NF's work is wasted.
                                 self.nfs[i].wasted_drops += 1;
                                 self.nfs[i].wasted_meter.add(1);
@@ -448,6 +470,7 @@ impl Platform {
                     self.mempool.free(pid);
                     self.stats
                         .dropped(flow, chain, DropLocation::Handler(nf_id));
+                    self.trace_drop(now, DropCause::Handler, flow.0, chain.0, nf_id.0);
                 }
                 NfAction::Forward => {
                     self.mempool.get_mut(pid).hops_done += 1;
@@ -494,13 +517,27 @@ impl Platform {
         nf.blocked = None;
         let task = nf.task;
         self.sched.wake(task, now);
+        self.trace.record(now, TraceKind::NfWake { nf: nf_id.0 });
         true
     }
 
     /// Record that the NF on `core` blocked for `reason` (after the engine
     /// has told the scheduler).
-    pub fn mark_blocked(&mut self, nf_id: NfId, reason: BlockReason) {
+    pub fn mark_blocked(&mut self, nf_id: NfId, reason: BlockReason, now: SimTime) {
         self.nfs[nf_id.index()].blocked = Some(reason);
+        let reason = match reason {
+            BlockReason::EmptyRx => SleepReason::EmptyRx,
+            BlockReason::Backpressure => SleepReason::Backpressure,
+            BlockReason::TxFull => SleepReason::TxFull,
+            BlockReason::Io => SleepReason::Io,
+        };
+        self.trace.record(
+            now,
+            TraceKind::NfSleep {
+                nf: nf_id.0,
+                reason,
+            },
+        );
     }
 
     /// Age of the packet at the head of `nf`'s RX ring (how long it has
@@ -712,7 +749,7 @@ mod tests {
         assert_eq!(p.nfs[a.index()].outbox.len(), 16);
         // next plan: outbox still stuck (tx full) → block TxFull
         assert_eq!(p.plan_batch(a), BatchPlan::Block(BlockReason::TxFull));
-        p.mark_blocked(a, BlockReason::TxFull);
+        p.mark_blocked(a, BlockReason::TxFull, SimTime::from_micros(1));
         // TX thread drains and signals the NF can resume
         p.tx_drain(
             SimTime::from_micros(2),
@@ -844,7 +881,7 @@ mod tests {
         assert_eq!(fx.block, Some(BlockReason::Io));
         let wake = fx.io_wake_at.unwrap();
         assert!(wake > SimTime::from_micros(100), "includes device latency");
-        p.mark_blocked(a, BlockReason::Io);
+        p.mark_blocked(a, BlockReason::Io, SimTime::from_micros(1));
         let out = p.on_io_complete(a, wake);
         assert!(out.wake);
         assert!(out.next_completion.is_none());
@@ -873,7 +910,7 @@ mod tests {
         // 8 pkts × 64B = 512B = both buffers: one flush + one blocked
         assert_eq!(fx.flush_completions.len(), 1);
         assert_eq!(fx.block, Some(BlockReason::Io));
-        p.mark_blocked(a, BlockReason::Io);
+        p.mark_blocked(a, BlockReason::Io, SimTime::from_micros(1));
         let out = p.on_io_complete(a, fx.flush_completions[0]);
         assert!(out.wake);
         assert!(out.next_completion.is_some(), "queued buffer flushes next");

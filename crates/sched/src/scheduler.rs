@@ -21,6 +21,7 @@ use crate::params::{CfsParams, Policy, NICE0_WEIGHT};
 use crate::runqueue::RunQueue;
 use crate::task::{SwitchKind, Task, TaskId, TaskState};
 use nfv_des::{Duration, SimTime};
+use nfv_obs::{TraceKind, TraceSink};
 
 /// Per-core scheduling state.
 #[derive(Debug)]
@@ -48,6 +49,8 @@ pub struct OsScheduler {
     cs_cost: Duration,
     tasks: Vec<Task>,
     cores: Vec<Core>,
+    /// Structured-event sink (off unless observability is enabled).
+    trace: TraceSink,
 }
 
 impl OsScheduler {
@@ -72,7 +75,13 @@ impl OsScheduler {
                     busy: Duration::ZERO,
                 })
                 .collect(),
+            trace: TraceSink::off(),
         }
+    }
+
+    /// Attach a trace sink recording paid context switches.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// The active policy.
@@ -188,6 +197,13 @@ impl OsScheduler {
         let overhead = if c.last_ran == Some(id) {
             Duration::ZERO
         } else {
+            self.trace.record(
+                now,
+                TraceKind::CtxSwitch {
+                    core: core as u32,
+                    task: id.0,
+                },
+            );
             self.cs_cost
         };
         c.last_ran = Some(id);

@@ -10,7 +10,8 @@
 //! Run with: `cargo run --release --bin service_chain_backpressure`
 
 use nfvnice::{
-    Duration, NfAction, NfSpec, NfvniceConfig, Packet, PacketHandler, Policy, SimConfig, Simulation,
+    Duration, NfAction, NfSpec, NfvniceConfig, ObsConfig, Packet, PacketHandler, Policy, SimConfig,
+    Simulation, TraceKind,
 };
 
 /// A firewall that drops every 100th packet (policy denial, not congestion)
@@ -30,11 +31,14 @@ impl PacketHandler for SamplingFirewall {
     }
 }
 
-fn run(variant: NfvniceConfig) -> nfvnice::Report {
+fn run(variant: NfvniceConfig) -> (Simulation, nfvnice::Report) {
     let mut cfg = SimConfig::default();
     cfg.platform.nf_cores = 3;
     cfg.platform.policy = Policy::CfsNormal;
     cfg.nfvnice = variant;
+    // Record structured events + time series (pure observers: the trace
+    // digest is identical with observability off).
+    cfg.obs = ObsConfig::all();
     let mut sim = Simulation::new(cfg);
     let nf1 = sim.add_nf(NfSpec::new("classifier", 0, 550));
     let nf2 = sim.add_nf_with_handler(
@@ -44,12 +48,13 @@ fn run(variant: NfvniceConfig) -> nfvnice::Report {
     let nf3 = sim.add_nf(NfSpec::new("dpi", 2, 4500));
     let chain = sim.add_chain(&[nf1, nf2, nf3]);
     sim.add_udp(chain, 14_880_000.0, 64);
-    sim.run(Duration::from_secs(1))
+    let r = sim.run(Duration::from_secs(1));
+    (sim, r)
 }
 
 fn main() {
     for variant in [NfvniceConfig::off(), NfvniceConfig::full()] {
-        let r = run(variant);
+        let (mut sim, r) = run(variant);
         println!("== {} ==", r.variant);
         for nf in &r.nfs {
             println!(
@@ -62,11 +67,50 @@ fn main() {
             );
         }
         println!(
-            "  delivered {:.3} Mpps, shed-at-entry {} pkts, wasted {} pkts\n",
+            "  delivered {:.3} Mpps, shed-at-entry {} pkts, wasted {} pkts",
             r.throughput_mpps(),
             r.entry_drops,
             r.total_wasted_drops
         );
+        // Observability: reconstruct the throttle timeline from the trace
+        // and summarize the sampled time series.
+        let events = sim.take_trace();
+        let first_throttle = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::ThrottleEnter { .. }));
+        match first_throttle {
+            Some(e) => {
+                let enters = events
+                    .iter()
+                    .filter(|e| matches!(e.kind, TraceKind::ThrottleEnter { .. }))
+                    .count();
+                let share_writes = events
+                    .iter()
+                    .filter(|e| matches!(e.kind, TraceKind::ShareWrite { .. }))
+                    .count();
+                println!(
+                    "  trace: {} events; first throttle at t={} us; {} throttle enters, {} share writes",
+                    events.len(),
+                    e.t.as_micros(),
+                    enters,
+                    share_writes
+                );
+            }
+            None => println!("  trace: {} events; no throttling occurred", events.len()),
+        }
+        let m = sim.take_metrics();
+        for nf in &m.nfs {
+            let peak_q = nf.qlen.iter().copied().max().unwrap_or(0);
+            let throttled_ticks = nf.throttled.iter().filter(|&&t| t == 1).count();
+            println!(
+                "  metrics: {:<11} peak queue {:>4}  throttled {:>4}/{} sampled ticks",
+                nf.name,
+                peak_q,
+                throttled_ticks,
+                m.samples()
+            );
+        }
+        println!();
     }
     println!("Backpressure sheds doomed packets before any CPU touches them:");
     println!("upstream cores drop from 100% utilization to a trickle while the");
