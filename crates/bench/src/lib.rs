@@ -12,5 +12,6 @@ pub mod util;
 
 pub use util::{
     enable_metrics, enable_sanitizer, enable_trace, flush_trace, metrics_csv, metrics_json,
-    print_timings, run_logged, sanitizer_enabled, timings_json, RunLength, Table,
+    print_timings, run_logged, run_suite, sanitizer_enabled, set_suite_meta, timings_json, Exp,
+    RunLength, Table,
 };

@@ -3,13 +3,14 @@
 
 use nfv_pkt::line_rate_pps;
 use nfvnice::{
-    trace_to_jsonl, Duration, MetricsRecorder, NfvniceConfig, Policy, Report, SanitizerConfig,
+    trace_to_jsonl_into, Duration, MetricsRecorder, NfvniceConfig, Policy, Report, SanitizerConfig,
     SimConfig, Simulation,
 };
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Process-wide switch: when set (the `--sanitize` CLI flag), every
 /// experiment config built by [`sim_config`] runs with the sim-sanitizer
@@ -30,11 +31,26 @@ pub fn sanitizer_enabled() -> bool {
 static OBS_TRACE: AtomicBool = AtomicBool::new(false);
 /// `--metrics-out`: sample per-NF/per-chain time series every monitor tick.
 static OBS_METRICS: AtomicBool = AtomicBool::new(false);
-/// The open `--trace` output; cells stream into it as they finish so trace
-/// memory never accumulates across the suite.
+/// The open `--trace` output; in serial runs cells stream into it as they
+/// finish so trace memory never accumulates across the suite.
 static TRACE_OUT: Mutex<Option<std::io::BufWriter<std::fs::File>>> = Mutex::new(None);
-/// Observability records of every cell run through [`run_logged`].
+/// Observability records of every cell, in suite order (committed by
+/// [`run_suite`]; workers accumulate into [`THREAD_CELLS`] first).
 static CELLS: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+/// When set, [`run_logged`] buffers trace JSONL into the cell record
+/// instead of streaming it: a parallel worker must not interleave its
+/// bytes with other cells'. [`run_suite`] commits the buffers in order.
+static BUFFER_TRACE: AtomicBool = AtomicBool::new(false);
+/// Suite-level metadata for [`timings_json`]: worker count and whole-suite
+/// wall clock, set by the driver after the suite finishes.
+static SUITE_META: Mutex<Option<(usize, f64)>> = Mutex::new(None);
+
+thread_local! {
+    /// Cells finished by *this* thread since the last [`take_thread_cells`]
+    /// drain. Keeps a parallel worker's records private until the suite
+    /// runner commits them in suite order.
+    static THREAD_CELLS: RefCell<Vec<CellRecord>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One experiment cell's observability record.
 struct CellRecord {
@@ -46,6 +62,9 @@ struct CellRecord {
     wall_ms: f64,
     trace_digest: u64,
     metrics: Option<MetricsRecorder>,
+    /// Buffered trace JSONL (header line + events) when running under a
+    /// parallel suite; `None` when streamed directly or tracing is off.
+    trace_jsonl: Option<String>,
 }
 
 /// Enable structured tracing, streaming JSONL to `path`.
@@ -74,30 +93,122 @@ pub fn run_logged(experiment: &str, cell: &str, s: &mut Simulation, dur: Duratio
     let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock)
     let r = s.run(dur);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut trace_jsonl = None;
     if OBS_TRACE.load(Ordering::Relaxed) {
         let events = s.take_trace();
-        if let Some(w) = TRACE_OUT.lock().unwrap().as_mut() {
-            // One header object per cell, then the cell's raw event lines.
-            let _ = writeln!(
-                w,
-                "{{\"cell\":{{\"experiment\":{experiment:?},\"cell\":{cell:?},\"events\":{}}}}}",
-                events.len()
-            );
-            let _ = w.write_all(trace_to_jsonl(&events).as_bytes());
+        // One header object per cell, then the cell's raw event lines.
+        let mut body = format!(
+            "{{\"cell\":{{\"experiment\":{experiment:?},\"cell\":{cell:?},\"events\":{}}}}}\n",
+            events.len()
+        );
+        trace_to_jsonl_into(&events, &mut body);
+        if BUFFER_TRACE.load(Ordering::Relaxed) {
+            trace_jsonl = Some(body);
+        } else if let Some(w) = TRACE_OUT.lock().unwrap().as_mut() {
+            let _ = w.write_all(body.as_bytes());
         }
     }
     let metrics = OBS_METRICS
         .load(Ordering::Relaxed)
         .then(|| s.take_metrics());
-    CELLS.lock().unwrap().push(CellRecord {
+    let record = CellRecord {
         experiment: experiment.to_string(),
         cell: cell.to_string(),
         sim_secs: dur.as_secs_f64(),
         wall_ms,
         trace_digest: r.trace_digest,
         metrics,
-    });
+        trace_jsonl,
+    };
+    THREAD_CELLS.with(|c| c.borrow_mut().push(record));
     r
+}
+
+/// Drain the cell records finished by the calling thread, in completion
+/// order.
+fn take_thread_cells() -> Vec<CellRecord> {
+    THREAD_CELLS.with(|c| std::mem::take(&mut *c.borrow_mut()))
+}
+
+/// Commit a batch of finished cell records: flush any buffered trace
+/// bytes to the `--trace` sink and append the records to the global,
+/// suite-ordered ledger behind `metrics_json`/`timings_json`.
+fn commit_cells(records: Vec<CellRecord>) {
+    let mut cells = CELLS.lock().unwrap();
+    for mut rec in records {
+        if let Some(body) = rec.trace_jsonl.take() {
+            if let Some(w) = TRACE_OUT.lock().unwrap().as_mut() {
+                let _ = w.write_all(body.as_bytes());
+            }
+        }
+        cells.push(rec);
+    }
+}
+
+/// One named suite entry: label + experiment entry point.
+pub type Exp = (&'static str, fn(RunLength) -> String);
+
+/// Run `suite` with `jobs` worker threads, printing each entry's output
+/// and committing its observability records **in suite order** — stdout,
+/// `--trace`, `--metrics-out` and the timings file are byte-identical to
+/// a `jobs == 1` run.
+///
+/// Each entry still builds and runs its simulations single-threaded and
+/// fully deterministically; parallelism is purely across entries, and
+/// only finished [`CellRecord`] batches cross a thread boundary. With
+/// `--trace`, parallel workers buffer each cell's JSONL in memory until
+/// commit (serial runs keep streaming), so prefer `--quick` traces when
+/// running wide.
+pub fn run_suite(suite: &[Exp], len: RunLength, jobs: usize) {
+    if jobs <= 1 || suite.len() <= 1 {
+        for (_name, f) in suite {
+            println!("{}", f(len));
+            commit_cells(take_thread_cells());
+        }
+        return;
+    }
+    BUFFER_TRACE.store(true, Ordering::Relaxed);
+    let next = AtomicUsize::new(0);
+    type Slot = (String, Vec<CellRecord>);
+    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new(suite.iter().map(|_| None).collect());
+    let ready = Condvar::new();
+    // Harness-side threads only: every simulation inside stays
+    // single-threaded and seeded, so cell results cannot depend on the
+    // worker count or interleaving.
+    // nfv-lint: allow(thread-spawn)
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(suite.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= suite.len() {
+                    break;
+                }
+                let out = (suite[i].1)(len);
+                let cells = take_thread_cells();
+                slots.lock().unwrap()[i] = Some((out, cells));
+                ready.notify_all();
+            });
+        }
+        // Commit strictly in suite order as results arrive.
+        for i in 0..suite.len() {
+            let mut guard = slots.lock().unwrap();
+            while guard[i].is_none() {
+                guard = ready.wait(guard).unwrap();
+            }
+            let (out, cells) = guard[i].take().unwrap();
+            drop(guard);
+            println!("{out}");
+            commit_cells(cells);
+        }
+    });
+    BUFFER_TRACE.store(false, Ordering::Relaxed);
+}
+
+/// Record suite-level telemetry for [`timings_json`]: the worker count and
+/// the whole-suite wall clock (comparing a `--jobs N` run's value against
+/// a serial run's gives the end-to-end speedup).
+pub fn set_suite_meta(jobs: usize, suite_wall_ms: f64) {
+    *SUITE_META.lock().unwrap() = Some((jobs, suite_wall_ms));
 }
 
 /// Render every recorded cell's metrics as one JSON document. Contains
@@ -160,7 +271,11 @@ pub fn timings_json() -> String {
             c.experiment, c.cell, c.sim_secs, c.wall_ms
         );
     }
-    let _ = write!(s, "],\"total_wall_ms\":{total:.3}}}");
+    let _ = write!(s, "],\"total_wall_ms\":{total:.3}");
+    if let Some((jobs, suite_wall_ms)) = *SUITE_META.lock().unwrap() {
+        let _ = write!(s, ",\"jobs\":{jobs},\"suite_wall_ms\":{suite_wall_ms:.3}");
+    }
+    s.push('}');
     s
 }
 

@@ -21,7 +21,7 @@
 //! | `hash-map`     | deny     | `HashMap` (iteration order is seeded per-instance) |
 //! | `hash-set`     | deny     | `HashSet` (same)                           |
 //! | `wall-clock`   | deny     | `Instant` / `SystemTime` (wall time in sim code) |
-//! | `thread-spawn` | deny     | `thread::spawn` (the sim is single-threaded) |
+//! | `thread-spawn` | deny     | `thread::spawn` / `thread::scope` / `thread::Builder` (the sim is single-threaded) |
 //! | `raw-rand`     | deny     | `rand::` paths / `use rand` (all randomness goes through `SimRng`) |
 //! | `float-accum`  | warn     | `+=` on float-looking values in `crates/sched` & `crates/core` |
 //!
@@ -377,7 +377,10 @@ pub fn scan_source(path_label: &str, text: &str) -> Vec<Finding> {
         if has_word(code, "Instant") || has_word(code, "SystemTime") {
             hits.push(("wall-clock", Severity::Deny));
         }
-        if code.contains("thread::spawn") {
+        if code.contains("thread::spawn")
+            || code.contains("thread::scope")
+            || code.contains("thread::Builder")
+        {
             hits.push(("thread-spawn", Severity::Deny));
         }
         if uses_rand(code) {
@@ -540,6 +543,22 @@ mod tests {
             rules_of("std::thread::spawn(|| {});\n"),
             vec!["thread-spawn"]
         );
+    }
+
+    #[test]
+    fn flags_scoped_and_builder_threads() {
+        assert_eq!(
+            rules_of("std::thread::scope(|s| { s.spawn(|| {}); });\n"),
+            vec!["thread-spawn"]
+        );
+        assert_eq!(
+            rules_of("let h = thread::Builder::new().spawn(f);\n"),
+            vec!["thread-spawn"]
+        );
+        // Harness-side concurrency (the bench suite runner) opts out with
+        // the standard annotation; the sim crates never should.
+        let allowed = "std::thread::scope(|s| { // nfv-lint: allow(thread-spawn)\n";
+        assert!(rules_of(allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Per-core engine state.
+//!
+//! Everything the event loop keeps *per NF core* lives in one
+//! [`CoreDomain`] — the execution flag that serializes `CoreRun` /
+//! `BatchDone` events, the roster of NFs homed on the core, and the
+//! per-core bookkeeping (CPU-time snapshots, weight-computation scratch)
+//! that used to be smeared across core-indexed `Vec`s on `Simulation`.
+//! A future sharded engine can hand each domain to its own event loop;
+//! today the single loop simply owns `Vec<CoreDomain>`.
+
+use nfv_des::Duration;
+use nfv_platform::Platform;
+
+/// All per-core state of the engine. The domain's `id` doubles as its
+/// run-queue handle: it is the core index the platform's `OsScheduler`
+/// dispatches on.
+#[derive(Debug)]
+pub(crate) struct CoreDomain {
+    /// Core index — the handle passed to `OsScheduler::dispatch` /
+    /// `charge_current` / `need_resched` for this domain's run queue.
+    pub(crate) id: usize,
+    /// A `CoreRun`/`BatchDone` event for this core is in flight. Exactly
+    /// one such event may exist per core at a time; `kick` is a no-op
+    /// while the flag is set.
+    pub(crate) active: bool,
+    /// NFs homed on this core, in deployment (NF-id) order. Built once at
+    /// `prime`; NF→core pinning is fixed for the life of a run.
+    pub(crate) nfs: Vec<usize>,
+    /// Last-interval CPU-time snapshot per homed NF (parallel to `nfs`),
+    /// for the per-second CPU% series.
+    pub(crate) cpu_snapshot: Vec<Duration>,
+    /// Reusable `(nf, load, priority)` buffer for the monitor's weight
+    /// computation — avoids a fresh allocation per core per weight tick.
+    pub(crate) share_scratch: Vec<(usize, f64, f64)>,
+}
+
+impl CoreDomain {
+    /// An empty domain for core `id`.
+    pub(crate) fn new(id: usize) -> Self {
+        CoreDomain {
+            id,
+            active: false,
+            nfs: Vec::new(),
+            cpu_snapshot: Vec::new(),
+            share_scratch: Vec::new(),
+        }
+    }
+
+    /// Build one domain per platform core, each adopting the NFs pinned
+    /// to it. Called at `prime`, after every NF has been deployed.
+    pub(crate) fn build_all(platform: &Platform) -> Vec<CoreDomain> {
+        (0..platform.cfg.nf_cores)
+            .map(|core| {
+                let mut d = CoreDomain::new(core);
+                d.nfs = platform.nfs_on_core(core).map(|nf| nf.index()).collect();
+                d.cpu_snapshot = vec![Duration::ZERO; d.nfs.len()];
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_platform::{NfSpec, PlatformConfig};
+
+    #[test]
+    fn domains_adopt_their_pinned_nfs_in_id_order() {
+        let cfg = PlatformConfig {
+            nf_cores: 3,
+            ..Default::default()
+        };
+        let mut p = Platform::new(cfg);
+        p.add_nf(NfSpec::new("a", 0, 100));
+        p.add_nf(NfSpec::new("b", 2, 100));
+        p.add_nf(NfSpec::new("c", 0, 100));
+        p.add_nf(NfSpec::new("d", 1, 100));
+        let domains = CoreDomain::build_all(&p);
+        assert_eq!(domains.len(), 3);
+        assert_eq!(domains[0].nfs, vec![0, 2]);
+        assert_eq!(domains[1].nfs, vec![3]);
+        assert_eq!(domains[2].nfs, vec![1]);
+        for d in &domains {
+            assert_eq!(d.cpu_snapshot.len(), d.nfs.len());
+            assert!(!d.active);
+            assert!(d.share_scratch.is_empty());
+        }
+    }
+}

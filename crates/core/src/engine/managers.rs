@@ -1,0 +1,338 @@
+//! The manager-thread ticks: traffic generation, RX classification and
+//! admission, TX draining, the wakeup thread's watermark evaluation and
+//! wake/yield classification, and the monitor's load sampling and cgroup
+//! weight updates. Each runs as a periodic event on a dedicated
+//! (unmodeled) core, as in the paper's deployment where the NF Manager's
+//! threads are pinned away from NF cores.
+
+use super::events::Ev;
+use super::Simulation;
+use crate::backpressure::BpState;
+use crate::load::compute_shares;
+use nfv_des::{Duration, SimTime};
+use nfv_obs::{DropCause, TraceKind, NO_ID};
+use nfv_pkt::{ChainId, FlowId, NfId};
+use nfv_traffic::Feedback;
+
+impl Simulation {
+    pub(super) fn do_traffic(&mut self, now: SimTime) {
+        let mut frames = std::mem::take(&mut self.scratch_frames);
+        frames.clear();
+        // Rotate the source order each poll: with a fixed order, the first
+        // flow's burst would systematically win the last ring slots when a
+        // shared NF's queue hovers near full, starving later flows.
+        let n = self.udp.len();
+        if n > 0 {
+            self.traffic_rotor = (self.traffic_rotor + 1) % n;
+            for i in 0..n {
+                let idx = (self.traffic_rotor + i) % n;
+                self.udp[idx].emit(now, self.cfg.traffic_poll, &mut self.rng, &mut frames);
+            }
+        }
+        for f in frames.drain(..) {
+            // UDP is non-responsive: NIC overflow is silent loss.
+            if !self.platform.nic.deliver(f) {
+                self.trace_nic_overflow(now);
+            }
+        }
+        self.scratch_frames = frames;
+    }
+
+    fn trace_nic_overflow(&self, now: SimTime) {
+        // Classification has not happened yet, so flow/chain are unknown.
+        self.trace.record(
+            now,
+            TraceKind::PacketDrop {
+                cause: DropCause::NicOverflow,
+                flow: NO_ID,
+                chain: NO_ID,
+                nf: NO_ID,
+            },
+        );
+    }
+
+    pub(super) fn pump_tcp(&mut self, src: usize, now: SimTime) {
+        let mut frames = std::mem::take(&mut self.scratch_frames);
+        frames.clear();
+        self.tcp[src].pump(now, &mut frames);
+        let rtt = self.tcp[src].rtt;
+        for f in frames.drain(..) {
+            if !self.platform.nic.deliver(f) {
+                self.trace_nic_overflow(now);
+                // Hardware drop: the sender finds out a round trip later.
+                self.queue.push(
+                    now + rtt,
+                    Ev::TcpFeedback {
+                        src,
+                        fb: Feedback::Dropped { seq: f.seq },
+                    },
+                );
+            }
+        }
+        self.scratch_frames = frames;
+    }
+
+    pub(super) fn do_rx(&mut self, now: SimTime) {
+        let Simulation {
+            platform,
+            bp,
+            cfg,
+            scratch_tcp,
+            ..
+        } = self;
+        scratch_tcp.clear();
+        let bp_on = cfg.nfvnice.backpressure;
+        let mut admit = |chain: ChainId, _flow: FlowId| !bp_on || !bp.is_throttled(chain);
+        platform.rx_poll(now, &mut admit, scratch_tcp);
+        self.dispatch_tcp_events(now);
+    }
+
+    pub(super) fn do_tx(&mut self, now: SimTime) {
+        let Simulation {
+            platform,
+            ecn,
+            cfg,
+            scratch_tcp,
+            scratch_woken,
+            ..
+        } = self;
+        scratch_tcp.clear();
+        scratch_woken.clear();
+        let ecn_on = cfg.nfvnice.ecn;
+        let mut mark = |nf: NfId| {
+            if ecn_on && ecn.should_mark(nf.index()) {
+                ecn.note_mark();
+                true
+            } else {
+                false
+            }
+        };
+        platform.tx_drain(now, &mut mark, scratch_tcp, scratch_woken);
+        let woken = std::mem::take(&mut self.scratch_woken);
+        for nf in &woken {
+            if self.platform.wake_nf(*nf, now) {
+                self.kick(self.platform.core_of(*nf), now);
+            }
+        }
+        self.scratch_woken = woken;
+        self.dispatch_tcp_events(now);
+    }
+
+    fn dispatch_tcp_events(&mut self, now: SimTime) {
+        let events = std::mem::take(&mut self.scratch_tcp);
+        for ev in &events {
+            let Some(&src) = self.tcp_by_flow.get(&ev.flow) else {
+                continue;
+            };
+            let rtt = self.tcp[src].rtt;
+            let fb = match ev.kind {
+                nfv_platform::TcpEventKind::Delivered { ce } => {
+                    Feedback::Delivered { seq: ev.seq, ce }
+                }
+                nfv_platform::TcpEventKind::Dropped => Feedback::Dropped { seq: ev.seq },
+            };
+            self.queue.push(now + rtt, Ev::TcpFeedback { src, fb });
+        }
+        self.scratch_tcp = events;
+    }
+
+    pub(super) fn do_wakeup(&mut self, now: SimTime) {
+        let bp_on = self.cfg.nfvnice.backpressure;
+        if bp_on {
+            // Control half of backpressure: run each NF through the
+            // watermark state machine (detection happened implicitly via
+            // ring occupancy).
+            let Simulation {
+                platform,
+                bp,
+                sanitizer,
+                cfg,
+                ..
+            } = self;
+            for idx in 0..platform.nfs.len() {
+                let nf = &platform.nfs[idx];
+                let head_age = platform.rx_head_age(NfId(idx as u32), now);
+                bp.evaluate(
+                    now,
+                    NfId(idx as u32),
+                    nf.rx.len(),
+                    nf.rx.capacity(),
+                    head_age,
+                    nf.pending_by_chain.keys(),
+                );
+                // Hysteresis audit: a HIGH↔LOW flip faster than the
+                // queuing-time threshold means the watermark gap is not
+                // filtering transients.
+                let throttled = matches!(bp.state(NfId(idx as u32)), BpState::Throttle);
+                sanitizer.note_watermark(idx, now, throttled, cfg.nfvnice.bp.qtime_threshold);
+            }
+        }
+        // Wake / yield classification.
+        for idx in 0..self.platform.nfs.len() {
+            let suppressed = bp_on && self.nf_suppressed(idx);
+            if suppressed {
+                self.audit_suppression(idx, now);
+            }
+            let nf = &mut self.platform.nfs[idx];
+            use nfv_platform::BlockReason::*;
+            match nf.blocked {
+                Some(EmptyRx) | Some(Backpressure) if nf.pending() > 0 && !suppressed => {
+                    let id = NfId(idx as u32);
+                    self.platform.wake_nf(id, now);
+                    self.kick(self.platform.core_of(id), now);
+                }
+                // Running or runnable: if its whole backlog is doomed
+                // (every pending chain has a bottleneck downstream),
+                // tell the NF to relinquish the CPU.
+                None if suppressed && !nf.yield_flag => {
+                    nf.yield_flag = true;
+                    self.trace
+                        .record(now, TraceKind::NfYield { nf: idx as u32 });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Sanitizer cross-check of a suppression decision: NF `idx` is about
+    /// to be suppressed, so every chain pending at it must have an active
+    /// bottleneck *strictly downstream*. If the NF is itself a throttler
+    /// of one of those chains with nothing downstream of it, the wakeup
+    /// logic just parked the only NF that can drain the congestion.
+    fn audit_suppression(&mut self, idx: usize, now: SimTime) {
+        if !self.sanitizer.wants_suppression() {
+            return;
+        }
+        let me = NfId(idx as u32);
+        let mut deadlocked: Vec<usize> = Vec::new();
+        {
+            let nf = &self.platform.nfs[idx];
+            for &c in nf.pending_by_chain.keys() {
+                let Some(my_pos) = self.platform.chains.first_position(c, me) else {
+                    continue;
+                };
+                let me_throttler = self.bp.throttlers(c).any(|b| b == me);
+                let downstream = self.bp.throttlers(c).any(|b| {
+                    self.platform
+                        .chains
+                        .first_position(c, b)
+                        .is_some_and(|p| p > my_pos)
+                });
+                if me_throttler && !downstream {
+                    deadlocked.push(c.index());
+                }
+            }
+        }
+        for chain in deadlocked {
+            self.sanitizer.note_bottleneck_suppressed(now, idx, chain);
+        }
+    }
+
+    /// Is every packet queued at NF `idx` part of a chain with an active
+    /// bottleneck *downstream* of this NF? Such work would only feed an
+    /// already-overflowing queue, so the NF is suppressed (§3.3: "the
+    /// upstream NF will not execute till the downstream NF gets to consume
+    /// its receive buffers"). The bottleneck NF itself — and NFs after it —
+    /// must keep running so the congestion can drain.
+    fn nf_suppressed(&self, idx: usize) -> bool {
+        let nf = &self.platform.nfs[idx];
+        if nf.pending_by_chain.is_empty() {
+            return false;
+        }
+        let me = NfId(idx as u32);
+        nf.pending_by_chain.keys().all(|&c| {
+            let Some(my_pos) = self.platform.chains.first_position(c, me) else {
+                return false;
+            };
+            self.bp.throttlers(c).any(|b| {
+                self.platform
+                    .chains
+                    .first_position(c, b)
+                    .is_some_and(|p| p > my_pos)
+            })
+        })
+    }
+
+    pub(super) fn do_monitor(&mut self, now: SimTime) {
+        self.monitor_ticks += 1;
+        for idx in 0..self.platform.nfs.len() {
+            let nf = &self.platform.nfs[idx];
+            self.load.sample(idx, now, nf.last_ppp, nf.arrivals);
+            self.ecn.observe(idx, nf.rx.len());
+        }
+        self.sample_metrics(now);
+        let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
+            / self.cfg.nfvnice.load.sample_period.as_nanos())
+        .max(1);
+        if self.cfg.nfvnice.cgroup_weights
+            && self.monitor_ticks.is_multiple_of(ticks_per_weight_update)
+        {
+            self.update_weights(now);
+        }
+    }
+
+    /// Rate-cost proportional weight assignment, one core domain at a
+    /// time: gather each domain's `(nf, load, priority)` rows in its
+    /// scratch buffer and write the resulting `cpu.shares`.
+    fn update_weights(&mut self, now: SimTime) {
+        let mut domains = std::mem::take(&mut self.domains);
+        for d in &mut domains {
+            d.share_scratch.clear();
+            for &i in &d.nfs {
+                d.share_scratch
+                    .push((i, self.load.load(i), self.platform.nfs[i].spec.priority));
+            }
+            if d.share_scratch.len() < 2 {
+                continue; // a lone NF owns its core regardless of weight
+            }
+            for (idx, shares) in
+                compute_shares(&d.share_scratch, self.cfg.nfvnice.load.shares_scale)
+            {
+                // Each effective sysfs write costs manager-thread CPU
+                // time (redundant writes are filtered for free).
+                let cost = self.platform.set_nf_shares(NfId(idx as u32), shares);
+                if cost > Duration::ZERO {
+                    self.mgr_cgroup_time += cost;
+                    self.trace.record(
+                        now,
+                        TraceKind::ShareWrite {
+                            nf: idx as u32,
+                            shares,
+                        },
+                    );
+                }
+            }
+        }
+        self.domains = domains;
+    }
+
+    /// One metrics sample column per monitor tick (no-op when metrics are
+    /// off).
+    fn sample_metrics(&mut self, now: SimTime) {
+        if !self.metrics.is_on() {
+            return;
+        }
+        self.metrics
+            .begin_tick(now, self.platform.mempool.in_use() as u64);
+        for idx in 0..self.platform.nfs.len() {
+            let nf = &self.platform.nfs[idx];
+            let id = NfId(idx as u32);
+            self.metrics.record_nf(
+                idx,
+                nf.rx.len() as u64,
+                matches!(self.bp.state(id), BpState::Throttle),
+                self.platform.cgroups.shares(nf.task),
+                self.load.arrival_rate_pps(idx),
+                self.load.service_time_ns(idx).unwrap_or(0),
+            );
+        }
+        for c in 0..self.platform.chains.count() {
+            let chain = ChainId(c as u32);
+            self.metrics.record_chain(
+                c,
+                self.bp.is_throttled(chain),
+                self.bp.throttlers(chain).count() as u64,
+            );
+        }
+    }
+}

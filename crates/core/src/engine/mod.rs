@@ -1,0 +1,378 @@
+//! The simulation engine: event loop wiring traffic, the platform
+//! mechanisms, the OS scheduler and the NFVnice policy subsystems together.
+//!
+//! The engine is split by responsibility:
+//!
+//! - [`events`] — the event vocabulary ([`Ev`]) and its stable digest
+//!   encoding, plus the public mid-run [`Action`] type.
+//! - [`domain`] — [`CoreDomain`], the per-core state bundle (activity
+//!   flag, homed NFs, CPU snapshots, weight-update scratch).
+//! - [`managers`] — the manager-thread ticks: traffic, RX, TX, wakeup,
+//!   monitor. Periodic events on dedicated (unmodeled) cores, as in the
+//!   paper's deployment where the NF Manager's threads are pinned away
+//!   from NF cores.
+//! - [`nf_exec`] — NF execution in batch-sized segments: `CoreRun` begins
+//!   a batch (dequeue + cost computation), `BatchDone` completes it
+//!   (handler execution, I/O, TX enqueue) and then makes the scheduling
+//!   decision — continue, preempt, or block — which is exactly the
+//!   batch-boundary yield/preemption model of `libnf` (§3.2).
+//! - [`report`] — series snapshots and end-of-run report assembly.
+//!
+//! This file holds only the orchestrator: the [`Simulation`] state, its
+//! builders, and the main event loop dispatching to the modules above.
+
+mod domain;
+mod events;
+mod managers;
+mod nf_exec;
+mod report;
+#[cfg(test)]
+mod tests;
+
+pub use events::Action;
+
+use domain::CoreDomain;
+use events::{ev_tag, Ev};
+
+use crate::backpressure::Backpressure;
+use crate::config::SimConfig;
+use crate::ecn::EcnMarker;
+use crate::invariants;
+use crate::load::LoadMonitor;
+use crate::report::{Report, Series};
+use nfv_des::{Duration, EventQueue, Sanitizer, Severity, SimRng, SimTime};
+use nfv_obs::{MetricsRecorder, TraceEvent, TraceSink};
+use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
+use nfv_platform::{NfSpec, PacketHandler, Platform, TcpEvent};
+use nfv_traffic::{CbrFlow, TcpSource};
+use std::collections::BTreeMap;
+
+/// A configured simulation: build it, attach NFs/chains/traffic, `run`.
+pub struct Simulation {
+    cfg: SimConfig,
+    /// The underlying platform (public for tests and custom inspection).
+    pub platform: Platform,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    /// Runtime invariant auditor + event-trace digest (public so tests can
+    /// inspect violations after `run`, e.g. `sim.sanitizer.assert_clean()`).
+    pub sanitizer: Sanitizer,
+    udp: Vec<CbrFlow>,
+    tcp: Vec<TcpSource>,
+    tcp_by_flow: BTreeMap<FlowId, usize>,
+    flow_chain: Vec<ChainId>,
+    bp: Backpressure,
+    load: LoadMonitor,
+    ecn: EcnMarker,
+    /// Per-core state bundles, one per NF core, built at `prime`.
+    domains: Vec<CoreDomain>,
+    actions: Vec<(SimTime, Action)>,
+    trace: TraceSink,
+    metrics: MetricsRecorder,
+    mgr_cgroup_time: Duration,
+    monitor_ticks: u64,
+    tuple_counter: u32,
+    last_roll: SimTime,
+    traffic_rotor: usize,
+    // per-second series bookkeeping (CPU snapshots live in the domains)
+    series: Series,
+    flow_bytes_snapshot: Vec<u64>,
+    scratch_tcp: Vec<TcpEvent>,
+    scratch_woken: Vec<NfId>,
+    scratch_frames: Vec<nfv_pkt::WireFrame>,
+}
+
+impl Simulation {
+    /// A new simulation with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let platform = Platform::new(cfg.platform.clone());
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        Simulation {
+            platform,
+            queue: EventQueue::new(),
+            rng,
+            sanitizer: Sanitizer::new(cfg.sanitizer),
+            udp: Vec::new(),
+            tcp: Vec::new(),
+            tcp_by_flow: BTreeMap::new(),
+            flow_chain: Vec::new(),
+            bp: Backpressure::new(cfg.nfvnice.bp, 0, 0),
+            load: LoadMonitor::new(cfg.nfvnice.load, 0),
+            ecn: EcnMarker::new(cfg.nfvnice.ecn_cfg, Vec::new()),
+            domains: Vec::new(),
+            actions: Vec::new(),
+            trace: if cfg.obs.trace {
+                TraceSink::recording()
+            } else {
+                TraceSink::off()
+            },
+            metrics: if cfg.obs.metrics {
+                MetricsRecorder::recording()
+            } else {
+                MetricsRecorder::off()
+            },
+            mgr_cgroup_time: Duration::ZERO,
+            monitor_ticks: 0,
+            tuple_counter: 0,
+            last_roll: SimTime::ZERO,
+            traffic_rotor: 0,
+            series: Series::default(),
+            flow_bytes_snapshot: Vec::new(),
+            scratch_tcp: Vec::new(),
+            scratch_woken: Vec::new(),
+            scratch_frames: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Deploy an NF.
+    pub fn add_nf(&mut self, spec: NfSpec) -> NfId {
+        self.platform.add_nf(spec)
+    }
+
+    /// Deploy an NF with a custom handler.
+    pub fn add_nf_with_handler(&mut self, spec: NfSpec, handler: Box<dyn PacketHandler>) -> NfId {
+        self.platform.add_nf_with_handler(spec, handler)
+    }
+
+    /// Install a service chain.
+    pub fn add_chain(&mut self, path: &[NfId]) -> ChainId {
+        self.platform.install_chain(path)
+    }
+
+    fn fresh_tuple(&mut self, proto: Proto) -> FiveTuple {
+        self.tuple_counter += 1;
+        FiveTuple::synthetic(self.tuple_counter, proto)
+    }
+
+    /// Attach a constant-rate UDP flow to `chain`.
+    pub fn add_udp(&mut self, chain: ChainId, rate_pps: f64, frame_size: u32) -> FlowId {
+        self.add_udp_with(chain, rate_pps, frame_size, |f| f)
+    }
+
+    /// Attach a UDP flow with extra configuration (window, Poisson, cost
+    /// classes) applied by `customize`.
+    pub fn add_udp_with(
+        &mut self,
+        chain: ChainId,
+        rate_pps: f64,
+        frame_size: u32,
+        customize: impl FnOnce(CbrFlow) -> CbrFlow,
+    ) -> FlowId {
+        let tuple = self.fresh_tuple(Proto::Udp);
+        let flow = self.platform.install_flow(tuple, chain);
+        self.udp
+            .push(customize(CbrFlow::new(tuple, frame_size, rate_pps)));
+        self.note_flow(flow, chain);
+        flow
+    }
+
+    /// Attach a TCP flow to `chain`.
+    pub fn add_tcp(&mut self, chain: ChainId, frame_size: u32, rtt: Duration) -> FlowId {
+        self.add_tcp_with(chain, frame_size, rtt, |s| s)
+    }
+
+    /// Attach a TCP flow with extra configuration (ECN, max cwnd).
+    pub fn add_tcp_with(
+        &mut self,
+        chain: ChainId,
+        frame_size: u32,
+        rtt: Duration,
+        customize: impl FnOnce(TcpSource) -> TcpSource,
+    ) -> FlowId {
+        let tuple = self.fresh_tuple(Proto::Tcp);
+        let flow = self.platform.install_flow(tuple, chain);
+        let src = customize(TcpSource::new(tuple, frame_size, rtt));
+        self.tcp_by_flow.insert(flow, self.tcp.len());
+        self.tcp.push(src);
+        self.note_flow(flow, chain);
+        flow
+    }
+
+    fn note_flow(&mut self, flow: FlowId, chain: ChainId) {
+        while self.flow_chain.len() <= flow.index() {
+            self.flow_chain.push(chain);
+        }
+        self.flow_chain[flow.index()] = chain;
+    }
+
+    /// Mark a flow as triggering storage I/O at I/O-capable NFs.
+    pub fn mark_io_flow(&mut self, flow: FlowId) {
+        self.platform.set_io_flow(flow);
+    }
+
+    /// Schedule a configuration change.
+    pub fn at(&mut self, t: SimTime, action: Action) {
+        self.actions.push((t, action));
+    }
+
+    /// Read access to a TCP source (for assertions on cwnd etc.).
+    pub fn tcp_source(&self, flow: FlowId) -> &TcpSource {
+        &self.tcp[self.tcp_by_flow[&flow]]
+    }
+
+    /// Drain the structured trace recorded so far (empty unless
+    /// [`ObsConfig::trace`](crate::config::ObsConfig) was set).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Take the metrics time series recorded so far (empty unless
+    /// [`ObsConfig::metrics`](crate::config::ObsConfig) was set).
+    pub fn take_metrics(&mut self) -> MetricsRecorder {
+        std::mem::take(&mut self.metrics)
+    }
+
+    // ------------------------------------------------------------------
+    // main loop
+    // ------------------------------------------------------------------
+
+    /// Run for `duration` of simulated time and report.
+    ///
+    /// `run` consumes the simulation's timeline: call it once per
+    /// `Simulation`. (A second call panics on the first event scheduled
+    /// before the already-advanced clock.)
+    pub fn run(&mut self, duration: Duration) -> Report {
+        let end = SimTime::ZERO + duration;
+        self.prime(end);
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().unwrap();
+            self.handle(now, ev, end);
+        }
+        self.platform.roll_meters(end);
+        // Close the final (possibly partial) measurement interval.
+        let tail = end.since(self.last_roll).as_secs_f64();
+        if tail > 1e-9 {
+            self.snapshot_series(tail);
+            self.last_roll = end;
+        }
+        self.build_report(duration)
+    }
+
+    fn prime(&mut self, end: SimTime) {
+        let n_nfs = self.platform.nfs.len();
+        let n_chains = self.platform.chains.count();
+        self.bp = Backpressure::new(self.cfg.nfvnice.bp, n_nfs, n_chains);
+        self.load = LoadMonitor::new(self.cfg.nfvnice.load, n_nfs);
+        self.ecn = EcnMarker::new(
+            self.cfg.nfvnice.ecn_cfg,
+            self.platform
+                .nfs
+                .iter()
+                .map(|nf| nf.rx.capacity())
+                .collect(),
+        );
+        // Hand every subsystem the shared trace handle; recording is
+        // observation only and never feeds back into any decision, so the
+        // event-trace digest is unchanged whether or not it is on.
+        self.bp.set_trace(self.trace.clone());
+        self.platform.trace = self.trace.clone();
+        self.platform.sched.set_trace(self.trace.clone());
+        self.metrics.init(
+            self.platform.nfs.iter().map(|nf| nf.spec.name.as_str()),
+            n_chains,
+        );
+        // The NF population is final now: carve it into per-core domains.
+        self.domains = CoreDomain::build_all(&self.platform);
+        self.flow_bytes_snapshot = vec![0; self.platform.stats.flows.len()];
+        self.series.cpu_pct = vec![Vec::new(); n_nfs];
+        self.series.flow_mbps = vec![Vec::new(); self.platform.stats.flows.len()];
+
+        let q = &mut self.queue;
+        q.push(SimTime::ZERO + self.cfg.traffic_poll, Ev::Traffic);
+        q.push(SimTime::ZERO + self.cfg.rx_poll, Ev::RxPoll);
+        q.push(SimTime::ZERO + self.cfg.tx_poll, Ev::TxPoll);
+        q.push(SimTime::ZERO + self.cfg.wakeup_period, Ev::Wakeup);
+        q.push(
+            SimTime::ZERO + self.cfg.nfvnice.load.sample_period,
+            Ev::Monitor,
+        );
+        q.push(SimTime::ZERO + Duration::from_secs(1), Ev::StatsRoll);
+        let actions = std::mem::take(&mut self.actions);
+        for (idx, (t, _)) in actions.iter().enumerate() {
+            if *t <= end {
+                q.push(*t, Ev::Action { idx });
+            }
+        }
+        self.actions = actions;
+        // Initial TCP window.
+        for i in 0..self.tcp.len() {
+            self.pump_tcp(i, SimTime::ZERO);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, end: SimTime) {
+        self.sanitizer.on_event(now, ev_tag(&ev));
+        match ev {
+            Ev::Traffic => {
+                self.do_traffic(now);
+                self.reschedule(now, self.cfg.traffic_poll, end, Ev::Traffic);
+            }
+            Ev::RxPoll => {
+                self.do_rx(now);
+                self.reschedule(now, self.cfg.rx_poll, end, Ev::RxPoll);
+            }
+            Ev::TxPoll => {
+                self.do_tx(now);
+                self.reschedule(now, self.cfg.tx_poll, end, Ev::TxPoll);
+            }
+            Ev::Wakeup => {
+                self.do_wakeup(now);
+                self.reschedule(now, self.cfg.wakeup_period, end, Ev::Wakeup);
+            }
+            Ev::Monitor => {
+                self.do_monitor(now);
+                self.reschedule(now, self.cfg.nfvnice.load.sample_period, end, Ev::Monitor);
+            }
+            Ev::StatsRoll => {
+                self.platform.roll_meters(now);
+                self.snapshot_series(now.since(self.last_roll).as_secs_f64());
+                self.last_roll = now;
+                self.reschedule(now, Duration::from_secs(1), end, Ev::StatsRoll);
+            }
+            Ev::CoreRun { core } => self.do_core_run(core, now),
+            Ev::BatchDone { core } => self.do_batch_done(core, now),
+            Ev::IoComplete { nf } => self.do_io_complete(nf, now),
+            Ev::TcpFeedback { src, fb } => {
+                self.tcp[src].on_feedback(fb, now);
+                self.pump_tcp(src, now);
+            }
+            Ev::Action { idx } => {
+                let action = self.actions[idx].1.clone();
+                match action {
+                    Action::SetCost(nf, cost) => {
+                        self.platform.nfs[nf.index()].spec.cost = cost;
+                    }
+                }
+            }
+        }
+        if self.sanitizer.wants_conservation() {
+            let ledger = invariants::conservation_ledger(&self.platform);
+            self.sanitizer.check_conservation(
+                now,
+                ledger.classified,
+                ledger.delivered,
+                ledger.dropped,
+                ledger.in_flight,
+            );
+            if !self.platform.packets_accounted() {
+                let detail = format!(
+                    "mempool in-use ({}) disagrees with ring/outbox/batch occupancy",
+                    self.platform.mempool.in_use()
+                );
+                self.sanitizer
+                    .record(Severity::Error, "conservation", now, detail);
+            }
+        }
+    }
+
+    fn reschedule(&mut self, now: SimTime, period: Duration, end: SimTime, ev: Ev) {
+        let next = now + period;
+        if next <= end {
+            self.queue.push(next, ev);
+        }
+    }
+}

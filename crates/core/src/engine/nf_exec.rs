@@ -1,0 +1,95 @@
+//! NF execution on the core domains: batch-boundary scheduling. `CoreRun`
+//! begins a batch (dequeue + cost computation), `BatchDone` completes it
+//! (handler execution, I/O, TX enqueue) and then makes the scheduling
+//! decision — continue, preempt, or block — which is exactly the
+//! batch-boundary yield/preemption model of `libnf` (§3.2).
+
+use super::events::Ev;
+use super::Simulation;
+use nfv_des::SimTime;
+use nfv_pkt::NfId;
+use nfv_platform::BatchPlan;
+use nfv_sched::SwitchKind;
+
+impl Simulation {
+    /// Start executing on `core` if it is idle and has runnable work.
+    /// The domain's `active` flag serializes batch events: exactly one
+    /// `CoreRun`/`BatchDone` is in flight per active domain.
+    pub(super) fn kick(&mut self, core: usize, now: SimTime) {
+        if self.domains[core].active {
+            return;
+        }
+        let rq = self.domains[core].id;
+        if let Some((_task, overhead)) = self.platform.sched.dispatch(rq, now) {
+            self.domains[core].active = true;
+            self.queue.push(now + overhead, Ev::CoreRun { core });
+        } else {
+            // Nothing runnable: the domain stays parked until a wake.
+            debug_assert!(self.platform.sched.core_idle(rq));
+        }
+    }
+
+    pub(super) fn do_core_run(&mut self, core: usize, now: SimTime) {
+        let nf = self
+            .platform
+            .running_nf(core)
+            .expect("CoreRun with no current task");
+        match self.platform.plan_batch(nf) {
+            BatchPlan::Run { duration, .. } => {
+                self.queue.push(now + duration, Ev::BatchDone { core });
+            }
+            BatchPlan::Block(reason) => {
+                self.platform.sched.block_current(core, now);
+                self.platform.mark_blocked(nf, reason, now);
+                self.domains[core].active = false;
+                self.kick(core, now);
+            }
+        }
+    }
+
+    pub(super) fn do_batch_done(&mut self, core: usize, now: SimTime) {
+        let nf = self
+            .platform
+            .running_nf(core)
+            .expect("BatchDone with no current task");
+        let (dur, _) = self.platform.nfs[nf.index()]
+            .current_batch
+            .expect("BatchDone without a batch");
+        self.platform.sched.charge_current(core, dur);
+        let fx = self.platform.finish_batch(nf, now);
+        for c in fx.flush_completions {
+            self.queue.push(c, Ev::IoComplete { nf });
+        }
+        if let Some(t) = fx.io_wake_at {
+            self.queue.push(t, Ev::IoComplete { nf });
+        }
+        if let Some(reason) = fx.block {
+            self.platform.sched.block_current(core, now);
+            self.platform.mark_blocked(nf, reason, now);
+            self.domains[core].active = false;
+            self.kick(core, now);
+        } else if self.platform.sched.need_resched(core, now) {
+            self.platform
+                .sched
+                .requeue_current(core, now, SwitchKind::Involuntary);
+            let (_t, ov) = self
+                .platform
+                .sched
+                .dispatch(core, now)
+                .expect("resched with nonempty runqueue");
+            self.queue.push(now + ov, Ev::CoreRun { core });
+        } else {
+            self.queue.push(now, Ev::CoreRun { core });
+        }
+    }
+
+    pub(super) fn do_io_complete(&mut self, nf: NfId, now: SimTime) {
+        let out = self.platform.on_io_complete(nf, now);
+        if let Some(c) = out.next_completion {
+            self.queue.push(c, Ev::IoComplete { nf });
+        }
+        if out.wake && self.platform.wake_nf(nf, now) {
+            self.kick(self.platform.core_of(nf), now);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Report assembly: the per-second series snapshots taken on the stats
+//! roll, and the end-of-run [`Report`](crate::report::Report) built from
+//! platform, scheduler and policy-subsystem counters.
+
+use super::Simulation;
+use crate::report::{ChainReport, FlowReport, NfReport, Report};
+use nfv_des::Duration;
+use nfv_pkt::{ChainId, FlowId, NfId};
+
+impl Simulation {
+    /// Close a measurement interval of `span_secs`: append one column to
+    /// the per-NF CPU% and per-flow Mbit/s series. CPU-time deltas are
+    /// tracked per core domain (each domain snapshots its homed NFs).
+    pub(super) fn snapshot_series(&mut self, span_secs: f64) {
+        if span_secs <= 0.0 {
+            return;
+        }
+        let mut domains = std::mem::take(&mut self.domains);
+        for d in &mut domains {
+            for (slot, &idx) in d.nfs.iter().enumerate() {
+                let task = self.platform.nfs[idx].task;
+                let cpu = self.platform.sched.task(task).cpu_time;
+                let delta = cpu.saturating_sub(d.cpu_snapshot[slot]);
+                d.cpu_snapshot[slot] = cpu;
+                self.series.cpu_pct[idx].push(delta.as_secs_f64() / span_secs * 100.0);
+            }
+        }
+        self.domains = domains;
+        // Wildcard classification can add flows mid-run; grow the
+        // bookkeeping (their series start at the current interval).
+        while self.flow_bytes_snapshot.len() < self.platform.stats.flows.len() {
+            self.flow_bytes_snapshot.push(0);
+            self.series.flow_mbps.push(Vec::new());
+        }
+        for f in 0..self.platform.stats.flows.len() {
+            let bytes = self.platform.stats.flows[f].delivered_bytes;
+            let delta = bytes - self.flow_bytes_snapshot[f];
+            self.flow_bytes_snapshot[f] = bytes;
+            self.series.flow_mbps[f].push(delta as f64 * 8.0 / span_secs / 1e6);
+        }
+    }
+
+    pub(super) fn build_report(&mut self, wall: Duration) -> Report {
+        let secs = wall.as_secs_f64().max(1e-9);
+        let nfs: Vec<NfReport> = (0..self.platform.nfs.len())
+            .map(|idx| {
+                let nf = &self.platform.nfs[idx];
+                let task = self.platform.sched.task(nf.task);
+                NfReport {
+                    nf: NfId(idx as u32),
+                    name: nf.spec.name.clone(),
+                    core: nf.spec.core,
+                    processed: nf.processed,
+                    svc_rate_pps: nf.processed as f64 / secs,
+                    wasted_drops: nf.wasted_drops,
+                    wasted_rate_pps: nf.wasted_drops as f64 / secs,
+                    cpu_time: task.cpu_time,
+                    cpu_util: task.cpu_time.as_secs_f64() / secs,
+                    cswch_per_sec: task.voluntary_switches as f64 / secs,
+                    nvcswch_per_sec: task.involuntary_switches as f64 / secs,
+                    avg_sched_latency: task.avg_sched_latency(),
+                    final_shares: self.platform.cgroups.shares(nf.task),
+                    output_rate_pps: nf.processed.saturating_sub(nf.wasted_drops) as f64 / secs,
+                }
+            })
+            .collect();
+        let flows: Vec<FlowReport> = (0..self.platform.stats.flows.len())
+            .map(|f| {
+                let fs = &self.platform.stats.flows[f];
+                FlowReport {
+                    flow: FlowId(f as u32),
+                    chain: self.flow_chain.get(f).copied().unwrap_or(ChainId(0)),
+                    delivered: fs.delivered,
+                    delivered_pps: fs.delivered as f64 / secs,
+                    mbps: fs.delivered_bytes as f64 * 8.0 / secs / 1e6,
+                    dropped: fs.dropped,
+                    entry_drops: fs.entry_drops,
+                    latency_p50: fs.latency.median().unwrap_or(Duration::ZERO),
+                    latency_p99: fs.latency.percentile(99.0).unwrap_or(Duration::ZERO),
+                }
+            })
+            .collect();
+        let chains: Vec<ChainReport> = self
+            .platform
+            .chains
+            .ids()
+            .map(|c| {
+                let cs = &self.platform.stats.chains[c.index()];
+                ChainReport {
+                    chain: c,
+                    delivered: cs.delivered,
+                    pps: cs.delivered as f64 / secs,
+                    entry_drops: cs.entry_drops,
+                }
+            })
+            .collect();
+        let total_delivered_pps = flows.iter().map(|f| f.delivered_pps).sum();
+        Report {
+            wall,
+            policy: self.platform.sched.policy().label(),
+            variant: self.cfg.nfvnice.label().to_string(),
+            nfs,
+            flows,
+            chains,
+            total_delivered_pps,
+            nic_overflow: self.platform.nic.rx_overflow_drops,
+            entry_drops: self.platform.stats.entry_throttle_drops,
+            total_wasted_drops: self.platform.nfs.iter().map(|nf| nf.wasted_drops).sum(),
+            cgroup_writes: self.platform.cgroups.writes,
+            cgroup_write_time: self.mgr_cgroup_time,
+            throttle_events: self.bp.throttle_events,
+            ecn_marks: self.ecn.marks,
+            trace_digest: self.sanitizer.digest(),
+            series: std::mem::take(&mut self.series),
+        }
+    }
+}

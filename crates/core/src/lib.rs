@@ -59,8 +59,8 @@ pub use report::{ChainReport, FlowReport, NfReport, Report, Series};
 // every substrate crate.
 pub use nfv_des::{CpuFreq, Duration, Sanitizer, SanitizerConfig, SimTime};
 pub use nfv_obs::{
-    trace_to_csv, trace_to_jsonl, DropCause, MetricsRecorder, SleepReason, TraceEvent, TraceKind,
-    TraceSink,
+    trace_to_csv, trace_to_jsonl, trace_to_jsonl_into, DropCause, MetricsRecorder, SleepReason,
+    TraceEvent, TraceKind, TraceSink,
 };
 pub use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Packet, Proto};
 pub use nfv_platform::{

@@ -27,5 +27,6 @@ pub(crate) mod json;
 
 pub use metrics::{ChainSeries, MetricsRecorder, NfSeries};
 pub use trace::{
-    trace_to_csv, trace_to_jsonl, DropCause, SleepReason, TraceEvent, TraceKind, TraceSink, NO_ID,
+    trace_to_csv, trace_to_jsonl, trace_to_jsonl_into, DropCause, SleepReason, TraceEvent,
+    TraceKind, TraceSink, NO_ID,
 };

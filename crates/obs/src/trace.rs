@@ -239,11 +239,18 @@ impl TraceEvent {
 /// Render events as JSONL (one JSON object per line, trailing newline).
 pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
+    trace_to_jsonl_into(events, &mut out);
+    out
+}
+
+/// Append events as JSONL to an existing buffer (same bytes as
+/// [`trace_to_jsonl`]); lets callers assemble a multi-cell document
+/// without intermediate allocations.
+pub fn trace_to_jsonl_into(events: &[TraceEvent], out: &mut String) {
     for e in events {
         out.push_str(&e.to_json());
         out.push('\n');
     }
-    out
 }
 
 /// Render events as CSV with a fixed header; inapplicable cells are empty.

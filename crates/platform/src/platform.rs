@@ -196,6 +196,16 @@ impl Platform {
         self.nfs[nf.index()].spec.core
     }
 
+    /// Ids of the NFs pinned to `core`, in deployment order. The engine
+    /// builds its per-core domains from this.
+    pub fn nfs_on_core(&self, core: usize) -> impl Iterator<Item = NfId> + '_ {
+        self.nfs
+            .iter()
+            .enumerate()
+            .filter(move |(_, nf)| nf.spec.core == core)
+            .map(|(i, _)| NfId(i as u32))
+    }
+
     /// The NF currently running on `core`, if any.
     pub fn running_nf(&self, core: usize) -> Option<NfId> {
         let task = self.sched.current(core)?;
@@ -580,11 +590,17 @@ mod tests {
     use super::*;
     use nfv_pkt::FiveTuple;
 
-    fn mini_platform() -> (Platform, ChainId, FlowId) {
-        let mut p = Platform::new(PlatformConfig {
+    /// The single-core config every platform unit test runs on. One
+    /// fixture instead of a hand-rolled `PlatformConfig` literal per test.
+    fn test_cfg() -> PlatformConfig {
+        PlatformConfig {
             nf_cores: 1,
             ..Default::default()
-        });
+        }
+    }
+
+    fn mini_platform() -> (Platform, ChainId, FlowId) {
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf(NfSpec::new("a", 0, 100));
         let b = p.add_nf(NfSpec::new("b", 0, 200));
         let chain = p.install_chain(&[a, b]);
@@ -699,10 +715,7 @@ mod tests {
 
     #[test]
     fn downstream_ring_overflow_counts_wasted_work() {
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf(NfSpec::new("a", 0, 100));
         let b = p.add_nf(NfSpec::new("b", 0, 100).with_rings(16, 16));
         let chain = p.install_chain(&[a, b]);
@@ -730,10 +743,7 @@ mod tests {
 
     #[test]
     fn tx_full_spills_to_outbox_and_blocks() {
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf(NfSpec::new("a", 0, 100).with_rings(4096, 16));
         let b = p.add_nf(NfSpec::new("b", 0, 100));
         let chain = p.install_chain(&[a, b]);
@@ -769,10 +779,7 @@ mod tests {
                 NfAction::Drop
             }
         }
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf_with_handler(NfSpec::new("fw", 0, 100), Box::new(DropAll));
         let chain = p.install_chain(&[a]);
         let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
@@ -788,10 +795,7 @@ mod tests {
 
     #[test]
     fn tcp_flow_generates_feedback_events() {
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf(NfSpec::new("a", 0, 100));
         let chain = p.install_chain(&[a]);
         let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Tcp), chain);
@@ -862,10 +866,7 @@ mod tests {
     #[test]
     fn sync_io_blocks_until_device_completion() {
         use crate::nf::NfIoSpec;
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         let a = p.add_nf(NfSpec::new("log", 0, 100).with_io(NfIoSpec {
             bytes_per_packet: 64,
             mode: IoMode::Sync,
@@ -890,10 +891,7 @@ mod tests {
     #[test]
     fn async_io_overlaps_until_both_buffers_full() {
         use crate::nf::NfIoSpec;
-        let mut p = Platform::new(PlatformConfig {
-            nf_cores: 1,
-            ..Default::default()
-        });
+        let mut p = Platform::new(test_cfg());
         // Buffer = 4 packets worth; batch of 32 fills both buffers fast.
         let a = p.add_nf(NfSpec::new("log", 0, 100).with_io(NfIoSpec {
             bytes_per_packet: 64,

@@ -132,6 +132,14 @@ impl OsScheduler {
         self.cores[core].rq.len()
     }
 
+    /// True when `core` has neither a running task nor queued runnable
+    /// work. The engine's per-core domain must be inactive exactly when
+    /// its core is idle and no batch event is in flight.
+    pub fn core_idle(&self, core: usize) -> bool {
+        let c = &self.cores[core];
+        c.current.is_none() && c.rq.is_empty()
+    }
+
     /// Total busy time accumulated on `core`.
     pub fn core_busy(&self, core: usize) -> Duration {
         self.cores[core].busy

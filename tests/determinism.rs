@@ -4,7 +4,7 @@
 //! compared via `Report::trace_digest`, so any divergence anywhere in the
 //! event stream — ordering, timing, or payload — fails the property.
 //!
-//! The scenarios mirror the five example binaries (`examples/*.rs`) with
+//! The scenarios mirror the six example binaries (`examples/*.rs`) with
 //! durations compressed for debug-mode test runs.
 
 use nfvnice::{
@@ -132,15 +132,40 @@ fn enterprise_chain(seed: u64) -> u64 {
     sim.run(Duration::from_millis(80)).trace_digest
 }
 
+/// `examples/multicore_domains.rs`: four NFs pinned one-per-core, two
+/// chains crossing core boundaries through a shared entry NF, with the
+/// deep chain bottlenecked on its last hop. Exercises the engine's
+/// per-core domains (independent `CoreRun`/`BatchDone` streams per core)
+/// under cross-core backpressure.
+fn multicore_domains(seed: u64) -> u64 {
+    multicore_domains_sim(seed)
+        .run(Duration::from_millis(25))
+        .trace_digest
+}
+
+fn multicore_domains_sim(seed: u64) -> Simulation {
+    let mut sim = Simulation::new(base_cfg(seed, 4, Policy::CfsBatch));
+    let entry = sim.add_nf(NfSpec::new("classifier", 0, 200));
+    let nat = sim.add_nf(NfSpec::new("nat", 1, 300));
+    let shaper = sim.add_nf(NfSpec::new("shaper", 2, 450));
+    let dpi = sim.add_nf(NfSpec::new("dpi", 3, 8_000));
+    let clean = sim.add_chain(&[entry, nat]);
+    let deep = sim.add_chain(&[entry, shaper, dpi]);
+    sim.add_udp(clean, 2_000_000.0, 64);
+    sim.add_udp(deep, 2_000_000.0, 64);
+    sim
+}
+
 /// A named scenario builder: seed in, trace digest out.
 type Scenario = (&'static str, fn(u64) -> u64);
 
-const SCENARIOS: [Scenario; 5] = [
+const SCENARIOS: [Scenario; 6] = [
     ("quickstart", quickstart),
     ("service_chain_backpressure", service_chain_backpressure),
     ("performance_isolation", performance_isolation),
     ("io_bound_nf", io_bound_nf),
     ("enterprise_chain", enterprise_chain),
+    ("multicore_domains", multicore_domains),
 ];
 
 proptest! {
@@ -157,6 +182,25 @@ proptest! {
             prop_assert!(a != 0, "{} produced an empty trace", name);
         }
     }
+}
+
+/// Four-core differential: two same-seed runs of the multicore scenario
+/// must agree not only on the trace digest but on the *entire report* —
+/// per-NF counters, per-flow latencies, per-core CPU series. Guards the
+/// engine's per-core domain bookkeeping (activity flags, CPU snapshots,
+/// weight scratch) against any per-run state leaking across cores.
+#[test]
+fn multicore_same_seed_identical_reports() {
+    let run = |seed| {
+        let mut sim = multicore_domains_sim(seed);
+        let r = sim.run(Duration::from_millis(25));
+        (r.trace_digest, format!("{r:?}"))
+    };
+    let (da, ra) = run(42);
+    let (db, rb) = run(42);
+    assert_eq!(da, db, "trace digests diverged on 4 cores");
+    assert_eq!(ra, rb, "reports diverged on 4 cores");
+    assert_ne!(da, 0, "empty trace");
 }
 
 /// Poisson arrivals consume `SimRng`, so the digest must react to the seed
