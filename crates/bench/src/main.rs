@@ -46,6 +46,7 @@ fn main() {
         ("tuning", tuning::run),
         ("ablations", ablations::run),
         ("coop", coop::run),
+        ("faults", faults::run),
     ];
 
     let args: Vec<String> = std::env::args().skip(1).collect();

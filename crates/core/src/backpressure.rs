@@ -169,6 +169,19 @@ impl Backpressure {
         }
     }
 
+    /// An NF left the system (crash): reset its throttle state and drop
+    /// every chain mark it holds. A dead NF can never clear its own marks
+    /// — its ring was just drained and it no longer passes through
+    /// `evaluate` — so without this, every chain it throttled would shed
+    /// at entry forever.
+    pub fn clear_nf(&mut self, now: SimTime, nf: NfId) {
+        if self.state[nf.index()] == BpState::Throttle {
+            self.state[nf.index()] = BpState::Watch;
+            self.trace.record(now, TraceKind::ThrottleExit { nf: nf.0 });
+        }
+        self.clear_chains(now, nf);
+    }
+
     fn clear_chains(&mut self, now: SimTime, nf: NfId) {
         let marked = std::mem::take(&mut self.marked[nf.index()]);
         for c in marked {
@@ -328,6 +341,33 @@ mod tests {
         );
         assert_eq!(evs[0].t, SimTime::from_micros(1));
         assert_eq!(evs[2].t, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn clear_nf_releases_every_mark_and_resets_state() {
+        let mut b = bp();
+        let chains = [ChainId(0), ChainId(1)];
+        b.evaluate(T, NfId(1), 90, CAP, age(200), chains.iter());
+        assert_eq!(b.state(NfId(1)), BpState::Throttle);
+        assert!(b.is_throttled(ChainId(0)) && b.is_throttled(ChainId(1)));
+        // The NF dies: it will never drain below LOW on its own.
+        b.clear_nf(T, NfId(1));
+        assert_eq!(b.state(NfId(1)), BpState::Watch);
+        assert!(!b.is_throttled(ChainId(0)));
+        assert!(!b.is_throttled(ChainId(1)));
+        // Other bottlenecks' marks are untouched.
+        b.evaluate(T, NfId(2), 90, CAP, age(200), [ChainId(0)].iter());
+        b.clear_nf(T, NfId(1));
+        assert!(b.is_throttled(ChainId(0)), "NF2's mark survives");
+    }
+
+    #[test]
+    fn clear_nf_on_watch_state_is_a_no_op() {
+        let mut b = bp();
+        let sink = TraceSink::recording();
+        b.set_trace(sink.clone());
+        b.clear_nf(T, NfId(0));
+        assert!(sink.take().is_empty(), "nothing to clear, nothing traced");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::backpressure::BackpressureConfig;
 use crate::ecn::EcnConfig;
+use crate::faults::FaultConfig;
 use crate::load::LoadConfig;
 use nfv_des::Duration;
 pub use nfv_des::SanitizerConfig;
@@ -131,6 +132,10 @@ pub struct SimConfig {
     pub sanitizer: SanitizerConfig,
     /// Structured tracing and metrics recording (off by default).
     pub obs: ObsConfig,
+    /// Deterministic fault plan + recovery policy (empty/inert by
+    /// default: a run without faults is byte-identical to one built
+    /// before fault injection existed).
+    pub faults: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -145,6 +150,7 @@ impl Default for SimConfig {
             seed: 0x4e46_5675,
             sanitizer: SanitizerConfig::default(),
             obs: ObsConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 }

@@ -62,9 +62,23 @@ impl EcnMarker {
     }
 
     /// Should a packet entering NF `idx`'s queue be CE-marked?
+    ///
+    /// Compared in the EWMA's 2^16 fixed-point domain: truncating the
+    /// average to an integer first discards up to a whole packet of
+    /// occupancy, which on small rings delays marking onset by a full
+    /// packet past the configured threshold.
     pub fn should_mark(&self, idx: usize) -> bool {
-        let avg = self.avg_qlen[idx].value() as usize;
-        avg * 100 >= self.capacities[idx] * self.cfg.mark_pct as usize
+        let avg_scaled = self.avg_qlen[idx].value_scaled();
+        let threshold_scaled = (self.capacities[idx] as u64) << 16;
+        avg_scaled * 100 >= threshold_scaled * self.cfg.mark_pct as u64
+    }
+
+    /// Forget NF `idx`'s smoothed queue history (NF restart): the first
+    /// post-restart observation re-primes the EWMA from scratch, so a
+    /// pre-crash congested average cannot mark packets entering an empty
+    /// ring.
+    pub fn reset(&mut self, idx: usize) {
+        self.avg_qlen[idx] = Ewma::new(self.cfg.gain_num, self.cfg.gain_den);
     }
 
     /// Record that a mark was applied (bookkeeping for reports).
@@ -111,6 +125,60 @@ mod tests {
         m.observe(0, 100);
         m.observe(0, 100);
         assert!(!m.should_mark(0), "avg={}", m.avg_qlen(0));
+    }
+
+    #[test]
+    fn small_ring_marks_at_threshold_without_truncation_lag() {
+        // cap 16, mark_pct 30 => threshold avg = 4.8 packets. Sustained
+        // occupancy of 5 converges the EWMA to just under 5.0 (integer
+        // gain steps stall within 16 scaled units of the target), so the
+        // truncated `value()` reads 4 forever. The old integer compare
+        // (4*100 >= 16*30 is false) then never marks — onset was a whole
+        // packet late, needing sustained qlen 6. The fixed-point compare
+        // marks as soon as the smoothed average crosses 4.8.
+        let cfg = EcnConfig {
+            mark_pct: 30,
+            ..EcnConfig::default()
+        };
+        let mut m = EcnMarker::new(cfg, vec![16]);
+        m.observe(0, 0);
+        for _ in 0..200 {
+            m.observe(0, 5);
+        }
+        assert_eq!(m.avg_qlen(0), 4, "truncated view sits a packet low");
+        assert!(
+            m.should_mark(0),
+            "sustained occupancy above cap*pct must mark"
+        );
+    }
+
+    #[test]
+    fn small_ring_below_threshold_does_not_mark() {
+        // Same small ring: sustained occupancy below the 4.8 threshold
+        // must stay unmarked under the fixed-point compare.
+        let cfg = EcnConfig {
+            mark_pct: 30,
+            ..EcnConfig::default()
+        };
+        let mut m = EcnMarker::new(cfg, vec![16]);
+        m.observe(0, 0);
+        for _ in 0..200 {
+            m.observe(0, 4);
+        }
+        assert!(!m.should_mark(0));
+    }
+
+    #[test]
+    fn reset_forgets_congested_history() {
+        let mut m = EcnMarker::new(EcnConfig::default(), vec![100]);
+        for _ in 0..100 {
+            m.observe(0, 90);
+        }
+        assert!(m.should_mark(0));
+        m.reset(0);
+        assert!(!m.should_mark(0), "fresh EWMA starts unprimed at zero");
+        m.observe(0, 1);
+        assert!(!m.should_mark(0));
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub(crate) enum Ev {
     IoComplete { nf: NfId },
     TcpFeedback { src: usize, fb: Feedback },
     Action { idx: usize },
+    Fault { idx: usize },
+    NfRespawn { nf: NfId },
+    SlowdownEnd { nf: NfId },
 }
 
 /// A stable encoding of an event for the sanitizer's trace digest:
@@ -53,6 +56,9 @@ pub(crate) fn ev_tag(ev: &Ev) -> u64 {
             (10 << SHIFT) | (kind << 48) | ((*src as u64 & 0xff) << 40) | (seq & 0xff_ffff_ffff)
         }
         Ev::Action { idx } => (11 << SHIFT) | *idx as u64,
+        Ev::Fault { idx } => (12 << SHIFT) | *idx as u64,
+        Ev::NfRespawn { nf } => (13 << SHIFT) | nf.index() as u64,
+        Ev::SlowdownEnd { nf } => (14 << SHIFT) | nf.index() as u64,
     }
 }
 
@@ -77,6 +83,9 @@ mod tests {
                 fb: Feedback::Dropped { seq: 0 },
             },
             Ev::Action { idx: 0 },
+            Ev::Fault { idx: 0 },
+            Ev::NfRespawn { nf: NfId(0) },
+            Ev::SlowdownEnd { nf: NfId(0) },
         ];
         let mut tags: Vec<u64> = evs.iter().map(ev_tag).collect();
         tags.sort_unstable();

@@ -1,0 +1,122 @@
+//! Fault application and failure recovery: the engine half of the
+//! deterministic fault-injection subsystem ([`crate::faults`] holds the
+//! plan types). Crashes drain the victim's packets and park its task;
+//! the recovery policy respawns it after a delay; the liveness watchdog
+//! converts detected stalls into crash + restart.
+
+use super::events::Ev;
+use super::Simulation;
+use crate::faults::{FaultEvent, FaultKind};
+use nfv_des::SimTime;
+use nfv_obs::TraceKind;
+use nfv_pkt::NfId;
+use nfv_platform::NfHealth;
+
+impl Simulation {
+    pub(super) fn apply_fault(&mut self, fault: FaultEvent, now: SimTime) {
+        match fault.kind {
+            FaultKind::Crash => self.kill_nf(fault.nf, now),
+            FaultKind::Stall => {
+                if self.platform.nfs[fault.nf.index()].health == NfHealth::Up {
+                    self.platform.stall_nf(fault.nf);
+                    // A sleeping NF that starts spinning: put it on CPU so
+                    // it burns cycles without progress.
+                    if self.platform.wake_nf(fault.nf, now) {
+                        self.kick(self.platform.core_of(fault.nf), now);
+                    }
+                }
+            }
+            FaultKind::Slowdown { factor, duration } => {
+                let nf = &mut self.platform.nfs[fault.nf.index()];
+                if nf.health != NfHealth::Down {
+                    nf.cost_factor = factor.max(1);
+                    let t = now + duration;
+                    if t <= self.run_end {
+                        self.queue.push(t, Ev::SlowdownEnd { nf: fault.nf });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kill `nf` (injected crash or watchdog verdict): drain its packets
+    /// back to the mempool, park its task, and clear every piece of
+    /// policy state that would otherwise outlive the process. Critically
+    /// that includes its backpressure marks — a dead NF never drains
+    /// below the LOW watermark, so the chains it throttled would shed at
+    /// entry forever.
+    pub(super) fn kill_nf(&mut self, nf: NfId, now: SimTime) {
+        if self.platform.nfs[nf.index()].health == NfHealth::Down {
+            return; // an injected crash racing the watchdog's verdict
+        }
+        let Simulation {
+            platform,
+            scratch_tcp,
+            ..
+        } = self;
+        scratch_tcp.clear();
+        platform.crash_nf(nf, now, scratch_tcp);
+        self.dispatch_tcp_events(now);
+        self.crashes += 1;
+        self.bp.clear_nf(now, nf);
+        self.load
+            .reset(nf.index(), self.platform.nfs[nf.index()].arrivals);
+        self.ecn.reset(nf.index());
+        self.watchdog[nf.index()] = (self.platform.nfs[nf.index()].processed, 0);
+        if self.cfg.faults.recovery {
+            let t = now + self.cfg.faults.respawn_delay;
+            if t <= self.run_end {
+                self.queue.push(t, Ev::NfRespawn { nf });
+            }
+        }
+    }
+
+    /// The recovery policy's respawn: bring the NF back up, blocked on an
+    /// empty ring; the wakeup thread re-admits it to the CPU once packets
+    /// arrive. Estimator state was already reset at crash time, so the
+    /// fresh incarnation's CPU shares are computed from post-restart
+    /// samples only.
+    pub(super) fn do_respawn(&mut self, nf: NfId, now: SimTime) {
+        if self.platform.nfs[nf.index()].health != NfHealth::Down {
+            return;
+        }
+        self.platform.restart_nf(nf, now);
+        self.restarts += 1;
+        self.load
+            .reset(nf.index(), self.platform.nfs[nf.index()].arrivals);
+        self.watchdog[nf.index()] = (self.platform.nfs[nf.index()].processed, 0);
+    }
+
+    /// Manager-side liveness watchdog, run on the monitor tick: a
+    /// runnable NF holding pending work whose progress counter has been
+    /// frozen for [`stall_ticks`](crate::faults::FaultConfig::stall_ticks)
+    /// consecutive ticks is declared hung and crash-restarted. Blocked or
+    /// deliberately-yielding NFs are never suspect — only one that should
+    /// be making progress and isn't.
+    pub(super) fn run_watchdog(&mut self, now: SimTime) {
+        let ticks = self.cfg.faults.stall_ticks;
+        if ticks == 0 {
+            return;
+        }
+        for idx in 0..self.platform.nfs.len() {
+            let nf = &self.platform.nfs[idx];
+            if nf.health == NfHealth::Down || nf.blocked.is_some() || nf.yield_flag {
+                self.watchdog[idx] = (nf.processed, 0);
+                continue;
+            }
+            let (last, streak) = self.watchdog[idx];
+            if nf.processed == last && nf.pending() > 0 {
+                if streak + 1 >= ticks {
+                    self.stalls_detected += 1;
+                    self.trace
+                        .record(now, TraceKind::NfStallDetect { nf: idx as u32 });
+                    self.kill_nf(NfId(idx as u32), now);
+                } else {
+                    self.watchdog[idx] = (last, streak + 1);
+                }
+            } else {
+                self.watchdog[idx] = (nf.processed, 0);
+            }
+        }
+    }
+}

@@ -118,7 +118,7 @@ impl Simulation {
         self.dispatch_tcp_events(now);
     }
 
-    fn dispatch_tcp_events(&mut self, now: SimTime) {
+    pub(super) fn dispatch_tcp_events(&mut self, now: SimTime) {
         let events = std::mem::take(&mut self.scratch_tcp);
         for ev in &events {
             let Some(&src) = self.tcp_by_flow.get(&ev.flow) else {
@@ -151,6 +151,9 @@ impl Simulation {
             } = self;
             for idx in 0..platform.nfs.len() {
                 let nf = &platform.nfs[idx];
+                if !nf.is_up() {
+                    continue; // drained at crash; cleared via clear_nf
+                }
                 let head_age = platform.rx_head_age(NfId(idx as u32), now);
                 bp.evaluate(
                     now,
@@ -169,6 +172,9 @@ impl Simulation {
         }
         // Wake / yield classification.
         for idx in 0..self.platform.nfs.len() {
+            if !self.platform.nfs[idx].is_up() {
+                continue; // a dead NF's task stays parked until respawn
+            }
             let suppressed = bp_on && self.nf_suppressed(idx);
             if suppressed {
                 self.audit_suppression(idx, now);
@@ -257,9 +263,13 @@ impl Simulation {
         self.monitor_ticks += 1;
         for idx in 0..self.platform.nfs.len() {
             let nf = &self.platform.nfs[idx];
+            if !nf.is_up() {
+                continue; // estimator is re-baselined across the outage
+            }
             self.load.sample(idx, now, nf.last_ppp, nf.arrivals);
             self.ecn.observe(idx, nf.rx.len());
         }
+        self.run_watchdog(now);
         self.sample_metrics(now);
         let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
             / self.cfg.nfvnice.load.sample_period.as_nanos())
@@ -279,6 +289,9 @@ impl Simulation {
         for d in &mut domains {
             d.share_scratch.clear();
             for &i in &d.nfs {
+                if !self.platform.nfs[i].is_up() {
+                    continue; // parked task: no share of the core to claim
+                }
                 d.share_scratch
                     .push((i, self.load.load(i), self.platform.nfs[i].spec.priority));
             }

@@ -23,6 +23,7 @@
 
 mod domain;
 mod events;
+mod faults;
 mod managers;
 mod nf_exec;
 mod report;
@@ -37,6 +38,7 @@ use events::{ev_tag, Ev};
 use crate::backpressure::Backpressure;
 use crate::config::SimConfig;
 use crate::ecn::EcnMarker;
+use crate::faults::{FaultEvent, FaultKind};
 use crate::invariants;
 use crate::load::LoadMonitor;
 use crate::report::{Report, Series};
@@ -73,6 +75,19 @@ pub struct Simulation {
     monitor_ticks: u64,
     tuple_counter: u32,
     last_roll: SimTime,
+    /// End of the current run; events scheduled past it are dropped.
+    run_end: SimTime,
+    /// Liveness watchdog state per NF: (progress counter at the last
+    /// tick, consecutive no-progress ticks with pending work).
+    watchdog: Vec<(u64, u32)>,
+    /// NF crashes applied (injected + watchdog-declared).
+    crashes: u64,
+    /// NF restarts performed by the recovery policy.
+    restarts: u64,
+    /// Stalls the liveness watchdog detected.
+    stalls_detected: u64,
+    /// `pending_desync` counter value already reported to the sanitizer.
+    seen_desync: u64,
     traffic_rotor: usize,
     // per-second series bookkeeping (CPU snapshots live in the domains)
     series: Series,
@@ -115,6 +130,12 @@ impl Simulation {
             monitor_ticks: 0,
             tuple_counter: 0,
             last_roll: SimTime::ZERO,
+            run_end: SimTime::ZERO,
+            watchdog: Vec::new(),
+            crashes: 0,
+            restarts: 0,
+            stalls_detected: 0,
+            seen_desync: 0,
             traffic_rotor: 0,
             series: Series::default(),
             flow_bytes_snapshot: Vec::new(),
@@ -206,6 +227,13 @@ impl Simulation {
         self.actions.push((t, action));
     }
 
+    /// Schedule a fault: at `t`, `nf` suffers `kind`. Convenience wrapper
+    /// over [`FaultConfig::events`](crate::faults::FaultConfig) for
+    /// experiments that build the plan alongside the topology.
+    pub fn inject_fault(&mut self, t: SimTime, nf: NfId, kind: FaultKind) {
+        self.cfg.faults.events.push(FaultEvent { at: t, nf, kind });
+    }
+
     /// Read access to a TCP source (for assertions on cwnd etc.).
     pub fn tcp_source(&self, flow: FlowId) -> &TcpSource {
         &self.tcp[self.tcp_by_flow[&flow]]
@@ -253,7 +281,9 @@ impl Simulation {
     }
 
     fn prime(&mut self, end: SimTime) {
+        self.run_end = end;
         let n_nfs = self.platform.nfs.len();
+        self.watchdog = vec![(0, 0); n_nfs];
         let n_chains = self.platform.chains.count();
         self.bp = Backpressure::new(self.cfg.nfvnice.bp, n_nfs, n_chains);
         self.load = LoadMonitor::new(self.cfg.nfvnice.load, n_nfs);
@@ -298,6 +328,11 @@ impl Simulation {
             }
         }
         self.actions = actions;
+        for (idx, f) in self.cfg.faults.events.iter().enumerate() {
+            if f.at <= end {
+                q.push(f.at, Ev::Fault { idx });
+            }
+        }
         // Initial TCP window.
         for i in 0..self.tcp.len() {
             self.pump_tcp(i, SimTime::ZERO);
@@ -348,6 +383,27 @@ impl Simulation {
                     }
                 }
             }
+            Ev::Fault { idx } => {
+                let fault = self.cfg.faults.events[idx];
+                self.apply_fault(fault, now);
+            }
+            Ev::NfRespawn { nf } => self.do_respawn(nf, now),
+            Ev::SlowdownEnd { nf } => {
+                self.platform.nfs[nf.index()].cost_factor = 1;
+            }
+        }
+        // Invariant surfacing for the platform's non-panicking accounting:
+        // a dequeue from a ring whose chain had no pending count is a real
+        // bug, reported here instead of a mid-sim panic.
+        if self.platform.stats.pending_desync > self.seen_desync {
+            let fresh = self.platform.stats.pending_desync - self.seen_desync;
+            self.seen_desync = self.platform.stats.pending_desync;
+            self.sanitizer.record(
+                Severity::Error,
+                "pending-accounting",
+                now,
+                format!("{fresh} dequeue(s) from a ring whose chain had no pending count"),
+            );
         }
         if self.sanitizer.wants_conservation() {
             let ledger = invariants::conservation_ledger(&self.platform);

@@ -34,6 +34,12 @@ impl Simulation {
             .platform
             .running_nf(core)
             .expect("CoreRun with no current task");
+        // A crash can land between dispatch and this event; the dead
+        // task could not be parked off-CPU, so retire it here.
+        if !self.platform.nfs[nf.index()].is_up() {
+            self.retire_dead(core, now);
+            return;
+        }
         match self.platform.plan_batch(nf) {
             BatchPlan::Run { duration, .. } => {
                 self.queue.push(now + duration, Ev::BatchDone { core });
@@ -47,11 +53,26 @@ impl Simulation {
         }
     }
 
+    /// Pull a dead NF's task off the CPU at a batch boundary: the one
+    /// place `crash_nf`'s park cannot reach (the scheduler refuses to
+    /// park a `Running` task; the engine owns the in-flight batch event).
+    fn retire_dead(&mut self, core: usize, now: SimTime) {
+        self.platform.sched.block_current(core, now);
+        self.domains[core].active = false;
+        self.kick(core, now);
+    }
+
     pub(super) fn do_batch_done(&mut self, core: usize, now: SimTime) {
         let nf = self
             .platform
             .running_nf(core)
             .expect("BatchDone with no current task");
+        // Crashed mid-batch: the batch's packets were already freed by the
+        // crash drain, so skip `finish_batch` and retire the task.
+        if !self.platform.nfs[nf.index()].is_up() {
+            self.retire_dead(core, now);
+            return;
+        }
         let (dur, _) = self.platform.nfs[nf.index()]
             .current_batch
             .expect("BatchDone without a batch");

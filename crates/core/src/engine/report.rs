@@ -110,6 +110,10 @@ impl Simulation {
             cgroup_write_time: self.mgr_cgroup_time,
             throttle_events: self.bp.throttle_events,
             ecn_marks: self.ecn.marks,
+            nf_crashes: self.crashes,
+            nf_restarts: self.restarts,
+            nf_stalls_detected: self.stalls_detected,
+            nf_down_drops: self.platform.stats.nf_down_drops,
             trace_digest: self.sanitizer.digest(),
             series: std::mem::take(&mut self.series),
         }

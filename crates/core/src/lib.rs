@@ -42,6 +42,7 @@ pub mod backpressure;
 pub mod config;
 pub mod ecn;
 pub mod engine;
+pub mod faults;
 pub mod invariants;
 pub mod libnf;
 pub mod load;
@@ -51,6 +52,7 @@ pub use backpressure::{Backpressure, BackpressureConfig, BpState};
 pub use config::{NfvniceConfig, ObsConfig, SimConfig};
 pub use ecn::{EcnConfig, EcnMarker};
 pub use engine::{Action, Simulation};
+pub use faults::{FaultConfig, FaultEvent, FaultKind};
 pub use invariants::{conservation_ledger, packets_conserved, within_pct, ConservationLedger};
 pub use load::{compute_shares, LoadConfig, LoadMonitor};
 pub use report::{ChainReport, FlowReport, NfReport, Report, Series};

@@ -97,6 +97,20 @@ impl LoadMonitor {
         }
     }
 
+    /// Forget NF `idx`'s history (NF restart): fresh service-time window
+    /// and arrival window, re-baselined at `arrival_counter` so the first
+    /// post-restart sample doesn't read the entire pre-crash cumulative
+    /// count as one tick's worth of arrivals. Stale medians from the dead
+    /// incarnation would otherwise misallocate CPU shares to the fresh
+    /// process for a full window.
+    pub fn reset(&mut self, idx: usize, arrival_counter: u64) {
+        let nf = &mut self.nfs[idx];
+        nf.svc_ns = WindowedMedian::new(self.cfg.window);
+        nf.arrivals.clear();
+        nf.arrivals_in_window = 0;
+        nf.last_arrival_counter = arrival_counter;
+    }
+
     /// Median service time estimate (ns/packet).
     pub fn service_time_ns(&self, idx: usize) -> Option<u64> {
         self.nfs[idx].svc_ns.median()
@@ -228,6 +242,36 @@ mod tests {
         }
         let load = m.load(0);
         assert!((load - 0.1).abs() < 0.01, "load={load}");
+    }
+
+    #[test]
+    fn reset_rebaselines_instead_of_replaying_history() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        for ms in 1..=100 {
+            m.sample(
+                0,
+                SimTime::from_millis(ms),
+                Duration::from_micros(3),
+                ms * 1000,
+            );
+        }
+        assert!(m.arrival_rate_pps(0) > 0.0);
+        assert_eq!(m.service_time_ns(0), Some(3000));
+        // NF restart at t=100ms: counter continuity is broken on purpose.
+        m.reset(0, 100 * 1000);
+        assert_eq!(m.arrival_rate_pps(0), 0.0);
+        assert_eq!(m.service_time_ns(0), None);
+        // First post-restart tick sees only the post-restart delta — not
+        // the 100k cumulative pre-crash arrivals as one tick's burst.
+        m.sample(
+            0,
+            SimTime::from_millis(101),
+            Duration::from_micros(1),
+            100 * 1000 + 500,
+        );
+        let nf = &m.nfs[0];
+        assert_eq!(nf.arrivals_in_window, 500);
+        assert_eq!(m.service_time_ns(0), Some(1000));
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub struct Report {
     pub throttle_events: u64,
     /// ECN CE marks applied.
     pub ecn_marks: u64,
+    /// NF crashes applied (injected faults + watchdog verdicts).
+    pub nf_crashes: u64,
+    /// NF restarts performed by the recovery policy.
+    pub nf_restarts: u64,
+    /// Stalls the liveness watchdog detected (each also counts a crash).
+    pub nf_stalls_detected: u64,
+    /// Packets lost to dead NFs: crash drains plus entry/forwarding
+    /// shedding for chains routed through a down NF.
+    pub nf_down_drops: u64,
     /// FNV-1a digest of the event trace `(time, event)` pairs. Two runs of
     /// the same scenario with the same seed must produce the same digest —
     /// the determinism tests compare exactly this.
@@ -224,6 +233,10 @@ mod tests {
             cgroup_write_time: Duration::ZERO,
             throttle_events: 0,
             ecn_marks: 0,
+            nf_crashes: 0,
+            nf_restarts: 0,
+            nf_stalls_detected: 0,
+            nf_down_drops: 0,
             trace_digest: 0,
             series: Series::default(),
         }

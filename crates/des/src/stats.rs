@@ -61,6 +61,16 @@ impl Ewma {
         self.scaled >> 16
     }
 
+    /// Current average in the raw 2^16 fixed-point domain (`value << 16`).
+    ///
+    /// Threshold comparisons should happen here: truncating through
+    /// [`Ewma::value`] first discards up to one whole unit of the average,
+    /// which matters when the compared quantities are small (e.g. queue
+    /// lengths on a 16-slot ring).
+    pub fn value_scaled(&self) -> u64 {
+        self.scaled
+    }
+
     /// True once at least one sample has been observed.
     pub fn is_primed(&self) -> bool {
         self.primed
@@ -360,6 +370,16 @@ mod tests {
     #[should_panic(expected = "gain must be in (0, 1]")]
     fn ewma_rejects_bad_gain() {
         let _ = Ewma::new(3, 2);
+    }
+
+    #[test]
+    fn ewma_scaled_keeps_fractional_part() {
+        let mut e = Ewma::new(1, 4);
+        e.observe(0);
+        e.observe(2);
+        // avg = 0.5: truncated value loses it, the scaled view keeps it.
+        assert_eq!(e.value(), 0);
+        assert_eq!(e.value_scaled(), 1 << 15);
     }
 
     #[test]

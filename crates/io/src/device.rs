@@ -44,7 +44,12 @@ impl StorageDevice {
 
     /// Submit a write of `bytes`; returns the absolute completion time.
     pub fn submit_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let transfer = Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth);
+        // Ceiling division: a transfer that needs any fraction of a
+        // nanosecond occupies the whole nanosecond. Floor division would
+        // undercharge — a small write on a fast device rounds to 0 ns and
+        // the device model stops queueing at all.
+        let transfer =
+            Duration::from_nanos(bytes.saturating_mul(1_000_000_000).div_ceil(self.bandwidth));
         let start = self.busy_until.max(now);
         self.busy_until = start + self.base_latency + transfer;
         self.bytes_written += bytes;
@@ -86,6 +91,25 @@ mod tests {
         d.submit_write(SimTime::ZERO, 100); // done at 100us
         let done = d.submit_write(SimTime::from_millis(5), 100);
         assert_eq!(done, SimTime::from_millis(5) + Duration::from_micros(100));
+    }
+
+    #[test]
+    fn uneven_bandwidth_rounds_transfer_up() {
+        // 3 B/s: one byte takes 333_333_333.3 ns — must charge the full
+        // 333_333_334 ns, not floor to ...333.
+        let mut d = StorageDevice::new(3, Duration::ZERO);
+        let done = d.submit_write(SimTime::ZERO, 1);
+        assert_eq!(done, SimTime::from_nanos(333_333_334));
+    }
+
+    #[test]
+    fn tiny_write_on_fast_device_still_costs_time() {
+        // 2 GB/s: a 1-byte write is 0.5 ns; floor division would make it
+        // free and the device would never accumulate queueing.
+        let mut d = StorageDevice::new(2_000_000_000, Duration::ZERO);
+        let done = d.submit_write(SimTime::ZERO, 1);
+        assert_eq!(done, SimTime::from_nanos(1));
+        assert!(d.busy_until() > SimTime::ZERO);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub enum DropCause {
     RingFull,
     /// The NF's packet handler dropped it (policy, not congestion).
     Handler,
+    /// The NF (or a downstream NF on the packet's chain) is dead: freed by
+    /// the crash drain or shed at entry/forwarding while the NF is down.
+    NfDown,
 }
 
 impl DropCause {
@@ -71,6 +74,7 @@ impl DropCause {
             DropCause::MempoolExhausted => "mempool_exhausted",
             DropCause::RingFull => "ring_full",
             DropCause::Handler => "handler",
+            DropCause::NfDown => "nf_down",
         }
     }
 }
@@ -154,6 +158,23 @@ pub enum TraceKind {
         /// The incoming task.
         task: u32,
     },
+    /// A fault-plan crash killed an NF (its queues were drained and its
+    /// scheduler task parked).
+    NfCrash {
+        /// The NF that died.
+        nf: u32,
+    },
+    /// The liveness watchdog declared a wedged-but-runnable NF dead.
+    NfStallDetect {
+        /// The stalled NF.
+        nf: u32,
+    },
+    /// The manager respawned a dead NF (task re-registered, monitor state
+    /// reset, backpressure marks long since cleared).
+    NfRestart {
+        /// The restarted NF.
+        nf: u32,
+    },
 }
 
 impl TraceKind {
@@ -171,6 +192,9 @@ impl TraceKind {
             TraceKind::PacketDrop { .. } => "drop",
             TraceKind::EcnMark { .. } => "ecn_mark",
             TraceKind::CtxSwitch { .. } => "ctx_switch",
+            TraceKind::NfCrash { .. } => "nf_crash",
+            TraceKind::NfStallDetect { .. } => "nf_stall_detect",
+            TraceKind::NfRestart { .. } => "nf_restart",
         }
     }
 }
@@ -200,7 +224,10 @@ impl TraceEvent {
             | TraceKind::ThrottleExit { nf }
             | TraceKind::EcnMark { nf }
             | TraceKind::NfWake { nf }
-            | TraceKind::NfYield { nf } => field(&mut s, "nf", nf),
+            | TraceKind::NfYield { nf }
+            | TraceKind::NfCrash { nf }
+            | TraceKind::NfStallDetect { nf }
+            | TraceKind::NfRestart { nf } => field(&mut s, "nf", nf),
             TraceKind::ChainMark { nf, chain } | TraceKind::ChainClear { nf, chain } => {
                 field(&mut s, "nf", nf);
                 field(&mut s, "chain", chain);
@@ -269,7 +296,10 @@ pub fn trace_to_csv(events: &[TraceEvent]) -> String {
             | TraceKind::ThrottleExit { nf }
             | TraceKind::EcnMark { nf }
             | TraceKind::NfWake { nf }
-            | TraceKind::NfYield { nf } => (opt(nf), String::new(), String::new(), String::new()),
+            | TraceKind::NfYield { nf }
+            | TraceKind::NfCrash { nf }
+            | TraceKind::NfStallDetect { nf }
+            | TraceKind::NfRestart { nf } => (opt(nf), String::new(), String::new(), String::new()),
             TraceKind::ChainMark { nf, chain } | TraceKind::ChainClear { nf, chain } => {
                 (opt(nf), opt(chain), String::new(), String::new())
             }
@@ -440,6 +470,27 @@ mod tests {
             (
                 TraceKind::CtxSwitch { core: 0, task: 5 },
                 r#"{"t_ns":42,"ev":"ctx_switch","core":0,"task":5}"#,
+            ),
+            (
+                TraceKind::NfCrash { nf: 2 },
+                r#"{"t_ns":42,"ev":"nf_crash","nf":2}"#,
+            ),
+            (
+                TraceKind::NfStallDetect { nf: 2 },
+                r#"{"t_ns":42,"ev":"nf_stall_detect","nf":2}"#,
+            ),
+            (
+                TraceKind::NfRestart { nf: 2 },
+                r#"{"t_ns":42,"ev":"nf_restart","nf":2}"#,
+            ),
+            (
+                TraceKind::PacketDrop {
+                    cause: DropCause::NfDown,
+                    flow: 1,
+                    chain: 0,
+                    nf: 2,
+                },
+                r#"{"t_ns":42,"ev":"drop","cause":"nf_down","flow":1,"chain":0,"nf":2}"#,
             ),
         ];
         for (kind, want) in cases {

@@ -22,7 +22,7 @@ pub mod stats;
 
 pub use chain::ChainRegistry;
 pub use nf::{
-    BlockReason, CostModel, ForwardAll, IoMode, NfAction, NfIoSpec, NfRuntime, NfSpec,
+    BlockReason, CostModel, ForwardAll, IoMode, NfAction, NfHealth, NfIoSpec, NfRuntime, NfSpec,
     PacketHandler,
 };
 pub use platform::{BatchEffects, BatchPlan, IoCompleteOutcome, Platform, PlatformConfig};

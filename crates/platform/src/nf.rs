@@ -163,6 +163,19 @@ impl PacketHandler for ForwardAll {
     }
 }
 
+/// Fault-injected process health of an NF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfHealth {
+    /// Alive and processing normally.
+    Up,
+    /// Wedged: the process stays schedulable and burns CPU time but makes
+    /// no forward progress (no dequeues, no processed packets). Detected
+    /// by the manager's liveness watchdog via progress counters.
+    Stalled,
+    /// Dead: queues drained back to the mempool, scheduler task parked.
+    Down,
+}
+
 /// Why an NF is blocked on its semaphore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockReason {
@@ -204,6 +217,10 @@ pub struct NfRuntime {
     pub current_batch: Option<(Duration, usize)>,
     /// Double-buffer engine when `spec.io` is `Async`.
     pub dbuf: Option<DoubleBuffer>,
+    /// Fault-injected process health.
+    pub health: NfHealth,
+    /// Transient per-packet cost multiplier (slowdown fault; 1 = nominal).
+    pub cost_factor: u64,
 
     // ---- counters ----
     /// Packets fully processed by this NF.
@@ -248,6 +265,8 @@ impl NfRuntime {
             in_progress: Vec::new(),
             current_batch: None,
             dbuf,
+            health: NfHealth::Up,
+            cost_factor: 1,
             processed: 0,
             wasted_drops: 0,
             arrivals: 0,
@@ -271,16 +290,27 @@ impl NfRuntime {
         self.arrivals += 1;
     }
 
-    /// Record a packet of `chain` leaving the RX ring.
-    pub fn note_dequeued(&mut self, chain: ChainId) {
-        let c = self
-            .pending_by_chain
-            .get_mut(&chain)
-            .expect("dequeue for chain with no pending count");
+    /// Record a packet of `chain` leaving the RX ring. Returns `false`
+    /// when no pending count exists for the chain — an accounting desync
+    /// the caller surfaces as a diagnosable invariant violation (the
+    /// counters are left untouched rather than underflowing or aborting
+    /// the sim).
+    #[must_use]
+    pub fn note_dequeued(&mut self, chain: ChainId) -> bool {
+        let Some(c) = self.pending_by_chain.get_mut(&chain) else {
+            return false;
+        };
         *c -= 1;
         if *c == 0 {
             self.pending_by_chain.remove(&chain);
         }
+        true
+    }
+
+    /// True when the NF process is alive (up or wedged — a stalled NF
+    /// still occupies its task; only a dead one is gone).
+    pub fn is_up(&self) -> bool {
+        self.health != NfHealth::Down
     }
 
     /// True when every packet waiting in the RX ring belongs to a chain in
@@ -352,13 +382,26 @@ mod tests {
         rt.note_pending(ChainId(2));
         assert_eq!(rt.arrivals, 3);
         assert!(!rt.fully_throttled(|c| c == ChainId(1)));
-        rt.note_dequeued(ChainId(2));
+        assert!(rt.note_dequeued(ChainId(2)));
         assert!(rt.fully_throttled(|c| c == ChainId(1)));
-        rt.note_dequeued(ChainId(1));
-        rt.note_dequeued(ChainId(1));
+        assert!(rt.note_dequeued(ChainId(1)));
+        assert!(rt.note_dequeued(ChainId(1)));
         assert!(rt.pending_by_chain.is_empty());
         // idle NF is not fully throttled
         assert!(!rt.fully_throttled(|_| true));
+    }
+
+    #[test]
+    fn dequeue_without_pending_reports_instead_of_panicking() {
+        let mut rt = NfRuntime::new(NfSpec::new("a", 0, 100), TaskId(0));
+        assert!(
+            !rt.note_dequeued(ChainId(7)),
+            "desync must surface, not abort"
+        );
+        rt.note_pending(ChainId(1));
+        assert!(!rt.note_dequeued(ChainId(2)), "wrong chain is a desync too");
+        // the existing count is untouched
+        assert_eq!(rt.pending_by_chain.get(&ChainId(1)), Some(&1));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! that would exist on any run of the platform, NFVnice or not.
 
 use crate::chain::ChainRegistry;
-use crate::nf::{BlockReason, ForwardAll, IoMode, NfAction, NfRuntime, NfSpec, PacketHandler};
+use crate::nf::{
+    BlockReason, ForwardAll, IoMode, NfAction, NfHealth, NfRuntime, NfSpec, PacketHandler,
+};
 use crate::stats::{DropLocation, PlatformStats, TcpEvent, TcpEventKind};
 use nfv_des::{CpuFreq, Duration, SimTime};
 use nfv_io::{StorageDevice, WriteOutcome};
@@ -123,6 +125,9 @@ pub struct Platform {
     handlers: Vec<Option<Box<dyn PacketHandler>>>,
     tcp_flows: BTreeSet<FlowId>,
     scratch_frames: Vec<WireFrame>,
+    /// Number of NFs currently `Down` — lets the per-frame dead-chain
+    /// check in `rx_poll` short-circuit to nothing in fault-free runs.
+    down_nfs: usize,
 }
 
 impl Platform {
@@ -144,6 +149,7 @@ impl Platform {
             handlers: Vec::new(),
             tcp_flows: BTreeSet::new(),
             scratch_frames: Vec::new(),
+            down_nfs: 0,
             cfg,
         }
     }
@@ -240,6 +246,18 @@ impl Platform {
             // stats sized accordingly.
             while self.stats.flows.len() <= flow.index() {
                 self.stats.flows.push(Default::default());
+            }
+            // Graceful degradation: a chain routed through a dead NF can
+            // never deliver, so shed at entry rather than filling rings
+            // and the mempool with doomed packets. Shed before the λ
+            // accounting — this traffic is not offered load for the (live)
+            // entry NF, and counting it would inflate its weight for the
+            // duration of the outage.
+            if let Some(dead) = self.chain_down_nf(chain) {
+                self.stats.dropped(flow, chain, DropLocation::NfDown(dead));
+                self.trace_drop(now, DropCause::NfDown, flow.0, chain.0, dead.0);
+                self.note_tcp_drop(flow, frame.seq, tcp_out);
+                continue;
             }
             // The entry NF's offered load (λ) is measured pre-admission:
             // the RX thread sees every classified frame, and rate-cost
@@ -342,6 +360,19 @@ impl Platform {
                         }
                     }
                     Some(next) => {
+                        // A dead next hop cannot accept the packet; the
+                        // upstream NF's processing is wasted, same as a
+                        // full-ring drop. (Transient: entry shedding stops
+                        // new traffic for the chain the moment the NF dies.)
+                        if self.nfs[next.index()].health == NfHealth::Down {
+                            self.mempool.free(pid);
+                            self.stats.dropped(flow, chain, DropLocation::NfDown(next));
+                            self.trace_drop(now, DropCause::NfDown, flow.0, chain.0, next.0);
+                            self.nfs[i].wasted_drops += 1;
+                            self.nfs[i].wasted_meter.add(1);
+                            self.note_tcp_drop(flow, seq, tcp_out);
+                            continue;
+                        }
                         {
                             let p = self.mempool.get_mut(pid);
                             p.enqueued_at = now;
@@ -391,6 +422,21 @@ impl Platform {
     pub fn plan_batch(&mut self, nf_id: NfId) -> BatchPlan {
         let batch = self.cfg.batch_size;
         let nf = &mut self.nfs[nf_id.index()];
+        debug_assert!(nf.health != NfHealth::Down, "plan_batch for dead NF");
+        if nf.health == NfHealth::Stalled {
+            // Wedged process: it keeps its task runnable and burns a
+            // batch's worth of CPU without touching its rings — no
+            // dequeues, no outbox flush, no yield cooperation, and the
+            // progress counters stay flat for the watchdog to notice.
+            let spin = nf.spec.cost.mean_cycles().max(1) * batch as u64;
+            let duration = self
+                .cfg
+                .freq
+                .cycles_to_duration(spin)
+                .max(Duration::from_nanos(1));
+            nf.current_batch = Some((duration, 0));
+            return BatchPlan::Run { duration, n: 0 };
+        }
         // Flush previously processed packets that did not fit in TX.
         while let Some(&pid) = nf.outbox.front() {
             match nf.tx.enqueue(pid) {
@@ -415,9 +461,12 @@ impl Platform {
         while n < batch {
             let Some(pid) = nf.rx.dequeue() else { break };
             let pkt = self.mempool.get(pid);
-            cycles += nf.spec.cost.cycles(pkt.cost_class);
+            // `cost_factor` is the transient slowdown fault (1 = nominal).
+            cycles += nf.spec.cost.cycles(pkt.cost_class) * nf.cost_factor;
             let chain = pkt.chain;
-            nf.note_dequeued(chain);
+            if !nf.note_dequeued(chain) {
+                self.stats.pending_desync += 1;
+            }
             nf.in_progress.push(pid);
             n += 1;
         }
@@ -518,10 +567,11 @@ impl Platform {
     }
 
     /// Wake a blocked NF: clears its block reason and marks its task
-    /// runnable. Returns `true` if the NF was indeed blocked.
+    /// runnable. Returns `true` if the NF was indeed blocked. A dead NF
+    /// is never woken — its task stays parked until respawn.
     pub fn wake_nf(&mut self, nf_id: NfId, now: SimTime) -> bool {
         let nf = &mut self.nfs[nf_id.index()];
-        if nf.blocked.is_none() {
+        if nf.health == NfHealth::Down || nf.blocked.is_none() {
             return false;
         }
         nf.blocked = None;
@@ -548,6 +598,94 @@ impl Platform {
                 reason,
             },
         );
+    }
+
+    // ------------------------------------------------------------------
+    // NF lifecycle (fault injection + recovery mechanism)
+    // ------------------------------------------------------------------
+
+    /// The first dead NF on `chain`'s path, if any. O(1) in fault-free
+    /// runs (no NF is down), O(path length) during an outage.
+    pub fn chain_down_nf(&self, chain: ChainId) -> Option<NfId> {
+        if self.down_nfs == 0 {
+            return None;
+        }
+        self.chains
+            .path(chain)
+            .iter()
+            .copied()
+            .find(|nf| self.nfs[nf.index()].health == NfHealth::Down)
+    }
+
+    /// True when at least one NF is dead.
+    pub fn any_nf_down(&self) -> bool {
+        self.down_nfs > 0
+    }
+
+    /// Kill an NF: every packet it holds (RX/TX rings, outbox, in-flight
+    /// batch) is freed back to the mempool as an `NfDown` drop, its
+    /// control state is cleared, and its scheduler task is parked. TCP
+    /// loss feedback for drained segments is appended to `tcp_out`.
+    ///
+    /// If the NF is mid-batch on its core (task `Running`, a `BatchDone`
+    /// in flight), the task cannot be parked here; the engine blocks it
+    /// at the batch boundary, where `finish_batch` is skipped because the
+    /// batch was already freed. Returns the number of packets freed.
+    pub fn crash_nf(&mut self, nf_id: NfId, now: SimTime, tcp_out: &mut Vec<TcpEvent>) -> usize {
+        let idx = nf_id.index();
+        debug_assert!(self.nfs[idx].health != NfHealth::Down, "crash of dead NF");
+        self.nfs[idx].health = NfHealth::Down;
+        self.down_nfs += 1;
+        self.nfs[idx].blocked = None;
+        self.nfs[idx].yield_flag = false;
+        self.nfs[idx].current_batch = None;
+        self.nfs[idx].cost_factor = 1;
+        self.nfs[idx].pending_by_chain.clear();
+        let mut pids: Vec<nfv_pkt::PktId> = Vec::new();
+        while let Some(pid) = self.nfs[idx].rx.dequeue() {
+            pids.push(pid);
+        }
+        while let Some(pid) = self.nfs[idx].tx.dequeue() {
+            pids.push(pid);
+        }
+        pids.extend(self.nfs[idx].outbox.drain(..));
+        pids.append(&mut self.nfs[idx].in_progress);
+        let freed = pids.len();
+        for pid in pids {
+            let pkt = self.mempool.free(pid);
+            self.stats
+                .dropped(pkt.flow, pkt.chain, DropLocation::NfDown(nf_id));
+            self.trace_drop(now, DropCause::NfDown, pkt.flow.0, pkt.chain.0, nf_id.0);
+            self.note_tcp_drop(pkt.flow, pkt.seq, tcp_out);
+        }
+        let task = self.nfs[idx].task;
+        self.sched.park(task, now);
+        self.trace.record(now, TraceKind::NfCrash { nf: nf_id.0 });
+        freed
+    }
+
+    /// Respawn a dead NF: the process comes back with empty rings,
+    /// blocked on its (empty) RX ring until the wakeup thread sees new
+    /// pending work. The scheduler task is re-armed in place, keeping the
+    /// task-id/NF-id lockstep invariant.
+    pub fn restart_nf(&mut self, nf_id: NfId, now: SimTime) {
+        let idx = nf_id.index();
+        debug_assert_eq!(self.nfs[idx].health, NfHealth::Down, "restart of live NF");
+        self.nfs[idx].health = NfHealth::Up;
+        self.down_nfs -= 1;
+        self.nfs[idx].cost_factor = 1;
+        self.nfs[idx].last_ppp = Duration::ZERO;
+        self.nfs[idx].blocked = Some(BlockReason::EmptyRx);
+        self.trace.record(now, TraceKind::NfRestart { nf: nf_id.0 });
+    }
+
+    /// Wedge an NF: it stays schedulable but stops making progress (see
+    /// [`Platform::plan_batch`]'s spin path). The caller wakes it if it
+    /// was blocked, so the wedged process visibly burns its core.
+    pub fn stall_nf(&mut self, nf_id: NfId) {
+        let nf = &mut self.nfs[nf_id.index()];
+        debug_assert_eq!(nf.health, NfHealth::Up, "stall of non-running NF");
+        nf.health = NfHealth::Stalled;
     }
 
     /// Age of the packet at the head of `nf`'s RX ring (how long it has
@@ -886,6 +1024,129 @@ mod tests {
         let out = p.on_io_complete(a, wake);
         assert!(out.wake);
         assert!(out.next_completion.is_none());
+    }
+
+    #[test]
+    fn crash_drains_every_held_packet_back_to_the_mempool() {
+        let (mut p, _, flow) = mini_platform();
+        inject(&mut p, 40, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        // Put packets in every holding spot of NF a: 8 left in rx, 32
+        // mid-batch.
+        p.plan_batch(NfId(0));
+        assert_eq!(p.nfs[0].in_progress.len(), 32);
+        assert_eq!(p.nfs[0].pending(), 8);
+        let freed = p.crash_nf(NfId(0), SimTime::from_micros(1), &mut tcp);
+        assert_eq!(freed, 40);
+        assert_eq!(p.mempool.in_use(), 0);
+        assert!(p.packets_accounted());
+        assert_eq!(p.stats.nf_down_drops, 40);
+        assert_eq!(p.stats.flows[flow.index()].dropped, 40);
+        assert!(p.nfs[0].pending_by_chain.is_empty());
+        assert!(p.nfs[0].current_batch.is_none());
+        assert!(p.any_nf_down());
+    }
+
+    #[test]
+    fn dead_chain_sheds_at_entry_and_forwarding() {
+        let (mut p, chain, flow) = mini_platform();
+        inject(&mut p, 4, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.plan_batch(NfId(0));
+        p.finish_batch(NfId(0), SimTime::from_micros(1));
+        // Downstream NF b dies with a's output still in a's TX ring.
+        p.crash_nf(NfId(1), SimTime::from_micros(2), &mut tcp);
+        assert_eq!(p.chain_down_nf(chain), Some(NfId(1)));
+        p.tx_drain(
+            SimTime::from_micros(3),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
+        assert_eq!(
+            p.nfs[0].wasted_drops, 4,
+            "forwarding into dead NF wastes work"
+        );
+        // New arrivals for the dead chain are shed at entry, pre-λ.
+        inject(&mut p, 4, SimTime::from_micros(4));
+        p.rx_poll(SimTime::from_micros(4), &mut |_, _| true, &mut tcp);
+        assert_eq!(p.nfs[0].pending(), 0);
+        assert_eq!(p.nfs[0].arrivals, 4, "shed frames are not offered load");
+        assert_eq!(p.stats.nf_down_drops, 8);
+        assert_eq!(p.stats.flows[flow.index()].dropped, 8);
+        assert_eq!(p.mempool.in_use(), 0);
+        // Respawn: traffic flows again.
+        p.restart_nf(NfId(1), SimTime::from_micros(5));
+        assert!(!p.any_nf_down());
+        assert_eq!(p.chain_down_nf(chain), None);
+        inject(&mut p, 4, SimTime::from_micros(6));
+        p.rx_poll(SimTime::from_micros(6), &mut |_, _| true, &mut tcp);
+        assert_eq!(p.nfs[0].pending(), 4);
+    }
+
+    #[test]
+    fn dead_nf_cannot_be_woken() {
+        let (mut p, _, _) = mini_platform();
+        let mut tcp = Vec::new();
+        p.crash_nf(NfId(0), SimTime::ZERO, &mut tcp);
+        assert!(!p.wake_nf(NfId(0), SimTime::from_micros(1)));
+        p.restart_nf(NfId(0), SimTime::from_micros(2));
+        assert!(
+            p.wake_nf(NfId(0), SimTime::from_micros(3)),
+            "blocked EmptyRx"
+        );
+    }
+
+    #[test]
+    fn stalled_nf_spins_without_progress() {
+        let (mut p, _, _) = mini_platform();
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.stall_nf(NfId(0));
+        let plan = p.plan_batch(NfId(0));
+        match plan {
+            BatchPlan::Run { duration, n } => {
+                assert_eq!(n, 0, "no packets dequeued");
+                assert!(duration > Duration::ZERO, "but CPU time is burned");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        p.finish_batch(NfId(0), SimTime::from_micros(1));
+        assert_eq!(p.nfs[0].processed, 0, "progress counter stays flat");
+        assert_eq!(p.nfs[0].pending(), 8, "backlog untouched");
+        assert!(p.packets_accounted());
+    }
+
+    #[test]
+    fn slowdown_factor_multiplies_batch_cost() {
+        let (mut p, _, _) = mini_platform();
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.nfs[0].cost_factor = 4;
+        let BatchPlan::Run { duration: slow, .. } = p.plan_batch(NfId(0)) else {
+            panic!("expected a batch");
+        };
+        p.finish_batch(NfId(0), SimTime::from_micros(1));
+        let mut woken = Vec::new();
+        p.tx_drain(
+            SimTime::from_micros(2),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
+        p.nfs[1].cost_factor = 1;
+        let BatchPlan::Run { duration: base, .. } = p.plan_batch(NfId(1)) else {
+            panic!("expected a batch");
+        };
+        // NF a costs 100 cycles ×4, NF b costs 200 cycles ×1 → 2:1
+        // (±1 ns for the independent cycles→ns rounding of each batch).
+        let diff = slow.as_nanos() as i64 - 2 * base.as_nanos() as i64;
+        assert!(diff.abs() <= 1, "slow={slow} base={base}");
     }
 
     #[test]

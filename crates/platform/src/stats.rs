@@ -20,6 +20,9 @@ pub enum DropLocation {
     RingFull(NfId),
     /// The NF's handler decided to drop (functional drop).
     Handler(NfId),
+    /// The NF is dead: freed by its crash drain, or shed at entry /
+    /// forwarding because the packet's chain routes through it.
+    NfDown(NfId),
 }
 
 /// Congestion feedback destined for a responsive (TCP) source.
@@ -86,6 +89,12 @@ pub struct PlatformStats {
     pub mempool_fail: u64,
     /// Packets discarded by entry admission (all chains).
     pub entry_throttle_drops: u64,
+    /// Packets lost to dead NFs (crash drains + shedding for down chains).
+    pub nf_down_drops: u64,
+    /// RX-dequeue accounting desyncs (a packet left a ring whose chain had
+    /// no pending count). Surfaced by the sanitizer as an invariant
+    /// violation instead of a mid-sim panic.
+    pub pending_desync: u64,
     /// Per-flow stats, indexed by `FlowId`.
     pub flows: Vec<FlowStats>,
     /// Per-chain stats, indexed by `ChainId`.
@@ -114,6 +123,9 @@ impl PlatformStats {
             self.flows[flow.index()].entry_drops += 1;
             self.chains[chain.index()].entry_drops += 1;
             self.entry_throttle_drops += 1;
+        }
+        if matches!(loc, DropLocation::NfDown(_)) {
+            self.nf_down_drops += 1;
         }
     }
 

@@ -99,6 +99,28 @@ impl RunQueue {
         }
     }
 
+    /// Remove a specific queued task (wherever it sits), returning whether
+    /// it was present. Used when a runnable task is parked (e.g. its NF
+    /// crashed) and must leave the queue without being dispatched.
+    pub fn remove(&mut self, id: TaskId) -> bool {
+        match self {
+            RunQueue::Cfs { tree, .. } => {
+                // The tree is keyed by (vruntime, id); a linear scan finds
+                // the entry without the caller having to know the vruntime.
+                // Queues hold at most a handful of NFs per core.
+                match tree.iter().find(|&&(_, t)| t == id).copied() {
+                    Some(key) => tree.remove(&key),
+                    None => false,
+                }
+            }
+            RunQueue::Rr { fifo } => {
+                let before = fifo.len();
+                fifo.retain(|&t| t != id);
+                fifo.len() != before
+            }
+        }
+    }
+
     /// Smallest queued vruntime, if any (CFS only).
     pub fn leftmost_vruntime(&self) -> Option<u64> {
         match self {
@@ -151,6 +173,25 @@ mod tests {
         rq.insert(TaskId(1), 0);
         assert_eq!(rq.pop_next(), Some(TaskId(3)));
         assert_eq!(rq.pop_next(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn remove_by_id_from_both_kinds() {
+        let mut cfs = RunQueue::cfs();
+        cfs.insert(TaskId(1), 10);
+        cfs.insert(TaskId(2), 5);
+        assert!(cfs.remove(TaskId(1)));
+        assert!(!cfs.remove(TaskId(1)), "second remove is a no-op");
+        assert_eq!(cfs.pop_next(), Some(TaskId(2)));
+        assert_eq!(cfs.pop_next(), None);
+
+        let mut rr = RunQueue::rr();
+        rr.insert(TaskId(3), 0);
+        rr.insert(TaskId(4), 0);
+        assert!(rr.remove(TaskId(4)));
+        assert!(!rr.remove(TaskId(9)));
+        assert_eq!(rr.pop_next(), Some(TaskId(3)));
+        assert_eq!(rr.pop_next(), None);
     }
 
     #[test]

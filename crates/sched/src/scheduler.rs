@@ -186,6 +186,25 @@ impl OsScheduler {
         self.tasks[id.index()].state == TaskState::Blocked
     }
 
+    /// Forcibly block a task that is not on the CPU (crash/park). A
+    /// runnable task is pulled out of its core's queue; a blocked task is
+    /// left blocked. Returns `false` — and does nothing — when the task is
+    /// currently `Running`: the caller owns the in-flight batch and must
+    /// park again at the batch boundary (via [`OsScheduler::block_current`]).
+    pub fn park(&mut self, id: TaskId, _now: SimTime) -> bool {
+        let core = self.tasks[id.index()].core;
+        match self.tasks[id.index()].state {
+            TaskState::Running => false,
+            TaskState::Blocked => true,
+            TaskState::Runnable => {
+                let removed = self.cores[core].rq.remove(id);
+                debug_assert!(removed, "runnable task {id} missing from its runqueue");
+                self.tasks[id.index()].state = TaskState::Blocked;
+                true
+            }
+        }
+    }
+
     /// Pick the next task to run on an idle `core`. Returns the task and
     /// the context-switch overhead to charge before useful work starts.
     ///
@@ -485,6 +504,22 @@ mod tests {
         s.wake(sleeper, now);
         let (next, _) = s.dispatch(0, now).unwrap();
         assert_eq!(next, sleeper);
+    }
+
+    #[test]
+    fn park_pulls_runnable_task_and_defers_running_one() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        let b = s.add_task("b", 0);
+        s.wake(a, SimTime::ZERO);
+        s.wake(b, SimTime::ZERO);
+        s.dispatch(0, SimTime::ZERO); // a runs, b queued
+        assert!(s.park(b, SimTime::ZERO), "runnable task parks immediately");
+        assert!(s.is_blocked(b));
+        assert!(!s.need_resched(0, SimTime::from_secs(1)), "queue is empty");
+        assert!(!s.park(a, SimTime::ZERO), "running task defers to boundary");
+        s.block_current(0, SimTime::ZERO);
+        assert!(s.park(a, SimTime::ZERO), "blocked task stays parked");
     }
 
     #[test]
