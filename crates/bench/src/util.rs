@@ -3,8 +3,8 @@
 
 use nfv_pkt::line_rate_pps;
 use nfvnice::{
-    trace_to_jsonl_into, Duration, MetricsRecorder, NfvniceConfig, Policy, Report, SanitizerConfig,
-    SimConfig, Simulation,
+    trace_to_jsonl_into, Duration, MetricsRecorder, NfvniceConfig, Policy, QueueStats, Report,
+    SanitizerConfig, SimConfig, Simulation,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -61,6 +61,12 @@ struct CellRecord {
     /// into the simulation).
     wall_ms: f64,
     trace_digest: u64,
+    /// Event-queue self-profiling counters from the run's report. They are
+    /// deterministic per queue backend, but live in the timings file (not
+    /// the metrics document) so the metrics stay backend-independent.
+    queue: QueueStats,
+    /// Events popped and discarded as stale by the engine.
+    stale_pops: u64,
     metrics: Option<MetricsRecorder>,
     /// Buffered trace JSONL (header line + events) when running under a
     /// parallel suite; `None` when streamed directly or tracing is off.
@@ -117,6 +123,8 @@ pub fn run_logged(experiment: &str, cell: &str, s: &mut Simulation, dur: Duratio
         sim_secs: dur.as_secs_f64(),
         wall_ms,
         trace_digest: r.trace_digest,
+        queue: r.queue,
+        stale_pops: r.stale_pops,
         metrics,
         trace_jsonl,
     };
@@ -267,8 +275,28 @@ pub fn timings_json() -> String {
         total += c.wall_ms;
         let _ = write!(
             s,
-            "{{\"experiment\":{:?},\"cell\":{:?},\"sim_secs\":{},\"wall_ms\":{:.3}}}",
+            "{{\"experiment\":{:?},\"cell\":{:?},\"sim_secs\":{},\"wall_ms\":{:.3}",
             c.experiment, c.cell, c.sim_secs, c.wall_ms
+        );
+        // Queue self-profiling: raw counters plus per-simulated-second
+        // rates, so regressions in event volume or allocation behaviour
+        // show up next to the wall-clock they explain.
+        let q = &c.queue;
+        let per_sec = |x: u64| x as f64 / c.sim_secs.max(1e-9);
+        let _ = write!(
+            s,
+            ",\"queue\":{{\"pushes\":{},\"pops\":{},\"stale_pops\":{},\"cascades\":{},\
+             \"cascaded_entries\":{},\"allocs\":{},\"max_len\":{},\
+             \"pops_per_sim_sec\":{:.1},\"allocs_per_sim_sec\":{:.1}}}}}",
+            q.pushes,
+            q.pops,
+            c.stale_pops,
+            q.cascades,
+            q.cascaded_entries,
+            q.allocs,
+            q.max_len,
+            per_sec(q.pops),
+            per_sec(q.allocs),
         );
     }
     let _ = write!(s, "],\"total_wall_ms\":{total:.3}");

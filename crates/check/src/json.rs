@@ -1,0 +1,315 @@
+//! Minimal JSON parser for the perf-gate tooling.
+//!
+//! The workspace builds offline with zero external dependencies, so
+//! `serde` is not available; `nfv-perfdiff` only needs to read the two
+//! flat documents the bench harness emits (`BENCH_timings.json` and the
+//! committed `BENCH_baseline.json`). This is a small recursive-descent
+//! parser over the full JSON grammar — strict enough to reject malformed
+//! input with a position, simple enough to audit at a glance.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Objects use a `BTreeMap`, so iteration order is
+/// deterministic (key order, not document order — the perf tooling never
+/// depends on document order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (always held as `f64`; the documents we read only
+    /// carry counts and milliseconds, well inside `f64`'s exact range).
+    Num(f64),
+    /// String (escape sequences decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure: message plus byte offset into the input.
+#[derive(Debug, Clone)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let b = input.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Json) -> Result<Json, JsonError> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogate pairs don't appear in our documents;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw bytes through.
+                    let start = self.i - 1;
+                    let len = utf8_len(c);
+                    self.i = start + len;
+                    let chunk = self
+                        .b
+                        .get(start..self.i)
+                        .and_then(|ch| std::str::from_utf8(ch).ok())
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    s.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            self.ws();
+            v.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value()?;
+            m.insert(k, v);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_timings_shape() {
+        let doc = r#"{"cells":[{"experiment":"fig1","cell":"a","sim_secs":0.3,"wall_ms":12.345,
+            "queue":{"pushes":10,"pops":10}}],"total_wall_ms":12.345,"jobs":4}"#;
+        let v = parse(doc).unwrap();
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("experiment").unwrap().as_str(), Some("fig1"));
+        assert_eq!(cells[0].get("wall_ms").unwrap().as_num(), Some(12.345));
+        assert_eq!(v.get("jobs").unwrap().as_num(), Some(4.0));
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let v = parse(r#"{"a\n\"b":[null,true,false,-1.5e2,[],{}]}"#).unwrap();
+        let arr = v.get("a\n\"b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::Null);
+        assert_eq!(arr[3], Json::Num(-150.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("nul").is_err());
+    }
+}

@@ -24,10 +24,14 @@
 //! | `thread-spawn` | deny     | `thread::spawn` / `thread::scope` / `thread::Builder` (the sim is single-threaded) |
 //! | `raw-rand`     | deny     | `rand::` paths / `use rand` (all randomness goes through `SimRng`) |
 //! | `float-accum`  | warn     | `+=` on float-looking values in `crates/sched` & `crates/core` |
+//! | `hot-alloc`    | warn     | `Box::new` / `Vec::new` / `vec!` / `format!` inside the event-loop dispatch and batch-execution hot functions (see [`HOT_FNS`]) |
 //!
 //! Test code is exempt: `#[cfg(test)]` items are skipped, as are
 //! `tests/` and `benches/` directories and the in-tree harness shims
 //! (`crates/check`, `crates/criterion`, `crates/proptest`).
+
+pub mod json;
+pub mod perf;
 
 use std::fmt;
 use std::fs;
@@ -70,13 +74,45 @@ pub struct Finding {
 }
 
 /// All rule ids, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hash-map",
     "hash-set",
     "wall-clock",
     "thread-spawn",
     "raw-rand",
     "float-accum",
+    "hot-alloc",
+];
+
+/// Files whose per-event / per-packet functions are scanned by the
+/// `hot-alloc` rule. A path matches when it equals an entry or starts
+/// with a directory entry.
+pub const HOT_PATHS: [&str; 3] = [
+    "crates/core/src/engine/",
+    "crates/platform/src/platform.rs",
+    "crates/des/src/queue.rs",
+];
+
+/// Function names treated as hot by the `hot-alloc` rule: the event-loop
+/// dispatch chain, the per-tick manager threads, NF batch execution, and
+/// the queue's push/pop path. Allocating per event or per packet in these
+/// defeats the pooled/recycled hot path; justified allocations (error
+/// paths, teardown) take a `// nfv-lint: allow(hot-alloc)` comment.
+pub const HOT_FNS: [&str; 14] = [
+    "handle",
+    "do_core_run",
+    "do_batch_done",
+    "kick",
+    "retire_dead",
+    "do_traffic",
+    "do_rx",
+    "do_tx",
+    "plan_batch",
+    "finish_batch",
+    "rx_poll",
+    "tx_drain",
+    "push",
+    "pop_before",
 ];
 
 /// Is `text[idx..]` preceded/followed by identifier characters? Used for
@@ -280,6 +316,64 @@ fn clean_lines(text: &str) -> Vec<CleanLine> {
     out
 }
 
+/// Allocation-in-hot-path heuristic: an allocating constructor or macro
+/// on the line. `Vec::with_capacity` is deliberately *not* flagged — the
+/// hot-path idiom is to size buffers once at setup and recycle them, and
+/// flagging it would punish exactly that fix.
+fn hot_alloc(code: &str) -> bool {
+    code.contains("Box::new")
+        || code.contains("Vec::new")
+        || code.contains("vec!")
+        || code.contains("format!")
+}
+
+/// Which lines are inside a hot function of a hot file (see [`HOT_PATHS`]
+/// / [`HOT_FNS`]): the scope of the `hot-alloc` rule. Brace-depth
+/// tracking from the `fn` line — nested closures/blocks stay hot until
+/// the function's own closing brace.
+fn hot_fn_mask(lines: &[CleanLine], path_label: &str) -> Vec<bool> {
+    let p = path_label.replace('\\', "/");
+    let in_scope = HOT_PATHS
+        .iter()
+        .any(|h| p == *h || (h.ends_with('/') && p.starts_with(h)));
+    let mut mask = vec![false; lines.len()];
+    if !in_scope {
+        return mask;
+    }
+    let mut depth: i64 = 0;
+    // Depth the enclosing hot fn was declared at; None when outside one.
+    let mut hot_at: Option<i64> = None;
+    for (i, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        if hot_at.is_none()
+            && HOT_FNS.iter().any(|f| {
+                find_word(code, f).is_some_and(|pos| {
+                    code[..pos].trim_end().ends_with("fn")
+                        && code[pos + f.len()..].trim_start().starts_with(['(', '<'])
+                })
+            })
+        {
+            hot_at = Some(depth);
+        }
+        if hot_at.is_some() {
+            mask[i] = true;
+        }
+        for ch in code.bytes() {
+            match ch {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if hot_at.is_some_and(|d| depth <= d) {
+                        hot_at = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
 /// Which lines are inside `#[cfg(test)]`-gated items. Returns a bool per
 /// line; `true` means "skip, this is test code".
 fn test_code_mask(lines: &[CleanLine]) -> Vec<bool> {
@@ -356,6 +450,7 @@ fn allowed_rules(comment: &str) -> Vec<String> {
 pub fn scan_source(path_label: &str, text: &str) -> Vec<Finding> {
     let lines = clean_lines(text);
     let mask = test_code_mask(&lines);
+    let hot_mask = hot_fn_mask(&lines, path_label);
     let float_scope = {
         let p = path_label.replace('\\', "/");
         p.contains("crates/sched/") || p.contains("crates/core/")
@@ -388,6 +483,9 @@ pub fn scan_source(path_label: &str, text: &str) -> Vec<Finding> {
         }
         if float_scope && float_accum(code) {
             hits.push(("float-accum", Severity::Warn));
+        }
+        if hot_mask[idx] && hot_alloc(code) {
+            hits.push(("hot-alloc", Severity::Warn));
         }
         if hits.is_empty() {
             continue;
@@ -652,6 +750,78 @@ mod tests {
         assert_eq!(f.path, "crates/x/src/a.rs");
         assert_eq!(f.snippet, "let t = Instant::now();");
         assert_eq!(f.severity, Severity::Deny);
+    }
+
+    #[test]
+    fn hot_alloc_flags_allocs_in_hot_fns_only() {
+        let src = "\
+impl Simulation {
+    fn handle(&mut self) {
+        let v = Vec::new();
+        let b = Box::new(1);
+    }
+    fn cold_setup(&mut self) {
+        let v: Vec<u32> = Vec::new();
+    }
+}
+";
+        let rules: Vec<_> = scan_source("crates/core/src/engine/mod.rs", src)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect();
+        assert_eq!(rules, vec![(3, "hot-alloc"), (4, "hot-alloc")]);
+        // Same code outside the hot-path file set: no findings.
+        assert!(scan_source("crates/traffic/src/cbr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_macros_and_allowlist() {
+        let src = "\
+fn rx_poll(&mut self) {
+    let msg = format!(\"x\");
+    // nfv-lint: allow(hot-alloc) -- teardown only
+    let v = vec![1, 2];
+}
+";
+        let rules: Vec<_> = scan_source("crates/platform/src/platform.rs", src)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect();
+        assert_eq!(rules, vec![(2, "hot-alloc")]);
+    }
+
+    #[test]
+    fn hot_alloc_respects_fn_word_boundary_and_capacity() {
+        // `push_back` is not `push`; with_capacity is the fix, not a hit.
+        let src = "\
+fn push_back_helper(&mut self) {
+    let v = Vec::new();
+}
+fn push(&mut self) {
+    let mut v = Vec::with_capacity(8);
+    v.push(1);
+}
+";
+        assert!(scan_source("crates/des/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_ends_at_fn_close() {
+        let src = "\
+impl Q {
+    fn pop_before(&mut self) {
+        if x { let y = vec![0]; }
+    }
+    fn other(&mut self) {
+        let v = vec![1];
+    }
+}
+";
+        let rules: Vec<_> = scan_source("crates/des/src/queue.rs", src)
+            .into_iter()
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(rules, vec![3]);
     }
 
     #[test]

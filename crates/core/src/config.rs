@@ -5,6 +5,7 @@ use crate::ecn::EcnConfig;
 use crate::faults::FaultConfig;
 use crate::load::LoadConfig;
 use nfv_des::Duration;
+pub use nfv_des::QueueKind;
 pub use nfv_des::SanitizerConfig;
 pub use nfv_platform::PlatformConfig;
 
@@ -136,6 +137,11 @@ pub struct SimConfig {
     /// default: a run without faults is byte-identical to one built
     /// before fault injection existed).
     pub faults: FaultConfig,
+    /// Event-queue backend. Defaults to the build's default
+    /// ([`QueueKind::default_kind`]: the timer wheel, or the heap under
+    /// the `heap-queue` feature); both produce identical event streams,
+    /// so this knob only exists for differential testing.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -151,6 +157,7 @@ impl Default for SimConfig {
             sanitizer: SanitizerConfig::default(),
             obs: ObsConfig::default(),
             faults: FaultConfig::default(),
+            queue: QueueKind::default_kind(),
         }
     }
 }

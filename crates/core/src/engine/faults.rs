@@ -47,6 +47,7 @@ impl Simulation {
     /// entry forever.
     pub(super) fn kill_nf(&mut self, nf: NfId, now: SimTime) {
         if self.platform.nfs[nf.index()].health == NfHealth::Down {
+            self.stale_pops += 1;
             return; // an injected crash racing the watchdog's verdict
         }
         let Simulation {
@@ -78,6 +79,7 @@ impl Simulation {
     /// samples only.
     pub(super) fn do_respawn(&mut self, nf: NfId, now: SimTime) {
         if self.platform.nfs[nf.index()].health != NfHealth::Down {
+            self.stale_pops += 1;
             return;
         }
         self.platform.restart_nf(nf, now);

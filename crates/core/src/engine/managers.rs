@@ -29,11 +29,12 @@ impl Simulation {
                 self.udp[idx].emit(now, self.cfg.traffic_poll, &mut self.rng, &mut frames);
             }
         }
-        for f in frames.drain(..) {
-            // UDP is non-responsive: NIC overflow is silent loss.
-            if !self.platform.nic.deliver(f) {
-                self.trace_nic_overflow(now);
-            }
+        // UDP is non-responsive: NIC overflow is silent loss. Overflow
+        // always hits the burst's tail, so the bulk path traces the same
+        // drops in the same order as a per-frame loop would.
+        let dropped = self.platform.nic.deliver_burst(&mut frames);
+        for _ in 0..dropped {
+            self.trace_nic_overflow(now);
         }
         self.scratch_frames = frames;
     }

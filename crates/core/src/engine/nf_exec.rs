@@ -56,7 +56,10 @@ impl Simulation {
     /// Pull a dead NF's task off the CPU at a batch boundary: the one
     /// place `crash_nf`'s park cannot reach (the scheduler refuses to
     /// park a `Running` task; the engine owns the in-flight batch event).
+    /// The `CoreRun`/`BatchDone` event that got us here was made stale by
+    /// the crash — lazy invalidation, accounted explicitly.
     fn retire_dead(&mut self, core: usize, now: SimTime) {
+        self.stale_pops += 1;
         self.platform.sched.block_current(core, now);
         self.domains[core].active = false;
         self.kick(core, now);

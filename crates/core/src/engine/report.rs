@@ -115,6 +115,8 @@ impl Simulation {
             nf_stalls_detected: self.stalls_detected,
             nf_down_drops: self.platform.stats.nf_down_drops,
             trace_digest: self.sanitizer.digest(),
+            stale_pops: self.stale_pops,
+            queue: self.queue.stats(),
             series: std::mem::take(&mut self.series),
         }
     }

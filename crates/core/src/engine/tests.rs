@@ -88,6 +88,33 @@ fn trace_digest_is_reproducible_and_seed_sensitive() {
 }
 
 #[test]
+fn queue_backends_produce_identical_runs() {
+    // Runtime backend selection: the same config on the timer wheel and
+    // the binary heap must yield the same event order, hence the same
+    // trace digest and report — regardless of which backend the build
+    // defaults to. Poisson arrivals so RNG draws depend on event order.
+    let run = |queue: nfv_des::QueueKind| {
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.queue = queue;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp_with(chain, 400_000.0, 64, |f| f.poisson());
+        sim.run(Duration::from_millis(60))
+    };
+    let wheel = run(nfv_des::QueueKind::Wheel);
+    let heap = run(nfv_des::QueueKind::Heap);
+    assert_eq!(wheel.trace_digest, heap.trace_digest);
+    assert_eq!(wheel.flows[0].delivered, heap.flows[0].delivered);
+    assert_eq!(wheel.flows[0].dropped, heap.flows[0].dropped);
+    assert_eq!(wheel.total_wasted_drops, heap.total_wasted_drops);
+    for (w, h) in wheel.nfs.iter().zip(heap.nfs.iter()) {
+        assert_eq!(w.processed, h.processed, "{}", w.name);
+    }
+}
+
+#[test]
 fn chain_delivery_traverses_all_nfs() {
     let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::off()));
     let a = sim.add_nf(NfSpec::new("a", 0, 100));

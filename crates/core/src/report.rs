@@ -1,6 +1,6 @@
 //! Run reports: every metric the paper's tables and figures need.
 
-use nfv_des::{jain_index, Duration};
+use nfv_des::{jain_index, Duration, QueueStats};
 use nfv_pkt::{ChainId, FlowId, NfId};
 
 /// Per-NF results (Tables 1–5 columns).
@@ -127,6 +127,15 @@ pub struct Report {
     /// the same scenario with the same seed must produce the same digest —
     /// the determinism tests compare exactly this.
     pub trace_digest: u64,
+    /// Events popped and discarded as stale (lazy invalidation: dead-NF
+    /// batch events, no-op respawns/crashes/slowdown ends). Counted at
+    /// the engine's discard sites, so the number is identical whichever
+    /// queue backend delivered the events.
+    pub stale_pops: u64,
+    /// Event-queue self-profiling counters (pushes, pops, wheel
+    /// cascades, backing-store allocations). Deterministic per backend;
+    /// surfaced in `BENCH_timings.json`, never in the metrics document.
+    pub queue: QueueStats,
     /// Per-second series.
     pub series: Series,
 }
@@ -238,6 +247,8 @@ mod tests {
             nf_stalls_detected: 0,
             nf_down_drops: 0,
             trace_digest: 0,
+            stale_pops: 0,
+            queue: QueueStats::default(),
             series: Series::default(),
         }
     }

@@ -9,10 +9,24 @@
 //! line per benchmark: mean wall time per iteration and, when a
 //! `Throughput` is set, the derived element rate.
 //!
+//! Like the real crate, passing `--test` (as in
+//! `cargo bench --workspace -- --test`) switches to assert-only mode:
+//! every benchmark body runs exactly once, unmeasured, so the headline
+//! property asserts inside the per-figure cells still fire while the run
+//! finishes in CI-smoke time.
+//!
 //! Wall-clock use is confined to this harness; the simulator itself never
 //! reads a clock (`nfv-lint` enforces that, and skips this crate).
 
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Assert-only mode: run each benchmark once without timing. Set by the
+/// `--test` CLI flag, mirroring criterion's flag of the same name.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Rate denomination for reported throughput.
 #[derive(Debug, Clone, Copy)]
@@ -32,8 +46,15 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `f`, running it enough times to smooth out noise.
+    /// Time `f`, running it enough times to smooth out noise. In `--test`
+    /// mode, run it exactly once (asserts fire, nothing is measured).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if test_mode() {
+            black_box(f());
+            self.iters = 1;
+            self.nanos = 0;
+            return;
+        }
         // Warm-up: also gives a cost estimate to size the measured batch.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
@@ -64,6 +85,10 @@ impl Bencher {
 }
 
 fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if test_mode() {
+        println!("bench {name:<40} ok (--test, ran once)");
+        return;
+    }
     let mean = b.mean_ns();
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) | Throughput::Bytes(n) => {
@@ -151,8 +176,9 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the listed groups. Harness arguments that cargo
-/// passes (`--bench`, filters) are ignored.
+/// Generate `main` running the listed groups. Of the harness arguments
+/// cargo passes through, only `--test` (assert-only mode) is honored;
+/// `--bench` and name filters are ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {

@@ -1,14 +1,94 @@
 //! Deterministic event queue.
 //!
-//! The queue is a binary heap ordered by `(time, sequence)`. The sequence
-//! number is assigned on insertion, so two events scheduled for the same
-//! instant are delivered in insertion order. This makes whole-simulation
-//! runs bit-for-bit reproducible for a given seed — a property the
-//! experiment harness relies on.
+//! The queue is a min-priority queue ordered by `(time, sequence)`. The
+//! sequence number is assigned on insertion, so two events scheduled for
+//! the same instant are delivered in insertion order. This makes
+//! whole-simulation runs bit-for-bit reproducible for a given seed — a
+//! property the experiment harness relies on.
+//!
+//! Two backing structures implement that contract (see [`QueueKind`]):
+//!
+//! - **Timer wheel** (the default): a hierarchical timer wheel specialized
+//!   for the simulator's event mix — dense near-future periodic ticks
+//!   (manager polls, `CoreRun`/`BatchDone` batch boundaries, NIC
+//!   arrivals) plus a thin tail of far-future timers. 11 levels of 64
+//!   slots cover the full `u64` nanosecond range; each level-0 slot holds
+//!   exactly one timestamp, so same-instant events coalesce into one slot
+//!   and drain FIFO with a single bitmap probe instead of one
+//!   `O(log n)` heap operation each. Slot storage is recycled across
+//!   pops (no per-event allocation once warm). See DESIGN.md §10 for the
+//!   bucket-granularity, overflow and determinism arguments.
+//! - **Binary heap**: the original `BinaryHeap<Entry>` implementation,
+//!   kept as a differential oracle. The `heap-queue` cargo feature flips
+//!   the build-wide default back to it, which is how CI byte-diffs the
+//!   full quick suite across the two backends.
+//!
+//! Both backends pop identical `(time, seq, event)` streams — the
+//! property tests in `tests/props.rs` and the unit tests below drive them
+//! in lockstep over adversarial schedules.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bits of time per wheel level: 64 slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels: `ceil(64 / SLOT_BITS)` covers the whole `u64` range.
+const LEVELS: usize = 11;
+
+/// Which backing structure an [`EventQueue`] uses. Both deliver the exact
+/// same `(time, seq)` stream; the wheel is faster on the simulator's
+/// event mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel (the default).
+    Wheel,
+    /// Binary heap — the reference implementation, kept for differential
+    /// testing (`heap-queue` feature makes it the build default).
+    Heap,
+}
+
+impl QueueKind {
+    /// The build's default backend: the timer wheel, unless the
+    /// `heap-queue` cargo feature flips the workspace back to the binary
+    /// heap (used by CI to byte-diff the two implementations over the
+    /// full quick suite).
+    pub fn default_kind() -> QueueKind {
+        if cfg!(feature = "heap-queue") {
+            QueueKind::Heap
+        } else {
+            QueueKind::Wheel
+        }
+    }
+}
+
+impl Default for QueueKind {
+    fn default() -> Self {
+        QueueKind::default_kind()
+    }
+}
+
+/// Self-profiling counters of one [`EventQueue`]. Deterministic for a
+/// given event stream and backend; surfaced per cell in
+/// `BENCH_timings.json` (never in the metrics document).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled.
+    pub pushes: u64,
+    /// Events delivered.
+    pub pops: u64,
+    /// Wheel slot cascades performed (0 on the heap backend).
+    pub cascades: u64,
+    /// Entries re-homed by cascades (0 on the heap backend).
+    pub cascaded_entries: u64,
+    /// Backing-store (re)allocations: wheel slot growth or heap growth.
+    /// Flat after warm-up — the recycling guarantee.
+    pub allocs: u64,
+    /// Peak number of pending events.
+    pub max_len: usize,
+}
 
 /// A scheduled entry: fires `event` at `at`.
 struct Entry<E> {
@@ -38,6 +118,188 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The hierarchical timer wheel.
+///
+/// Placement: an entry with timestamp `at` lives at the level of the
+/// highest bit in which `at` differs from the cursor `cur` (the timestamp
+/// of the last pop), at slot `(at >> 6·level) & 63`. Because `at ≥ cur`,
+/// the occupied slot index at its level is strictly greater than the
+/// cursor's (equal only at level 0 when `at == cur`), so every occupied
+/// slot at the lowest occupied level is "ahead" of the cursor and the
+/// first set bit of that level's occupancy bitmap is the global minimum's
+/// slot. Level-0 slots hold exactly one timestamp each (`(cur & !63) |
+/// slot`), kept in seq order; higher-level slots hold a time range and
+/// are re-sorted by `(at, seq)` when cascaded, which restores the
+/// insertion-order tie-break exactly.
+struct Wheel<E> {
+    /// `levels[level][slot]` — FIFO of entries; capacity is retained
+    /// across drains, so steady-state operation performs no allocation.
+    levels: Vec<Vec<VecDeque<WheelEntry<E>>>>,
+    /// Per-level slot-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Cursor: timestamp of the last pop (or a cascaded slot's start,
+    /// transiently inside `pop_before`).
+    cur: u64,
+    len: usize,
+    cascades: u64,
+    cascaded_entries: u64,
+    allocs: u64,
+    /// Reused cascade buffer (drain target), avoiding a per-cascade Vec.
+    scratch: Vec<WheelEntry<E>>,
+}
+
+struct WheelEntry<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Wheel level housing a timestamp `at` relative to cursor `cur`:
+/// the level of the highest differing bit (0 when equal).
+fn level_of(cur: u64, at: u64) -> usize {
+    debug_assert!(at >= cur);
+    let x = cur ^ at;
+    if x == 0 {
+        0
+    } else {
+        ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
+                .collect(),
+            occupied: [0; LEVELS],
+            cur: 0,
+            len: 0,
+            cascades: 0,
+            cascaded_entries: 0,
+            allocs: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, e: WheelEntry<E>) {
+        let lvl = level_of(self.cur, e.at);
+        let slot = ((e.at >> (SLOT_BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+        let q = &mut self.levels[lvl][slot];
+        if q.len() == q.capacity() {
+            self.allocs += 1;
+        }
+        q.push_back(e);
+        self.occupied[lvl] |= 1 << slot;
+        self.len += 1;
+    }
+
+    /// Lowest occupied level and its first occupied slot — the slot
+    /// holding the global minimum (see the placement invariant above).
+    fn first(&self) -> Option<(usize, usize)> {
+        (0..LEVELS)
+            .find(|&k| self.occupied[k] != 0)
+            .map(|k| (k, self.occupied[k].trailing_zeros() as usize))
+    }
+
+    /// Start of `slot` at `lvl`, relative to the cursor's position.
+    fn slot_start(&self, lvl: usize, slot: usize) -> u64 {
+        let shift = SLOT_BITS * lvl as u32;
+        let above = shift + SLOT_BITS;
+        // Bits of `cur` above this level's span (shift-safe at the top
+        // level, where the span runs off the end of the u64).
+        let base = if above >= 64 {
+            0
+        } else {
+            (self.cur >> above) << above
+        };
+        base | ((slot as u64) << shift)
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        let (lvl, slot) = self.first()?;
+        if lvl == 0 {
+            // A level-0 slot holds exactly one timestamp.
+            Some(self.slot_start(0, slot))
+        } else {
+            self.levels[lvl][slot].iter().map(|e| e.at).min()
+        }
+    }
+
+    /// Pop the earliest entry if its timestamp is `<= limit`.
+    ///
+    /// Returns `None` **without mutating the wheel** when the earliest
+    /// entry (if any) is past `limit`: a cascade is only performed once
+    /// the slot is known to contain an entry `<= limit`, which guarantees
+    /// the call then pops. The cursor therefore never outruns the last
+    /// delivered timestamp across calls, keeping later `push`es at any
+    /// `at >= now` valid.
+    fn pop_before(&mut self, limit: u64) -> Option<(u64, u64, E)> {
+        loop {
+            let (lvl, slot) = self.first()?;
+            if lvl == 0 {
+                let t = self.slot_start(0, slot);
+                if t > limit {
+                    return None;
+                }
+                let q = &mut self.levels[0][slot];
+                let e = q.pop_front().expect("occupied slot is empty");
+                if q.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.len -= 1;
+                debug_assert_eq!(e.at, t);
+                self.cur = t;
+                return Some((e.at, e.seq, e.event));
+            }
+            let min_at = self.levels[lvl][slot]
+                .iter()
+                .map(|e| e.at)
+                .min()
+                .expect("occupied slot is empty");
+            if min_at > limit {
+                return None;
+            }
+            // Fast path: a lone entry in a high-level slot is the global
+            // minimum; deliver it directly. Advancing the cursor to its
+            // timestamp is exactly the state a full cascade plus level-0
+            // pop would have produced, minus the re-insertion round trip.
+            // This is the common shape for sparse timelines (timers far
+            // apart), where cascades would otherwise dominate.
+            if self.levels[lvl][slot].len() == 1 {
+                let e = self.levels[lvl][slot].pop_front().expect("len checked");
+                self.occupied[lvl] &= !(1u64 << slot);
+                self.len -= 1;
+                self.cur = e.at;
+                return Some((e.at, e.seq, e.event));
+            }
+            // Cascade: advance the cursor to the slot's start (so re-homed
+            // entries land at strictly lower levels) and re-insert in
+            // (time, seq) order, which keeps every level-0 slot sorted by
+            // insertion sequence.
+            let start = self.slot_start(lvl, slot);
+            debug_assert!(start >= self.cur && start <= min_at);
+            self.occupied[lvl] &= !(1u64 << slot);
+            let mut batch = std::mem::take(&mut self.scratch);
+            batch.extend(self.levels[lvl][slot].drain(..));
+            self.len -= batch.len();
+            self.cur = start;
+            self.cascades += 1;
+            self.cascaded_entries += batch.len() as u64;
+            batch.sort_unstable_by_key(|e| (e.at, e.seq));
+            for e in batch.drain(..) {
+                self.insert(e);
+            }
+            self.scratch = batch;
+        }
+    }
+}
+
+enum Backend<E> {
+    Wheel(Wheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A deterministic min-priority queue of simulation events.
 ///
 /// `E` is the simulation's event enum. The queue does not support removal;
@@ -45,20 +307,48 @@ impl<E> Ord for Entry<E> {
 /// generation counter next to the state the event touches, stamp the event
 /// with the generation at scheduling time, and ignore stale events on
 /// delivery. (This mirrors how timer wheels in network stacks handle
-/// cancellation without a searchable structure.)
+/// cancellation without a searchable structure. The engine counts such
+/// discarded deliveries explicitly — `Report::stale_pops` — so both
+/// backends agree on them by construction.)
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     now: SimTime,
+    pushes: u64,
+    pops: u64,
+    heap_allocs: u64,
+    max_len: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at zero.
+    /// An empty queue with the clock at zero, using the build's default
+    /// backend ([`QueueKind::default_kind`]).
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::default_kind())
+    }
+
+    /// An empty queue using an explicit backend — differential tests run
+    /// the same simulation on both kinds and compare digests.
+    pub fn with_kind(kind: QueueKind) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match kind {
+                QueueKind::Wheel => Backend::Wheel(Wheel::new()),
+                QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            },
             seq: 0,
             now: SimTime::ZERO,
+            pushes: 0,
+            pops: 0,
+            heap_allocs: 0,
+            max_len: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match &self.backend {
+            Backend::Wheel(_) => QueueKind::Wheel,
+            Backend::Heap(_) => QueueKind::Heap,
         }
     }
 
@@ -79,36 +369,95 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: at={at} now={}",
             self.now
         );
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            event,
-        });
+        let seq = self.seq;
         self.seq += 1;
+        self.pushes += 1;
+        match &mut self.backend {
+            Backend::Wheel(w) => w.insert(WheelEntry {
+                at: at.as_nanos(),
+                seq,
+                event,
+            }),
+            Backend::Heap(h) => {
+                if h.len() == h.capacity() {
+                    self.heap_allocs += 1;
+                }
+                h.push(Entry { at, seq, event });
+            }
+        }
+        let len = self.len();
+        if len > self.max_len {
+            self.max_len = len;
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now);
-            self.now = e.at;
-            (e.at, e.event)
-        })
+        self.pop_before(SimTime::MAX)
+    }
+
+    /// Pop the earliest event if its timestamp is `<= limit`, advancing
+    /// the clock to it; `None` (and no state change) otherwise.
+    ///
+    /// This is the event loop's primitive: `pop_before(end)` replaces the
+    /// `peek_time` + `pop` pair, so the wheel searches its bitmaps once
+    /// per event instead of twice.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        let popped = match &mut self.backend {
+            Backend::Wheel(w) => w
+                .pop_before(limit.as_nanos())
+                .map(|(at, _seq, event)| (SimTime::from_nanos(at), event)),
+            Backend::Heap(h) => {
+                if h.peek().is_none_or(|e| e.at > limit) {
+                    None
+                } else {
+                    h.pop().map(|e| (e.at, e.event))
+                }
+            }
+        };
+        if let Some((t, _)) = &popped {
+            debug_assert!(*t >= self.now);
+            self.now = *t;
+            self.pops += 1;
+        }
+        popped
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Wheel(w) => w.peek_time().map(SimTime::from_nanos),
+            Backend::Heap(h) => h.peek().map(|e| e.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Wheel(w) => w.len,
+            Backend::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Operation counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        let (cascades, cascaded_entries, allocs) = match &self.backend {
+            Backend::Wheel(w) => (w.cascades, w.cascaded_entries, w.allocs),
+            Backend::Heap(_) => (0, 0, self.heap_allocs),
+        };
+        QueueStats {
+            pushes: self.pushes,
+            pops: self.pops,
+            cascades,
+            cascaded_entries,
+            allocs,
+            max_len: self.max_len,
+        }
     }
 }
 
@@ -123,37 +472,45 @@ mod tests {
     use super::*;
     use crate::time::Duration;
 
+    const KINDS: [QueueKind; 2] = [QueueKind::Wheel, QueueKind::Heap];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), "c");
-        q.push(SimTime::from_nanos(10), "a");
-        q.push(SimTime::from_nanos(20), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
-        assert_eq!(q.pop(), None);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_nanos(30), "c");
+            q.push(SimTime::from_nanos(10), "a");
+            q.push(SimTime::from_nanos(20), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(7), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_micros(7));
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_micros(7), ());
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_micros(7));
+        }
     }
 
     #[test]
@@ -166,17 +523,177 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn heap_rejects_events_in_the_past() {
+        let mut q = EventQueue::with_kind(QueueKind::Heap);
+        q.push(SimTime::from_micros(7), ());
+        q.pop();
+        q.push(SimTime::from_micros(3), ());
+    }
+
+    #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 1u32);
-        q.push(SimTime::from_nanos(50), 5);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t.as_nanos(), e), (10, 1));
-        // scheduling relative to 'now' is the common pattern
-        q.push(q.now() + Duration::from_nanos(5), 2);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 5);
-        assert!(q.is_empty());
-        assert_eq!(q.len(), 0);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_nanos(10), 1u32);
+            q.push(SimTime::from_nanos(50), 5);
+            let (t, e) = q.pop().unwrap();
+            assert_eq!((t.as_nanos(), e), (10, 1));
+            // scheduling relative to 'now' is the common pattern
+            q.push(q.now() + Duration::from_nanos(5), 2);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 5);
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+        }
+    }
+
+    #[test]
+    fn default_kind_tracks_feature() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.kind(), QueueKind::default_kind());
+    }
+
+    #[test]
+    fn pop_before_respects_limit_and_is_non_destructive() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime::from_nanos(100), "a");
+            q.push(SimTime::from_nanos(5_000_000), "far");
+            assert_eq!(q.pop_before(SimTime::from_nanos(50)), None);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert_eq!(
+                q.pop_before(SimTime::from_nanos(100)),
+                Some((SimTime::from_nanos(100), "a"))
+            );
+            // A refused probe must not corrupt later, earlier pushes.
+            assert_eq!(q.pop_before(SimTime::from_nanos(200)), None);
+            q.push(SimTime::from_nanos(150), "b");
+            assert_eq!(q.pop().unwrap().1, "b");
+            assert_eq!(q.pop().unwrap().1, "far");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn far_future_timers_cascade_correctly() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            // One event per wheel level, far apart, pushed out of order.
+            let times = [
+                1u64 << 40,
+                1 << 20,
+                3,
+                (1 << 30) + 7,
+                u64::MAX / 2,
+                (1 << 12) + 1,
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut sorted: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            sorted.sort_unstable();
+            for (t, i) in sorted {
+                assert_eq!(q.pop(), Some((SimTime::from_nanos(t), i)));
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn same_instant_burst_survives_cascade() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            // A burst far in the future: the wheel parks it at a high
+            // level and must restore insertion order when cascading.
+            let t = SimTime::from_nanos((1 << 25) + 12_345);
+            for i in 0..64 {
+                q.push(t, i);
+            }
+            // Interleave an earlier event so the burst is not popped
+            // straight from the insertion slot.
+            q.push(SimTime::from_nanos(9), 1000);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(9), 1000)));
+            for i in 0..64 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_lcg_stream() {
+        // Deterministic pseudo-random interleaving of pushes and pops,
+        // driven in lockstep over both backends.
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut n = 0u64;
+        for _ in 0..5_000 {
+            let r = lcg();
+            if r % 3 != 0 || wheel.is_empty() {
+                // Mix of near-future, same-tick and far-future offsets.
+                let off = match r % 7 {
+                    0 => 0,
+                    1..=4 => r % 1_000,
+                    5 => r % 1_000_000,
+                    _ => (r % 1_000) << 24,
+                };
+                let at = wheel.now() + Duration::from_nanos(off);
+                wheel.push(at, n);
+                heap.push(at, n);
+                n += 1;
+            } else if r % 5 == 0 {
+                let limit = wheel.now() + Duration::from_nanos(lcg() % 10_000);
+                assert_eq!(wheel.pop_before(limit), heap.pop_before(limit));
+            } else {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        let (ws, hs) = (wheel.stats(), heap.stats());
+        assert_eq!(ws.pushes, hs.pushes);
+        assert_eq!(ws.pops, hs.pops);
+        assert_eq!(ws.pops, ws.pushes);
+    }
+
+    #[test]
+    fn stats_count_ops_and_recycling() {
+        let mut q = EventQueue::with_kind(QueueKind::Wheel);
+        for round in 0..3 {
+            for i in 0..100u64 {
+                q.push(q.now() + Duration::from_nanos(i + 1), i);
+            }
+            while q.pop().is_some() {}
+            if round == 0 {
+                // Slot storage allocated during the first round...
+                assert!(q.stats().allocs > 0);
+            }
+        }
+        let s = q.stats();
+        assert_eq!(s.pushes, 300);
+        assert_eq!(s.pops, 300);
+        assert_eq!(s.max_len, 100);
+        // ...is recycled afterwards: warm rounds allocate nothing, so the
+        // count stays well below one per event.
+        assert!(
+            s.allocs < 150,
+            "slot storage not recycled: {} allocs for {} pushes",
+            s.allocs,
+            s.pushes
+        );
     }
 }

@@ -1,10 +1,86 @@
 //! Property-based tests for the DES kernel against naive reference models.
 
-use nfv_des::{jain_index, DurationHistogram, EventQueue, SimTime, WindowedMedian};
+use nfv_des::{jain_index, DurationHistogram, EventQueue, QueueKind, SimTime, WindowedMedian};
 use nfv_des::{Duration, Ewma};
 use proptest::prelude::*;
 
+/// One step of an interleaved queue workload: schedule events at an offset
+/// from the current clock, or drain some.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Push `count` events `delta` ns after the queue's clock (count > 1 is
+    /// a same-instant burst, which exercises the seq tie-break).
+    Push { delta: u64, count: u8 },
+    /// Pop one event unconditionally.
+    Pop,
+    /// Pop one event only if due within `horizon` ns of the clock (the
+    /// engine's `pop_before` batching path).
+    PopBefore { horizon: u64 },
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        // Near-term offsets: land in the wheel's low levels.
+        (0u64..5_000, 1u8..4).prop_map(|(delta, count)| QueueOp::Push { delta, count }),
+        // Far-future timers: exercise high levels and cascades.
+        (1u64 << 20..1u64 << 40, 1u8..3).prop_map(|(delta, count)| QueueOp::Push { delta, count }),
+        Just(QueueOp::Pop),
+        (0u64..10_000).prop_map(|horizon| QueueOp::PopBefore { horizon }),
+    ]
+}
+
 proptest! {
+    /// The timer wheel and the binary heap dequeue bit-identical
+    /// `(time, tag)` streams for arbitrary interleavings of scheduling and
+    /// draining, including same-instant bursts and far-future timers. This
+    /// is the backend-equivalence property the whole-suite differential
+    /// run (CI `queue-diff`) checks end to end.
+    #[test]
+    fn wheel_and_heap_dequeue_identically(
+        ops in prop::collection::vec(queue_op(), 1..200),
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::with_kind(QueueKind::Wheel);
+        let mut heap: EventQueue<u32> = EventQueue::with_kind(QueueKind::Heap);
+        let mut tag = 0u32;
+        for op in ops {
+            match op {
+                QueueOp::Push { delta, count } => {
+                    // Both queues have identical clocks (asserted below),
+                    // so the same absolute time goes to both.
+                    let at = SimTime::from_nanos(wheel.now().as_nanos() + delta);
+                    for _ in 0..count {
+                        wheel.push(at, tag);
+                        heap.push(at, tag);
+                        tag += 1;
+                    }
+                }
+                QueueOp::Pop => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                }
+                QueueOp::PopBefore { horizon } => {
+                    let limit = SimTime::from_nanos(wheel.now().as_nanos() + horizon);
+                    let a = wheel.pop_before(limit);
+                    let b = heap.pop_before(limit);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: every remaining event must match too.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The event queue pops in exactly sorted (time, insertion) order.
     #[test]
     fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..10_000, 1..200)) {

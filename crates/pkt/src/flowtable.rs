@@ -8,7 +8,6 @@
 use crate::ids::{ChainId, FlowId};
 use crate::packet::FiveTuple;
 use crate::pattern::TuplePattern;
-use std::collections::BTreeMap;
 
 /// Per-flow record.
 #[derive(Debug, Clone)]
@@ -36,11 +35,34 @@ struct WildcardRule {
 /// then installation order) and, on a hit, caches the decision as a fresh
 /// exact entry — the reactive flow-director pattern OpenNetVM inherits
 /// from OpenFlow.
+///
+/// The exact-match index is a hand-rolled open-addressing table (a
+/// fixed-key multiply hash, linear probing) rather than `std` maps: the
+/// lookup runs once per arriving frame, and the hash is seed-free so
+/// results stay deterministic. All ordered views go through `by_id`
+/// (flow-id order), never the index.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    map: BTreeMap<FiveTuple, FlowEntry>,
+    /// Entries indexed by flow id.
+    entries: Vec<FlowEntry>,
     by_id: Vec<FiveTuple>,
+    /// Open-addressing slots: `0` is empty, else `flow_index + 1`.
+    /// Always a power of two; grown at 7/8 load.
+    index: Vec<u32>,
     wildcards: Vec<WildcardRule>,
+}
+
+/// Seed-free multiply-xor hash of a 5-tuple (the ports/proto and the two
+/// addresses each get one round). Quality only affects probe length.
+#[inline]
+fn tuple_hash(t: &FiveTuple) -> u64 {
+    const M: u64 = 0x9e37_79b9_7f4a_7c15;
+    let a = ((t.src_ip as u64) << 32) | t.dst_ip as u64;
+    let b = ((t.src_port as u64) << 24) | ((t.dst_port as u64) << 8) | t.proto as u64;
+    let mut h = (a ^ M).wrapping_mul(M);
+    h ^= h >> 32;
+    h = (h ^ b).wrapping_mul(M);
+    h ^ (h >> 29)
 }
 
 impl FlowTable {
@@ -49,25 +71,64 @@ impl FlowTable {
         Self::default()
     }
 
+    /// Slot in `index` holding `tuple`, or the empty slot where it would
+    /// be inserted.
+    #[inline]
+    fn probe(&self, tuple: &FiveTuple) -> usize {
+        debug_assert!(self.index.len().is_power_of_two());
+        let mask = self.index.len() - 1;
+        let mut i = tuple_hash(tuple) as usize & mask;
+        loop {
+            match self.index[i] {
+                0 => return i,
+                f if self.by_id[(f - 1) as usize] == *tuple => return i,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Grow-and-rehash keeping at most 7/8 occupancy (insertion order is
+    /// irrelevant for open addressing lookups; rehash iterates `by_id`, so
+    /// the layout is a pure function of install order).
+    fn maybe_grow(&mut self) {
+        if self.index.len() >= 2 * (self.by_id.len() + 1) {
+            return;
+        }
+        let cap = (4 * (self.by_id.len() + 1)).next_power_of_two();
+        self.index.clear();
+        self.index.resize(cap, 0);
+        let mask = cap - 1;
+        for (n, t) in self.by_id.iter().enumerate() {
+            let mut i = tuple_hash(t) as usize & mask;
+            while self.index[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = n as u32 + 1;
+        }
+    }
+
     /// Install a rule mapping `tuple` to `chain`, returning the interned
     /// [`FlowId`]. Reinstalling an existing tuple updates its chain (rule
     /// replacement) and keeps its id and counters.
     pub fn install(&mut self, tuple: FiveTuple, chain: ChainId) -> FlowId {
-        if let Some(e) = self.map.get_mut(&tuple) {
-            e.chain = chain;
-            return e.flow;
+        if self.index.is_empty() {
+            self.maybe_grow();
+        }
+        let slot = self.probe(&tuple);
+        if let Some(f) = self.index[slot].checked_sub(1) {
+            self.entries[f as usize].chain = chain;
+            return FlowId(f);
         }
         let flow = FlowId(self.by_id.len() as u32);
+        self.index[slot] = flow.0 + 1;
         self.by_id.push(tuple);
-        self.map.insert(
-            tuple,
-            FlowEntry {
-                flow,
-                chain,
-                packets: 0,
-                bytes: 0,
-            },
-        );
+        self.entries.push(FlowEntry {
+            flow,
+            chain,
+            packets: 0,
+            bytes: 0,
+        });
+        self.maybe_grow();
         flow
     }
 
@@ -93,11 +154,15 @@ impl FlowTable {
     /// A wildcard hit installs an exact cache entry so subsequent packets
     /// of the flow take the fast path. Returns `None` for unmatched
     /// traffic (the RX thread drops it).
+    #[inline]
     pub fn classify(&mut self, tuple: &FiveTuple, bytes: u32) -> Option<(FlowId, ChainId)> {
-        if let Some(e) = self.map.get_mut(tuple) {
-            e.packets += 1;
-            e.bytes += bytes as u64;
-            return Some((e.flow, e.chain));
+        if !self.index.is_empty() {
+            if let Some(f) = self.index[self.probe(tuple)].checked_sub(1) {
+                let e = &mut self.entries[f as usize];
+                e.packets += 1;
+                e.bytes += bytes as u64;
+                return Some((e.flow, e.chain));
+            }
         }
         let chain = self
             .wildcards
@@ -105,15 +170,21 @@ impl FlowTable {
             .find(|r| r.pattern.matches(tuple))?
             .chain;
         let flow = self.install(*tuple, chain);
-        let e = self.map.get_mut(tuple).expect("just installed");
+        let e = &mut self.entries[flow.index()];
         e.packets += 1;
         e.bytes += bytes as u64;
         Some((flow, chain))
     }
 
     /// Look up without mutating counters.
+    #[inline]
     pub fn get(&self, tuple: &FiveTuple) -> Option<&FlowEntry> {
-        self.map.get(tuple)
+        if self.index.is_empty() {
+            return None;
+        }
+        self.index[self.probe(tuple)]
+            .checked_sub(1)
+            .map(|f| &self.entries[f as usize])
     }
 
     /// The tuple for a given flow id.
@@ -133,7 +204,7 @@ impl FlowTable {
 
     /// Iterate over all entries (deterministic order by flow id).
     pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
-        self.by_id.iter().map(move |t| &self.map[t])
+        self.entries.iter()
     }
 }
 

@@ -10,9 +10,14 @@ use crate::ids::PktId;
 use crate::packet::Packet;
 
 /// Fixed-capacity slab of packets with a free list.
+///
+/// Slots hold `Packet` directly (a parallel `live` bitmap catches stale
+/// ids and double-frees): the per-packet alloc/free hot path writes the
+/// payload exactly once and frees without moving it back out.
 #[derive(Debug)]
 pub struct Mempool {
-    slots: Vec<Option<Packet>>,
+    slots: Vec<Packet>,
+    live: Vec<bool>,
     free: Vec<PktId>,
     /// Allocation failures observed (pool exhausted).
     pub alloc_failures: u64,
@@ -25,7 +30,8 @@ impl Mempool {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "mempool capacity must be positive");
         Mempool {
-            slots: (0..capacity).map(|_| None).collect(),
+            slots: vec![Packet::default(); capacity],
+            live: vec![false; capacity],
             free: (0..capacity).rev().map(|i| PktId(i as u32)).collect(),
             alloc_failures: 0,
             in_use: 0,
@@ -35,11 +41,13 @@ impl Mempool {
 
     /// Allocate a slot for `pkt`. Returns `None` (and counts a failure) if
     /// the pool is exhausted.
+    #[inline]
     pub fn alloc(&mut self, pkt: Packet) -> Option<PktId> {
         match self.free.pop() {
             Some(id) => {
-                debug_assert!(self.slots[id.index()].is_none());
-                self.slots[id.index()] = Some(pkt);
+                debug_assert!(!self.live[id.index()]);
+                self.slots[id.index()] = pkt;
+                self.live[id.index()] = true;
                 self.in_use += 1;
                 self.high_watermark = self.high_watermark.max(self.in_use);
                 Some(id)
@@ -51,30 +59,38 @@ impl Mempool {
         }
     }
 
-    /// Release a slot, returning the packet that occupied it.
+    /// Release a slot. Callers needing the packet's contents must read
+    /// them via [`Mempool::get`] *before* freeing — the payload is not
+    /// moved out.
     ///
     /// # Panics
     /// Panics on double-free — that is always a simulator bug.
-    pub fn free(&mut self, id: PktId) -> Packet {
-        let pkt = self.slots[id.index()]
-            .take()
-            .expect("double free of packet slot");
+    #[inline]
+    pub fn free(&mut self, id: PktId) {
+        assert!(
+            std::mem::replace(&mut self.live[id.index()], false),
+            "double free of packet slot"
+        );
         self.free.push(id);
         self.in_use -= 1;
-        pkt
     }
 
     /// Immutable access to a live packet.
+    #[inline]
     pub fn get(&self, id: PktId) -> &Packet {
-        self.slots[id.index()].as_ref().expect("stale packet id")
+        assert!(self.live[id.index()], "stale packet id");
+        &self.slots[id.index()]
     }
 
     /// Mutable access to a live packet.
+    #[inline]
     pub fn get_mut(&mut self, id: PktId) -> &mut Packet {
-        self.slots[id.index()].as_mut().expect("stale packet id")
+        assert!(self.live[id.index()], "stale packet id");
+        &mut self.slots[id.index()]
     }
 
     /// Packets currently allocated.
+    #[inline]
     pub fn in_use(&self) -> usize {
         self.in_use
     }

@@ -8,7 +8,6 @@
 
 use crate::packet::{Ecn, FiveTuple};
 use nfv_des::SimTime;
-use std::collections::VecDeque;
 
 /// A frame on the wire, before it has a mempool buffer.
 #[derive(Debug, Clone, Copy)]
@@ -28,9 +27,14 @@ pub struct WireFrame {
 }
 
 /// One simulated NIC port.
+///
+/// The RX queue is a plain `Vec`, not a deque: the manager's RX thread
+/// always drains it wholesale ([`Nic::take_rx`] swap), so FIFO pops from
+/// the front never happen on the hot path and burst delivery compiles to
+/// a memcpy.
 #[derive(Debug)]
 pub struct Nic {
-    rx: VecDeque<WireFrame>,
+    rx: Vec<WireFrame>,
     rx_capacity: usize,
     /// Frames lost to RX queue overflow (no work wasted).
     pub rx_overflow_drops: u64,
@@ -50,7 +54,7 @@ impl Nic {
     pub fn new(rx_capacity: usize) -> Self {
         assert!(rx_capacity > 0);
         Nic {
-            rx: VecDeque::with_capacity(rx_capacity),
+            rx: Vec::with_capacity(rx_capacity),
             rx_capacity,
             rx_overflow_drops: 0,
             rx_frames: 0,
@@ -60,24 +64,54 @@ impl Nic {
     }
 
     /// Deliver a frame from the wire. Returns `false` on overflow drop.
+    #[inline]
     pub fn deliver(&mut self, frame: WireFrame) -> bool {
         if self.rx.len() >= self.rx_capacity {
             self.rx_overflow_drops += 1;
             return false;
         }
-        self.rx.push_back(frame);
+        self.rx.push(frame);
         self.rx_frames += 1;
         true
     }
 
-    /// Poll up to `burst` frames (PMD receive burst).
+    /// Deliver a burst of frames, draining `frames`. Accepts up to the
+    /// remaining RX capacity in order and drops the rest (hardware
+    /// overflow, same semantics as per-frame [`Nic::deliver`] in a loop —
+    /// one capacity check instead of one per frame). Returns the number
+    /// dropped.
+    #[inline]
+    pub fn deliver_burst(&mut self, frames: &mut Vec<WireFrame>) -> usize {
+        let space = self.rx_capacity - self.rx.len();
+        let take = space.min(frames.len());
+        self.rx.extend_from_slice(&frames[..take]);
+        self.rx_frames += take as u64;
+        let dropped = frames.len() - take;
+        self.rx_overflow_drops += dropped as u64;
+        frames.clear();
+        dropped
+    }
+
+    /// Poll up to `burst` frames (PMD receive burst). Front-of-queue
+    /// removal shifts the remainder — fine off the hot path; the RX
+    /// thread itself uses [`Nic::take_rx`].
     pub fn poll(&mut self, burst: usize, out: &mut Vec<WireFrame>) -> usize {
         let take = burst.min(self.rx.len());
         out.extend(self.rx.drain(..take));
         take
     }
 
+    /// Drain the whole RX queue by swapping it with `out` (which must be
+    /// empty): the full-queue poll without copying frames. Both queues'
+    /// capacities survive, so a poll loop reusing `out` never reallocates.
+    #[inline]
+    pub fn take_rx(&mut self, out: &mut Vec<WireFrame>) {
+        debug_assert!(out.is_empty());
+        std::mem::swap(&mut self.rx, out);
+    }
+
     /// Transmit a frame out of the box.
+    #[inline]
     pub fn transmit(&mut self, size: u32) {
         self.tx_frames += 1;
         self.tx_bytes += size as u64;

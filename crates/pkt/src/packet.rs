@@ -90,6 +90,14 @@ pub struct Packet {
     pub cost_class: u8,
 }
 
+impl Default for Packet {
+    /// A placeholder packet (flow 0, chain 0, minimum size, time zero) —
+    /// used to pre-fill mempool slots.
+    fn default() -> Self {
+        Packet::new(FlowId(0), ChainId(0), Packet::MIN_SIZE, SimTime::ZERO)
+    }
+}
+
 impl Packet {
     /// Minimum Ethernet frame size used by the paper's line-rate tests.
     pub const MIN_SIZE: u32 = 64;

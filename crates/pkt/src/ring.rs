@@ -55,6 +55,7 @@ impl Ring {
     }
 
     /// Attempt to enqueue one descriptor.
+    #[inline]
     pub fn enqueue(&mut self, id: PktId) -> Enqueue {
         if self.buf.len() >= self.capacity {
             self.full_drops += 1;
@@ -68,6 +69,7 @@ impl Ring {
     }
 
     /// Dequeue the oldest descriptor.
+    #[inline]
     pub fn dequeue(&mut self) -> Option<PktId> {
         let id = self.buf.pop_front();
         if id.is_some() {
@@ -87,6 +89,7 @@ impl Ring {
     }
 
     /// Peek at the head descriptor without removing it.
+    #[inline]
     pub fn peek(&self) -> Option<PktId> {
         self.buf.front().copied()
     }
@@ -98,16 +101,19 @@ impl Ring {
     }
 
     /// Current queue length.
+    #[inline]
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
     /// True when empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
 
     /// Maximum entries.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.capacity
     }

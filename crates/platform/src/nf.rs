@@ -17,8 +17,68 @@ use nfv_des::Duration;
 use nfv_io::DoubleBuffer;
 use nfv_pkt::{ChainId, Packet, Ring};
 use nfv_sched::TaskId;
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
+
+/// Per-chain pending-packet counts, kept as a `ChainId`-sorted vec.
+///
+/// This sits on the per-packet hot path (`note_pending`/`note_dequeued`
+/// run once per RX enqueue/dequeue), and an NF sees at most a handful of
+/// distinct chains, so a binary-searched vec beats a `BTreeMap`'s node
+/// allocations — while iteration order stays identical (ascending
+/// `ChainId`), which the backpressure evaluation and suppression checks
+/// rely on for determinism. The backing vec's capacity is retained across
+/// drain/refill cycles, so steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct ChainCounts {
+    counts: Vec<(ChainId, u32)>,
+}
+
+impl ChainCounts {
+    /// Increment the count for `chain` (inserting it at its sorted slot).
+    pub fn add(&mut self, chain: ChainId) {
+        match self.counts.binary_search_by_key(&chain, |&(c, _)| c) {
+            Ok(i) => self.counts[i].1 += 1,
+            Err(i) => self.counts.insert(i, (chain, 1)),
+        }
+    }
+
+    /// Decrement the count for `chain`, dropping the entry at zero.
+    /// Returns `false` when the chain has no pending count.
+    #[must_use]
+    pub fn sub(&mut self, chain: ChainId) -> bool {
+        let Ok(i) = self.counts.binary_search_by_key(&chain, |&(c, _)| c) else {
+            return false;
+        };
+        self.counts[i].1 -= 1;
+        if self.counts[i].1 == 0 {
+            self.counts.remove(i);
+        }
+        true
+    }
+
+    /// Pending count for `chain`, if any.
+    pub fn get(&self, chain: ChainId) -> Option<u32> {
+        self.counts
+            .binary_search_by_key(&chain, |&(c, _)| c)
+            .ok()
+            .map(|i| self.counts[i].1)
+    }
+
+    /// Chains with a nonzero pending count, in ascending `ChainId` order.
+    pub fn keys(&self) -> impl Iterator<Item = &ChainId> {
+        self.counts.iter().map(|(c, _)| c)
+    }
+
+    /// True when no chain has pending packets.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Drop every count (capacity is kept).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
 
 /// Per-packet CPU cost of an NF.
 #[derive(Debug, Clone)]
@@ -207,7 +267,7 @@ pub struct NfRuntime {
     pub blocked: Option<BlockReason>,
     /// Pending RX packets per chain — lets the wakeup thread decide in
     /// O(#chains) whether everything queued here is throttled.
-    pub pending_by_chain: BTreeMap<ChainId, u32>,
+    pub pending_by_chain: ChainCounts,
     /// Packets processed (time already charged) but not yet pushed to the
     /// TX ring because it filled: flushed before the next batch.
     pub outbox: VecDeque<nfv_pkt::PktId>,
@@ -260,7 +320,7 @@ impl NfRuntime {
             tx,
             yield_flag: false,
             blocked: Some(BlockReason::EmptyRx),
-            pending_by_chain: BTreeMap::new(),
+            pending_by_chain: ChainCounts::default(),
             outbox: VecDeque::new(),
             in_progress: Vec::new(),
             current_batch: None,
@@ -279,7 +339,7 @@ impl NfRuntime {
     /// Record a packet of `chain` entering the RX ring. Callers must have
     /// already counted the arrival attempt via [`NfRuntime::note_arrival`].
     pub fn note_pending(&mut self, chain: ChainId) {
-        *self.pending_by_chain.entry(chain).or_insert(0) += 1;
+        self.pending_by_chain.add(chain);
     }
 
     /// Record an enqueue *attempt* into the RX ring — successful or not.
@@ -297,14 +357,7 @@ impl NfRuntime {
     /// the sim).
     #[must_use]
     pub fn note_dequeued(&mut self, chain: ChainId) -> bool {
-        let Some(c) = self.pending_by_chain.get_mut(&chain) else {
-            return false;
-        };
-        *c -= 1;
-        if *c == 0 {
-            self.pending_by_chain.remove(&chain);
-        }
-        true
+        self.pending_by_chain.sub(chain)
     }
 
     /// True when the NF process is alive (up or wedged — a stalled NF
@@ -401,7 +454,7 @@ mod tests {
         rt.note_pending(ChainId(1));
         assert!(!rt.note_dequeued(ChainId(2)), "wrong chain is a desync too");
         // the existing count is untouched
-        assert_eq!(rt.pending_by_chain.get(&ChainId(1)), Some(&1));
+        assert_eq!(rt.pending_by_chain.get(ChainId(1)), Some(1));
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl Platform {
     ) {
         let mut frames = std::mem::take(&mut self.scratch_frames);
         frames.clear();
-        self.nic.poll(usize::MAX, &mut frames);
+        self.nic.take_rx(&mut frames);
         for frame in frames.drain(..) {
             let Some((flow, chain)) = self.flow_table.classify(&frame.tuple, frame.size) else {
                 self.stats.unclassified += 1;
@@ -270,12 +270,18 @@ impl Platform {
                 self.note_tcp_drop(flow, frame.seq, tcp_out);
                 continue;
             }
-            let mut pkt = Packet::new(flow, chain, frame.size, frame.arrival);
-            pkt.tuple = frame.tuple;
-            pkt.seq = frame.seq;
-            pkt.cost_class = frame.cost_class;
-            pkt.ecn = frame.ecn;
-            pkt.enqueued_at = now;
+            let pkt = Packet {
+                tuple: frame.tuple,
+                flow,
+                chain,
+                size: frame.size,
+                arrival: frame.arrival,
+                enqueued_at: now,
+                hops_done: 0,
+                ecn: frame.ecn,
+                seq: frame.seq,
+                cost_class: frame.cost_class,
+            };
             let Some(pid) = self.mempool.alloc(pkt) else {
                 self.stats.mempool_fail += 1;
                 self.stats
@@ -338,24 +344,29 @@ impl Platform {
     ) {
         for i in 0..self.nfs.len() {
             while let Some(pid) = self.nfs[i].tx.dequeue() {
-                let (flow, chain, hops, seq, size) = {
+                let (flow, chain, hops, seq, size, arrival, ecn) = {
                     let p = self.mempool.get(pid);
-                    (p.flow, p.chain, p.hops_done, p.seq, p.size)
+                    (
+                        p.flow,
+                        p.chain,
+                        p.hops_done,
+                        p.seq,
+                        p.size,
+                        p.arrival,
+                        p.ecn,
+                    )
                 };
                 match self.chains.nf_at(chain, hops as usize) {
                     None => {
                         // Chain complete: out the wire.
-                        let pkt = self.mempool.free(pid);
+                        self.mempool.free(pid);
                         self.nic.transmit(size);
-                        self.stats
-                            .delivered(flow, chain, size, now.since(pkt.arrival));
+                        self.stats.delivered(flow, chain, size, now.since(arrival));
                         if self.tcp_flows.contains(&flow) {
                             tcp_out.push(TcpEvent {
                                 flow,
                                 seq,
-                                kind: TcpEventKind::Delivered {
-                                    ce: pkt.ecn == Ecn::Ce,
-                                },
+                                kind: TcpEventKind::Delivered { ce: ecn == Ecn::Ce },
                             });
                         }
                     }
@@ -486,7 +497,9 @@ impl Platform {
     pub fn finish_batch(&mut self, nf_id: NfId, now: SimTime) -> BatchEffects {
         let mut fx = BatchEffects::default();
         let idx = nf_id.index();
-        let pids = std::mem::take(&mut self.nfs[idx].in_progress);
+        // Take the batch vec so the handler can borrow `self`, but hand it
+        // back (cleared) afterwards — its capacity is reused every batch.
+        let mut pids = std::mem::take(&mut self.nfs[idx].in_progress);
         let (_, n) = self.nfs[idx]
             .current_batch
             .take()
@@ -495,7 +508,7 @@ impl Platform {
         let mut handler = self.handlers[idx].take().expect("handler re-entry");
         let io_spec = self.nfs[idx].spec.io;
         let mut sync_bytes = 0u64;
-        for pid in pids {
+        for &pid in &pids {
             let action = handler.handle(self.mempool.get_mut(pid), now);
             let (flow, chain) = {
                 let p = self.mempool.get(pid);
@@ -544,6 +557,8 @@ impl Platform {
             self.nfs[idx].processed_meter.add(1);
         }
         self.handlers[idx] = Some(handler);
+        pids.clear();
+        self.nfs[idx].in_progress = pids;
         if sync_bytes > 0 {
             // Blocking write: the NF sleeps until the device finishes.
             let completion = self.storage.submit_write(now, sync_bytes);
@@ -652,11 +667,14 @@ impl Platform {
         pids.append(&mut self.nfs[idx].in_progress);
         let freed = pids.len();
         for pid in pids {
-            let pkt = self.mempool.free(pid);
-            self.stats
-                .dropped(pkt.flow, pkt.chain, DropLocation::NfDown(nf_id));
-            self.trace_drop(now, DropCause::NfDown, pkt.flow.0, pkt.chain.0, nf_id.0);
-            self.note_tcp_drop(pkt.flow, pkt.seq, tcp_out);
+            let (flow, chain, seq) = {
+                let p = self.mempool.get(pid);
+                (p.flow, p.chain, p.seq)
+            };
+            self.mempool.free(pid);
+            self.stats.dropped(flow, chain, DropLocation::NfDown(nf_id));
+            self.trace_drop(now, DropCause::NfDown, flow.0, chain.0, nf_id.0);
+            self.note_tcp_drop(flow, seq, tcp_out);
         }
         let task = self.nfs[idx].task;
         self.sched.park(task, now);

@@ -10,6 +10,8 @@
 //! - [`Strategy`] implementations for integer and float ranges
 //!   (`0u64..100`, `2usize..=4`, `0.0f64..1.0`), tuples of strategies,
 //!   `prop::collection::vec(elem, size)` and `prop::bool::ANY`,
+//! - combinators: [`Just`], [`Strategy::prop_map`] and the
+//!   [`prop_oneof!`] macro (uniform arm choice, no weights),
 //! - [`prop_assert!`] / [`prop_assert_eq!`], which report the generated
 //!   inputs on failure,
 //! - [`ProptestConfig`] with a `cases` knob.
@@ -97,6 +99,87 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`, as the real crate's
+    /// `Strategy::prop_map` does.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strat: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One boxed arm of a [`OneOf`]: a type-erased generator function.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Strategy behind [`prop_oneof!`]: picks one arm uniformly per draw.
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from the macro-collected arm generators.
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneOf({} arms)", self.arms.len())
+    }
+}
+
+/// Choose uniformly between strategies of the same value type. The real
+/// crate's weighted `n => strat` arm form is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
 }
 
 macro_rules! int_range_strategy {
@@ -345,8 +428,8 @@ macro_rules! __proptest_items {
 
 /// Everything a property-test file needs, as `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::{prop, ProptestConfig, SizeRange, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop, Just, ProptestConfig, SizeRange, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 #[cfg(test)]
@@ -395,6 +478,26 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert!(pair.0 < 4 && pair.1 < 1.0);
             prop_assert_eq!(flags.len(), flags.iter().filter(|_| true).count());
+        }
+
+        /// Combinators compose: prop_oneof over Just / prop_map arms.
+        #[test]
+        fn combinators_smoke(
+            vals in prop::collection::vec(
+                prop_oneof![
+                    Just(0u64),
+                    (1u64..10).prop_map(|x| x * 100),
+                    1_000u64..2_000,
+                ],
+                1..32,
+            ),
+        ) {
+            for v in vals {
+                prop_assert!(
+                    v == 0 || (100u64..1_000).contains(&v) || (1_000u64..2_000).contains(&v),
+                    "value {v} outside every arm's range"
+                );
+            }
         }
     }
 }
