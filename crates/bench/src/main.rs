@@ -113,7 +113,7 @@ fn main() {
 
     // Suite wall clock is bench telemetry only (lands in the timings file,
     // never in metrics).
-    let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock)
+    let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock) -- suite telemetry, never enters the sim
     nfv_bench::run_suite(&selected, len, jobs);
     nfv_bench::set_suite_meta(jobs, t0.elapsed().as_secs_f64() * 1e3);
 

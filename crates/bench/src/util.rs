@@ -96,7 +96,7 @@ pub fn enable_metrics() {
 /// Drop-in replacement for `Simulation::run` in experiment code.
 pub fn run_logged(experiment: &str, cell: &str, s: &mut Simulation, dur: Duration) -> Report {
     // Wall-clock is bench telemetry only; it never enters the simulation.
-    let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock)
+    let t0 = std::time::Instant::now(); // nfv-lint: allow(wall-clock) -- per-cell telemetry, never enters the sim
     let r = s.run(dur);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mut trace_jsonl = None;
@@ -183,7 +183,7 @@ pub fn run_suite(suite: &[Exp], len: RunLength, jobs: usize) {
     // Harness-side threads only: every simulation inside stays
     // single-threaded and seeded, so cell results cannot depend on the
     // worker count or interleaving.
-    // nfv-lint: allow(thread-spawn)
+    // nfv-lint: allow(thread-spawn) -- harness worker pool; each sim inside stays single-threaded
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(suite.len()) {
             scope.spawn(|| loop {

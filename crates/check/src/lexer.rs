@@ -1,0 +1,503 @@
+//! A dependency-free Rust tokenizer producing spanned tokens.
+//!
+//! One place handles every lexical shape that used to be re-derived per
+//! heuristic in the line-oriented scanner: line and block comments
+//! (nested), string literals with escapes, raw strings with arbitrary
+//! hash fences, byte/char literals, lifetimes, numeric literals with
+//! suffixes, and multi-character operators. Rules downstream operate on
+//! the token stream and never see comment or literal *contents*.
+//!
+//! The lexer is intentionally forgiving: the input is workspace source
+//! that `rustc` already accepts, so malformed edge cases degrade to
+//! single-character punctuation tokens instead of errors.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including `_` and raw `r#ident`).
+    Ident,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal (including suffixed forms like `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `1e9`, `2.0f64`).
+    Float,
+    /// String, raw string, byte string or char literal. Contents opaque.
+    Literal,
+    /// Punctuation / operator, max-munched (`::`, `>>=`, `..=`, ...).
+    Punct,
+}
+
+/// One spanned token. `lo..hi` are byte offsets into the source text;
+/// `line` is the 1-based line the token starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: Kind,
+    pub lo: u32,
+    pub hi: u32,
+    pub line: u32,
+}
+
+/// A line comment, with the 1-based line it sits on and the byte span of
+/// its text (including the leading `//`). Block comments are skipped
+/// entirely: allowlist directives must be line comments, same as the
+/// previous engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    pub line: u32,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// Lexer output: code tokens plus line comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Multi-character operators, longest first (max munch).
+const PUNCTS: [&str; 25] = [
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..", ".",
+];
+
+/// Tokenize `text`. Never fails; unrecognized bytes become 1-byte puncts.
+pub fn lex(text: &str) -> Lexed {
+    let b = text.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let push = |out: &mut Lexed, kind, lo: usize, hi: usize, line: u32| {
+        out.toks.push(Tok {
+            kind,
+            lo: lo as u32,
+            hi: hi as u32,
+            line,
+        });
+    };
+    while i < b.len() {
+        let c = b[i];
+        // whitespace
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let lo = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                lo: lo as u32,
+                hi: i as u32,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // raw strings r"..." / r#"..."# and raw idents r#ident; byte
+        // strings b"..." / br#"..."#.
+        if (c == b'r' || c == b'b')
+            && (out.toks.last().is_none_or(|t| {
+                t.kind != Kind::Ident || t.hi as usize != i // not glued to an ident
+            }))
+        {
+            let mut j = i;
+            let mut is_raw = false;
+            if b[j] == b'b' {
+                j += 1;
+                if j < b.len() && b[j] == b'r' {
+                    is_raw = true;
+                    j += 1;
+                }
+            } else {
+                is_raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while is_raw && j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if is_raw && j < b.len() && b[j] == b'"' {
+                // raw (byte) string
+                let lo = i;
+                let start_line = line;
+                j += 1;
+                'raw: while j < b.len() {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'"' {
+                        let mut h = 0usize;
+                        let mut k = j + 1;
+                        while k < b.len() && b[k] == b'#' && h < hashes {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            j = k;
+                            break 'raw;
+                        }
+                        j += 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+                push(&mut out, Kind::Literal, lo, j, start_line);
+                i = j;
+                continue;
+            }
+            if c == b'r' && hashes == 1 && j < b.len() && is_ident_start(b[j]) {
+                // raw identifier r#ident
+                let lo = i;
+                while j < b.len() && is_ident_char(b[j]) {
+                    j += 1;
+                }
+                push(&mut out, Kind::Ident, lo, j, line);
+                i = j;
+                continue;
+            }
+            if c == b'b' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+                // cooked byte string / byte char: fall through to the
+                // string/char scanners below from the quote.
+                let lo = i;
+                let quote = b[i + 1];
+                let start_line = line;
+                let mut k = i + 2;
+                while k < b.len() {
+                    if b[k] == b'\\' {
+                        // an escaped newline (line continuation) still
+                        // advances the line counter
+                        if k + 1 < b.len() && b[k + 1] == b'\n' {
+                            line += 1;
+                        }
+                        k += 2;
+                    } else if b[k] == quote {
+                        k += 1;
+                        break;
+                    } else {
+                        if b[k] == b'\n' {
+                            line += 1;
+                        }
+                        k += 1;
+                    }
+                }
+                push(&mut out, Kind::Literal, lo, k, start_line);
+                i = k;
+                continue;
+            }
+            // plain ident starting with r/b
+        }
+        // identifiers / keywords
+        if is_ident_start(c) {
+            let lo = i;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            push(&mut out, Kind::Ident, lo, i, line);
+            continue;
+        }
+        // numbers
+        if c.is_ascii_digit() {
+            let lo = i;
+            let mut kind = Kind::Int;
+            if c == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+                i += 2;
+                while i < b.len() && (is_ident_char(b[i])) {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                // fractional part: '.' followed by a digit (not `..` or a
+                // method call like `1.max(2)`)
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    kind = Kind::Float;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else if i + 1 < b.len()
+                    && b[i] == b'.'
+                    && !is_ident_start(b[i + 1])
+                    && b[i + 1] != b'.'
+                {
+                    // trailing-dot float `1.`
+                    kind = Kind::Float;
+                    i += 1;
+                }
+                // exponent
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        kind = Kind::Float;
+                        i = j;
+                        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // suffix (u64, f32, ...): a float suffix flips the kind
+                let suf_lo = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                if text[suf_lo..i].starts_with('f') {
+                    kind = Kind::Float;
+                }
+            }
+            push(&mut out, kind, lo, i, line);
+            continue;
+        }
+        // strings
+        if c == b'"' {
+            let lo = i;
+            let start_line = line;
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    // `\<newline>` line continuations must keep the line
+                    // counter honest or every later token drifts
+                    if i + 1 < b.len() && b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if b[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            push(&mut out, Kind::Literal, lo, i, start_line);
+            continue;
+        }
+        // char literal or lifetime
+        if c == b'\'' {
+            // lifetime: 'ident not followed by a closing quote
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_char(b[j]) {
+                    j += 1;
+                }
+                if j >= b.len() || b[j] != b'\'' {
+                    push(&mut out, Kind::Lifetime, i, j, line);
+                    i = j;
+                    continue;
+                }
+            }
+            // char literal: 'x', '\n', '\u{1F600}'
+            let lo = i;
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == b'\\' {
+                    if j + 1 < b.len() && b[j + 1] == b'\n' {
+                        line += 1;
+                    }
+                    j += 2;
+                } else if b[j] == b'\'' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            push(&mut out, Kind::Literal, lo, j, line);
+            i = j;
+            continue;
+        }
+        // punctuation, max munch
+        let rest = &text[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                push(&mut out, Kind::Punct, i, i + p.len(), line);
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            push(&mut out, Kind::Punct, i, i + 1, line);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .map(|t| src[t.lo as usize..t.hi as usize].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            texts("let x = a::b(1_000u64) >> 2;"),
+            ["let", "x", "=", "a", "::", "b", "(", "1_000u64", ")", ">>", "2", ";"]
+        );
+    }
+
+    #[test]
+    fn float_kinds() {
+        let l = lex("1.5 1e9 2.0f64 3f32 7 0x1f 1.max(2)");
+        let kinds: Vec<Kind> = l.toks.iter().map(|t| t.kind).take(6).collect();
+        assert_eq!(
+            kinds,
+            [
+                Kind::Float,
+                Kind::Float,
+                Kind::Float,
+                Kind::Float,
+                Kind::Int,
+                Kind::Int
+            ]
+        );
+        // `1.max(2)` lexes the 1 as an Int, then `.` `max` ...
+        let texts = texts("1.max(2)");
+        assert_eq!(texts[0], "1");
+        assert_eq!(texts[1], ".");
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = r##"let s = "HashMap Instant"; let c = '"'; let r = r#"thread::spawn"#;"##;
+        let l = lex(src);
+        assert!(l
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .all(|t| !&src[t.lo as usize..t.hi as usize].contains("HashMap")));
+        assert_eq!(l.toks.iter().filter(|t| t.kind == Kind::Literal).count(), 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            2
+        );
+        assert_eq!(l.toks.iter().filter(|t| t.kind == Kind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let src = "let a = 1; // nfv-lint: allow(x)\n/* block\nspanning */ let b = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        let b_tok = l
+            .toks
+            .iter()
+            .find(|t| &src[t.lo as usize..t.hi as usize] == "b")
+            .unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fin");
+        assert_eq!(l.toks.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let x = r##\"quote \"# inside\"## + 1;";
+        let l = lex(src);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == Kind::Literal).count(), 1);
+        assert!(texts(src).contains(&"1".to_string()));
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let src = "let s = \"a\nb\";\nlet t = 1;\n";
+        let l = lex(src);
+        let t_tok = l
+            .toks
+            .iter()
+            .find(|t| &src[t.lo as usize..t.hi as usize] == "t")
+            .unwrap();
+        assert_eq!(t_tok.line, 3);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        // rustfmt splits long format! strings with `\`-continuations;
+        // the skipped newline must still bump the line counter.
+        let src = "let s = \"a \\\n b\";\nlet t = 1;\n";
+        let l = lex(src);
+        let t_tok = l
+            .toks
+            .iter()
+            .find(|t| &src[t.lo as usize..t.hi as usize] == "t")
+            .unwrap();
+        assert_eq!(t_tok.line, 3);
+    }
+
+    #[test]
+    fn max_munch_operators() {
+        assert_eq!(
+            texts("a >>= b ..= c .. d"),
+            ["a", ">>=", "b", "..=", "c", "..", "d"]
+        );
+    }
+
+    #[test]
+    fn raw_ident_and_byte_string() {
+        assert_eq!(
+            texts("r#fn b\"bytes\" rand"),
+            ["r#fn", "b\"bytes\"", "rand"]
+        );
+        let l = lex("b\"x\" br#\"y\"#");
+        assert!(l.toks.iter().all(|t| t.kind == Kind::Literal));
+    }
+}

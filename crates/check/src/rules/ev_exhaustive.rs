@@ -1,0 +1,304 @@
+//! `ev-exhaustive`: every engine event variant must be digest-visible.
+//!
+//! The sim-sanitizer's trace digest only covers what `ev_tag` encodes and
+//! what `Simulation::handle` feeds to `on_event`. A new `Ev` variant that
+//! skips either one bypasses the determinism audit silently — exactly the
+//! kind of rot a refactor introduces. This rule cross-checks, per
+//! variant of `enum Ev` in `engine/events.rs`:
+//!
+//! * an `Ev::<Variant>` arm exists in `ev_tag` (same file);
+//! * an `Ev::<Variant>` arm exists in `Simulation::handle`
+//!   (`engine/mod.rs`), which must also call the `on_event` hook;
+//! * neither match hides behind a `_ =>` wildcard (a wildcard makes the
+//!   compiler stop enforcing exhaustiveness, so the lint must too).
+//!
+//! The rule keys on the real engine files and stays silent when they are
+//! absent (unit tests, fixture trees without an engine).
+
+use super::{Rule, Workspace};
+use crate::lexer::Kind;
+use crate::parse::SourceFile;
+use crate::{Finding, Severity};
+
+pub const EVENTS_FILE: &str = "crates/core/src/engine/events.rs";
+pub const DISPATCH_FILE: &str = "crates/core/src/engine/mod.rs";
+
+pub struct EvExhaustiveRule;
+
+/// Variant names of `enum Ev`, in declaration order.
+fn ev_variants(sf: &SourceFile) -> Option<(u32, Vec<String>)> {
+    let n = sf.toks.len();
+    let mut i = 0;
+    let (open, close, line) = loop {
+        if i + 2 >= n {
+            return None;
+        }
+        if sf.is_ident(i, "enum") && sf.is_ident(i + 1, "Ev") && sf.is_punct(i + 2, "{") {
+            break (i + 2, sf.brace_match[i + 2]?, sf.toks[i].line);
+        }
+        i += 1;
+    };
+    let mut variants = Vec::new();
+    let mut depth: i64 = 0;
+    let mut expect = true;
+    let mut j = open + 1;
+    while j < close {
+        let t = sf.toks[j];
+        if t.kind == Kind::Punct {
+            match sf.tok_text(j) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                "," if depth == 0 => expect = true,
+                // skip an attribute's [...] group
+                "#" if depth == 0 && j + 1 < close && sf.is_punct(j + 1, "[") => {
+                    let mut bd = 0i64;
+                    j += 1;
+                    while j < close {
+                        if sf.is_punct(j, "[") {
+                            bd += 1;
+                        } else if sf.is_punct(j, "]") {
+                            bd -= 1;
+                            if bd == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == Kind::Ident && depth == 0 && expect {
+            variants.push(sf.tok_text(j).to_string());
+            expect = false;
+        }
+        j += 1;
+    }
+    Some((line, variants))
+}
+
+/// Body token range of the first non-test fn named `name`.
+fn fn_body(sf: &SourceFile, name: &str) -> Option<(u32, usize, usize)> {
+    sf.fns
+        .iter()
+        .find(|f| !f.is_test && f.name == name)
+        .and_then(|f| f.body.map(|(o, c)| (f.line, o, c)))
+}
+
+/// Does the body contain `Ev :: <variant>`?
+fn has_arm(sf: &SourceFile, open: usize, close: usize, variant: &str) -> bool {
+    (open + 1..close.saturating_sub(2))
+        .any(|i| sf.is_ident(i, "Ev") && sf.is_punct(i + 1, "::") && sf.is_ident(i + 2, variant))
+}
+
+/// Does the body contain a `_ =>` wildcard arm?
+fn has_wildcard(sf: &SourceFile, open: usize, close: usize) -> bool {
+    (open + 1..close.saturating_sub(1)).any(|i| sf.is_ident(i, "_") && sf.is_punct(i + 1, "=>"))
+}
+
+/// Does the body call `on_event(`?
+fn calls_on_event(sf: &SourceFile, open: usize, close: usize) -> bool {
+    (open + 1..close.saturating_sub(1))
+        .any(|i| sf.is_ident(i, "on_event") && sf.is_punct(i + 1, "("))
+}
+
+fn deny(sf: &SourceFile, line: u32, msg: String) -> Finding {
+    Finding {
+        path: sf.path.clone(),
+        line: line as usize,
+        rule: "ev-exhaustive",
+        severity: Severity::Deny,
+        snippet: msg,
+    }
+}
+
+impl Rule for EvExhaustiveRule {
+    fn id(&self) -> &'static str {
+        "ev-exhaustive"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(ei) = ws.file_index(EVENTS_FILE) else {
+            return;
+        };
+        let events = &ws.files[ei];
+        let Some((enum_line, variants)) = ev_variants(events) else {
+            out.push(deny(
+                events,
+                1,
+                "enum Ev not found; ev-exhaustive cannot audit the digest".to_string(),
+            ));
+            return;
+        };
+
+        // `ev_tag` must encode every variant, without a wildcard.
+        match fn_body(events, "ev_tag") {
+            Some((line, open, close)) => {
+                if has_wildcard(events, open, close) {
+                    out.push(deny(
+                        events,
+                        line,
+                        "ev_tag has a `_ =>` wildcard arm; every Ev variant must encode explicitly"
+                            .to_string(),
+                    ));
+                }
+                for v in &variants {
+                    if !has_arm(events, open, close, v) {
+                        out.push(deny(
+                            events,
+                            line,
+                            format!(
+                                "Ev::{v} has no ev_tag arm; the sanitizer digest cannot see it"
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => out.push(deny(
+                events,
+                enum_line,
+                "fn ev_tag not found beside enum Ev".to_string(),
+            )),
+        }
+
+        // `handle` must dispatch every variant and feed the sanitizer.
+        let Some(di) = ws.file_index(DISPATCH_FILE) else {
+            return; // fixture tree without a dispatcher: events-side checks only
+        };
+        let dispatch = &ws.files[di];
+        match fn_body(dispatch, "handle") {
+            Some((line, open, close)) => {
+                if !calls_on_event(dispatch, open, close) {
+                    out.push(deny(
+                        dispatch,
+                        line,
+                        "handle never calls the sanitizer's on_event hook".to_string(),
+                    ));
+                }
+                if has_wildcard(dispatch, open, close) {
+                    out.push(deny(
+                        dispatch,
+                        line,
+                        "handle has a `_ =>` wildcard arm; every Ev variant must dispatch explicitly"
+                            .to_string(),
+                    ));
+                }
+                for v in &variants {
+                    if !has_arm(dispatch, open, close, v) {
+                        out.push(deny(
+                            dispatch,
+                            line,
+                            format!("Ev::{v} is never dispatched in handle"),
+                        ));
+                    }
+                }
+            }
+            None => out.push(deny(
+                dispatch,
+                1,
+                "fn handle not found in the dispatch file".to_string(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{DISPATCH_FILE, EVENTS_FILE};
+    use crate::rules::scan_sources;
+
+    fn events_src(tag_arms: &[&str]) -> String {
+        let mut s = String::from(
+            "pub(crate) enum Ev {\n    Traffic,\n    CoreRun { core: usize },\n}\n\
+             pub(crate) fn ev_tag(ev: &Ev) -> u64 {\n    match ev {\n",
+        );
+        for arm in tag_arms {
+            s.push_str(&format!("        {arm}\n"));
+        }
+        s.push_str("    }\n}\n");
+        s
+    }
+
+    fn dispatch_src(arms: &[&str], hook: bool) -> String {
+        let mut s = String::from("impl Simulation {\n    fn handle(&mut self, ev: Ev) {\n");
+        if hook {
+            s.push_str("        self.sanitizer.on_event(now, ev_tag(&ev));\n");
+        }
+        s.push_str("        match ev {\n");
+        for arm in arms {
+            s.push_str(&format!("            {arm}\n"));
+        }
+        s.push_str("        }\n    }\n}\n");
+        s
+    }
+
+    fn scan(events: String, dispatch: String) -> Vec<(usize, String)> {
+        scan_sources(vec![
+            (EVENTS_FILE.to_string(), events),
+            (DISPATCH_FILE.to_string(), dispatch),
+        ])
+        .into_iter()
+        .filter(|f| f.rule == "ev-exhaustive")
+        .map(|f| (f.line, f.snippet))
+        .collect()
+    }
+
+    #[test]
+    fn complete_coverage_is_clean() {
+        let fs = scan(
+            events_src(&["Ev::Traffic => 1,", "Ev::CoreRun { core } => 2,"]),
+            dispatch_src(&["Ev::Traffic => {}", "Ev::CoreRun { core } => {}"], true),
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_tag_arm_is_denied() {
+        let fs = scan(
+            events_src(&["Ev::Traffic => 1,"]),
+            dispatch_src(&["Ev::Traffic => {}", "Ev::CoreRun { core } => {}"], true),
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].1.contains("Ev::CoreRun has no ev_tag arm"), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_dispatch_arm_is_denied() {
+        let fs = scan(
+            events_src(&["Ev::Traffic => 1,", "Ev::CoreRun { core } => 2,"]),
+            dispatch_src(&["Ev::Traffic => {}"], true),
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].1.contains("never dispatched"), "{fs:?}");
+    }
+
+    #[test]
+    fn wildcard_arms_are_denied() {
+        let fs = scan(
+            events_src(&["Ev::Traffic => 1,", "Ev::CoreRun { core } => 2,", "_ => 0,"]),
+            dispatch_src(&["Ev::Traffic => {}", "Ev::CoreRun { core } => {}"], true),
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].1.contains("wildcard"), "{fs:?}");
+    }
+
+    #[test]
+    fn missing_sanitizer_hook_is_denied() {
+        let fs = scan(
+            events_src(&["Ev::Traffic => 1,", "Ev::CoreRun { core } => 2,"]),
+            dispatch_src(&["Ev::Traffic => {}", "Ev::CoreRun { core } => {}"], false),
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].1.contains("on_event"), "{fs:?}");
+    }
+
+    #[test]
+    fn silent_when_engine_files_absent() {
+        let fs = scan_sources(vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "fn f() {}\n".to_string(),
+        )]);
+        assert!(fs.is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! `fixed-point-div`: the arithmetic-hazard class behind three real bugs
+//! in this repo's history — cgroup share truncation in `compute_shares`
+//! (fixed by `.round()`), ECN fixed-point truncation in
+//! `EcnMarker::should_mark` (fixed by comparing cross-multiplied scaled
+//! values), and storage-latency ceiling division in
+//! `StorageDevice::submit_write` (fixed by `div_ceil`). All three share
+//! a shape a lexical scanner can't see but a token scanner can:
+//!
+//! * **P1 — divide before multiply**: an integer `/` (or `>>`) whose
+//!   result is then multiplied in the same expression. Integer division
+//!   truncates first, so the multiply amplifies the loss; the fix is to
+//!   reorder (`a * c / b`) or widen. Statements with float evidence are
+//!   exempt — float division doesn't truncate.
+//! * **P2 — truncating cast of float math**: `as <int>` applied to an
+//!   expression with float evidence but no rounding call (`round`,
+//!   `ceil`, `floor`, `trunc`, `div_ceil`). `(x).round() as u64` is the
+//!   idiom; a bare `as u64` silently truncates toward zero.
+//! * **P3 — truncated duration**: a `Duration::from_*` constructor whose
+//!   argument divides without `div_ceil`/rounding — latencies truncate
+//!   toward zero, letting work finish a tick early (the storage bug).
+//!
+//! Scope: the policy/mechanism arithmetic in `crates/core`, `crates/sched`
+//! and `crates/io`. Intentional truncation takes
+//! `// nfv-lint: allow(fixed-point-div) -- <reason>`.
+
+use super::{finding, Rule, Workspace};
+use crate::lexer::Kind;
+use crate::parse::SourceFile;
+use crate::{Finding, Severity};
+
+fn in_scope(path: &str) -> bool {
+    path.contains("crates/core/") || path.contains("crates/sched/") || path.contains("crates/io/")
+}
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const ROUNDING: &[&str] = &[
+    "round",
+    "round_ties_even",
+    "ceil",
+    "floor",
+    "trunc",
+    "div_ceil",
+    "div_euclid",
+    "to_int_unchecked",
+];
+
+const DURATION_CTORS: &[&str] = &["from_nanos", "from_micros", "from_millis", "from_secs"];
+
+/// Token texts that end the expression scan at group depth 0.
+const STOPPERS: &[&str] = &[
+    ";", ",", "{", "}", "=", "==", "!=", "<", ">", "<=", ">=", "&&", "||", "=>",
+];
+
+/// Float evidence on a token: a float literal, or a non-literal token
+/// mentioning an FP type (casts, suffixes, `as_secs_f64`, ...).
+fn is_float_evidence(sf: &SourceFile, i: usize) -> bool {
+    let t = sf.toks[i];
+    if t.kind == Kind::Literal {
+        return false;
+    }
+    t.kind == Kind::Float || {
+        let s = sf.tok_text(i);
+        s.contains("f64") || s.contains("f32")
+    }
+}
+
+fn is_rounding(sf: &SourceFile, i: usize) -> bool {
+    sf.toks[i].kind == Kind::Ident && ROUNDING.contains(&sf.tok_text(i))
+}
+
+/// Can this token end an operand (making a following `/`, `>>`, `*`
+/// binary rather than unary)?
+fn ends_operand(sf: &SourceFile, i: usize) -> bool {
+    match sf.toks[i].kind {
+        Kind::Ident => !super::is_keyword(sf.tok_text(i)),
+        Kind::Int | Kind::Float => true,
+        Kind::Punct => matches!(sf.tok_text(i), ")" | "]"),
+        _ => false,
+    }
+}
+
+/// Can this token start an operand?
+fn starts_operand(sf: &SourceFile, i: usize) -> bool {
+    match sf.toks[i].kind {
+        Kind::Ident | Kind::Int | Kind::Float => true,
+        Kind::Punct => matches!(sf.tok_text(i), "(" | "*" | "&" | "-" | "!"),
+        _ => false,
+    }
+}
+
+/// Statement region around token `i`: expand to the nearest `;`/`{`/`}`
+/// on each side. Used for the float-evidence veto.
+fn statement_region(sf: &SourceFile, i: usize) -> (usize, usize) {
+    let mut lo = i;
+    while lo > 0 {
+        let j = lo - 1;
+        if sf.toks[j].kind == Kind::Punct && matches!(sf.tok_text(j), ";" | "{" | "}") {
+            break;
+        }
+        lo = j;
+    }
+    let mut hi = i;
+    while hi + 1 < sf.toks.len() {
+        let j = hi + 1;
+        if sf.toks[j].kind == Kind::Punct && matches!(sf.tok_text(j), ";" | "{" | "}") {
+            break;
+        }
+        hi = j;
+    }
+    (lo, hi)
+}
+
+fn region_has(
+    sf: &SourceFile,
+    lo: usize,
+    hi: usize,
+    pred: impl Fn(&SourceFile, usize) -> bool,
+) -> bool {
+    (lo..=hi).any(|i| pred(sf, i))
+}
+
+pub struct FixedPointDivRule;
+
+impl Rule for FixedPointDivRule {
+    fn id(&self) -> &'static str {
+        "fixed-point-div"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check_file(&self, ws: &Workspace, file: usize, out: &mut Vec<Finding>) {
+        let sf = &ws.files[file];
+        if !in_scope(&sf.path) {
+            return;
+        }
+        let n = sf.toks.len();
+        for i in 0..n {
+            if sf.toks[i].kind != Kind::Punct {
+                // P2: truncating cast of float math.
+                if sf.is_ident(i, "as")
+                    && i + 1 < n
+                    && sf.toks[i + 1].kind == Kind::Ident
+                    && INT_TYPES.contains(&sf.tok_text(i + 1))
+                    && self.cast_truncates_float(sf, i)
+                {
+                    out.push(finding(sf, sf.toks[i].line, self.id(), self.severity()));
+                }
+                // P3: Duration ctor with a truncating division inside.
+                if sf.toks[i].kind == Kind::Ident
+                    && DURATION_CTORS.contains(&sf.tok_text(i))
+                    && i + 1 < n
+                    && sf.is_punct(i + 1, "(")
+                {
+                    if let Some(line) = self.ctor_arg_truncates(sf, i + 1) {
+                        out.push(finding(sf, line, self.id(), self.severity()));
+                    }
+                }
+                continue;
+            }
+            // P1: integer divide (or shift) whose result is multiplied.
+            let op = sf.tok_text(i);
+            let divlike = match op {
+                "/" => i > 0 && ends_operand(sf, i - 1),
+                ">>" => i > 0 && ends_operand(sf, i - 1) && i + 1 < n && starts_operand(sf, i + 1),
+                _ => false,
+            };
+            if !divlike {
+                continue;
+            }
+            let (lo, hi) = statement_region(sf, i);
+            if region_has(sf, lo, hi, is_float_evidence) {
+                continue; // float division doesn't truncate
+            }
+            if self.multiplied_after(sf, i, n) {
+                out.push(finding(sf, sf.toks[i].line, self.id(), self.severity()));
+            }
+        }
+    }
+}
+
+impl FixedPointDivRule {
+    /// Forward scan from the division operator: does a binary `*` apply
+    /// to its result at the same or an enclosing nesting level before
+    /// the expression ends?
+    fn multiplied_after(&self, sf: &SourceFile, div: usize, n: usize) -> bool {
+        let mut depth: i64 = 0;
+        for j in div + 1..n {
+            if sf.toks[j].kind != Kind::Punct {
+                continue;
+            }
+            match sf.tok_text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "*" if depth <= 0 && j > 0 && ends_operand(sf, j - 1) => return true,
+                s if depth <= 0 && STOPPERS.contains(&s) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Backward scan from an `as <int>` cast: float evidence with no
+    /// rounding call in the casted expression?
+    fn cast_truncates_float(&self, sf: &SourceFile, as_tok: usize) -> bool {
+        let mut depth: i64 = 0;
+        let mut float = false;
+        let mut rounded = false;
+        let mut j = as_tok;
+        while j > 0 {
+            j -= 1;
+            let t = sf.toks[j];
+            if t.kind == Kind::Punct {
+                match sf.tok_text(j) {
+                    ")" | "]" => depth += 1,
+                    "(" | "[" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break; // left the enclosing group
+                        }
+                    }
+                    s if depth == 0 && STOPPERS.contains(&s) => break,
+                    _ => {}
+                }
+            }
+            float |= is_float_evidence(sf, j);
+            rounded |= is_rounding(sf, j);
+        }
+        float && !rounded
+    }
+
+    /// Scan a `Duration::from_*((...))` argument list for a bare integer
+    /// `/` with no `div_ceil`/rounding/float treatment. Returns the line
+    /// of the offending `/`.
+    fn ctor_arg_truncates(&self, sf: &SourceFile, open: usize) -> Option<u32> {
+        let mut depth: i64 = 0;
+        let mut close = open;
+        for j in open..sf.toks.len() {
+            if sf.toks[j].kind != Kind::Punct {
+                continue;
+            }
+            match sf.tok_text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if close == open {
+            return None;
+        }
+        let safe = region_has(sf, open + 1, close - 1, |sf, i| {
+            is_float_evidence(sf, i) || is_rounding(sf, i)
+        });
+        if safe {
+            return None;
+        }
+        for j in open + 1..close {
+            if sf.is_punct(j, "/") && ends_operand(sf, j - 1) {
+                return Some(sf.toks[j].line);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::scan_one;
+
+    fn hits(src: &str) -> Vec<usize> {
+        scan_one("crates/core/src/load.rs", src)
+            .into_iter()
+            .filter(|f| f.rule == "fixed-point-div")
+            .map(|f| f.line)
+            .collect()
+    }
+
+    #[test]
+    fn divide_before_multiply_fires() {
+        assert_eq!(hits("let x = a / b * c;\n"), vec![1]);
+        assert_eq!(hits("let x = (a / b) * c;\n"), vec![1]);
+        assert_eq!(hits("let x = (scaled >> 16) * 100;\n"), vec![1]);
+    }
+
+    #[test]
+    fn multiply_before_divide_is_the_fix() {
+        assert!(hits("let x = a * c / b;\n").is_empty());
+        assert!(hits("let x = a / (b * c);\n").is_empty());
+    }
+
+    #[test]
+    fn float_division_is_exempt() {
+        assert!(hits("let x = (a as f64 / b as f64) * c as f64;\n").is_empty());
+    }
+
+    #[test]
+    fn shift_in_generics_is_not_a_division() {
+        assert!(hits("let x: Vec<Vec<u8>> = Vec::with_capacity(4);\n").is_empty());
+        assert!(hits("let t = 1 << SHIFT;\n").is_empty());
+    }
+
+    #[test]
+    fn truncating_cast_of_float_math() {
+        // all-integer version trips the divide-before-multiply check
+        assert_eq!(
+            hits("let s = (prio * load / total * scale) as u64;\n"),
+            vec![1]
+        );
+        // float version trips the truncating-cast check instead
+        assert_eq!(
+            hits("let s = (prio as f64 * load / total) as u64;\n"),
+            vec![1]
+        );
+        assert!(hits("let s = (prio as f64 * load / total).round() as u64;\n").is_empty());
+    }
+
+    #[test]
+    fn int_to_int_cast_is_fine() {
+        assert!(hits("let s = (a + b) as u64;\n").is_empty());
+        assert!(hits("let tag = (7 << SHIFT) | *core as u64;\n").is_empty());
+    }
+
+    #[test]
+    fn duration_ctor_with_bare_division() {
+        assert_eq!(
+            hits("Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth)\n"),
+            vec![1]
+        );
+        assert!(hits(
+            "Duration::from_nanos(bytes.saturating_mul(1_000_000_000).div_ceil(self.bandwidth))\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn scope_is_core_sched_io() {
+        let src = "let x = a / b * c;\n";
+        assert!(scan_one("crates/traffic/src/cbr.rs", src).is_empty());
+        assert_eq!(scan_one("crates/io/src/device.rs", src).len(), 1);
+        assert_eq!(scan_one("crates/sched/src/scheduler.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_with_reason_suppresses() {
+        let src = "let x = a / b * c; // nfv-lint: allow(fixed-point-div) -- saturates upstream\n";
+        assert!(hits(src).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! `layering`: no trait objects in the policy crates.
+//!
+//! The repo's convention (CLAUDE.md) is that policy (`crates/core`) and
+//! the scheduler model (`crates/sched`) communicate through closures and
+//! direct calls, not `dyn Trait` — trait objects invite platform
+//! details to leak into policy code and defeat inlining on the per-event
+//! path. The one sanctioned exception is [`ALLOWED_TRAITS`]:
+//! `PacketHandler` is the NF-behavior plugin point and is boxed once at
+//! NF registration, never per packet.
+
+use super::{finding, Rule, Workspace};
+use crate::lexer::Kind;
+use crate::{Finding, Severity};
+
+/// Trait names exempt from the rule.
+pub const ALLOWED_TRAITS: &[&str] = &["PacketHandler"];
+
+fn in_scope(path: &str) -> bool {
+    path.contains("crates/core/") || path.contains("crates/sched/")
+}
+
+pub struct LayeringRule;
+
+impl Rule for LayeringRule {
+    fn id(&self) -> &'static str {
+        "layering"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check_file(&self, ws: &Workspace, file: usize, out: &mut Vec<Finding>) {
+        let sf = &ws.files[file];
+        if !in_scope(&sf.path) {
+            return;
+        }
+        let n = sf.toks.len();
+        for i in 0..n {
+            if !sf.is_ident(i, "dyn") {
+                continue;
+            }
+            // Trait name: the last segment of the path that follows
+            // (`dyn PacketHandler`, `dyn fmt::Debug`, `dyn Iterator<..>`).
+            let mut name: Option<&str> = None;
+            let mut j = i + 1;
+            while j < n {
+                match sf.toks[j].kind {
+                    Kind::Ident if !super::is_keyword(sf.tok_text(j)) => {
+                        name = Some(sf.tok_text(j));
+                    }
+                    Kind::Punct if sf.tok_text(j) == "::" => {}
+                    _ => break,
+                }
+                j += 1;
+            }
+            if name.is_some_and(|t| ALLOWED_TRAITS.contains(&t)) {
+                continue;
+            }
+            out.push(finding(sf, sf.toks[i].line, self.id(), self.severity()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::scan_one;
+
+    #[test]
+    fn dyn_trait_denied_in_policy_crates() {
+        let src = "pub fn iter(&self) -> Box<dyn Iterator<Item = u8> + '_> { todo!() }\n";
+        let fs = scan_one("crates/sched/src/runqueue.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "layering");
+    }
+
+    #[test]
+    fn packet_handler_is_allowlisted() {
+        let src = "pub fn add(&mut self, h: Box<dyn PacketHandler>) {}\n";
+        assert!(scan_one("crates/core/src/nf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_may_use_dyn() {
+        let src = "fn rules() -> Vec<Box<dyn Rule>> { Vec::new() }\n";
+        assert!(scan_one("crates/bench/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn path_qualified_traits_use_last_segment() {
+        let src = "fn f(x: &dyn fmt::Debug) {}\n";
+        assert_eq!(scan_one("crates/core/src/lib.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: one line per determinism hazard the seeded-rule
+//! set must catch, at the exact line the marker sits on.
+
+use std::collections::{HashMap, HashSet}; //~ hash-map hash-set
+use std::time::Instant; //~ wall-clock
+
+pub fn hazards() {
+    let started = Instant::now(); //~ wall-clock
+    std::thread::spawn(|| {}); //~ thread-spawn
+    let roll: u64 = rand::random(); //~ raw-rand
+}

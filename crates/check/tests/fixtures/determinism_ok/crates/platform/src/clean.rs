@@ -1,0 +1,22 @@
+//! Negative fixture: hazard names in comments, strings and test code
+//! are not findings. Mentions of HashMap, Instant, thread::spawn and
+//! rand::random in this doc comment must stay invisible.
+
+use std::collections::BTreeMap;
+
+pub fn clean(m: &BTreeMap<u32, u32>) -> &'static str {
+    let _ = m.len();
+    "HashMap Instant thread::spawn rand::random"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1, Instant::now());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regression fixture: the historical ECN fixed-point truncation bug.
+//! Shifting the Q16 occupancy down before scaling drops the fractional
+//! part, so queues sitting just under the mark threshold never mark.
+//! The real code multiplies first and shifts last.
+
+pub fn should_mark(scaled_occupancy: u64, capacity: u64, mark_pct: u64) -> bool {
+    (scaled_occupancy >> 16) * 100 >= capacity * mark_pct //~ fixed-point-div
+}

@@ -1,0 +1,14 @@
+//! ev-exhaustive fixture: `Ev::Wakeup` never reaches `ev_tag`, so the
+//! sanitizer digest cannot see wakeup events — a deny on the `ev_tag`
+//! fn line. (The dispatch file is absent; events-side checks still run.)
+
+pub(crate) enum Ev {
+    Traffic,
+    Wakeup { nf: usize },
+}
+
+pub(crate) fn ev_tag(ev: &Ev) -> u64 { //~ ev-exhaustive
+    match ev {
+        Ev::Traffic => 1,
+    }
+}

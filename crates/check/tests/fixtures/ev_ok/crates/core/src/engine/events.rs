@@ -1,0 +1,13 @@
+//! ev-exhaustive fixture, clean side: every variant has a tag arm.
+
+pub(crate) enum Ev {
+    Traffic,
+    Wakeup { nf: usize },
+}
+
+pub(crate) fn ev_tag(ev: &Ev) -> u64 {
+    match ev {
+        Ev::Traffic => 1,
+        Ev::Wakeup { nf } => 2 | ((*nf as u64) << 8),
+    }
+}

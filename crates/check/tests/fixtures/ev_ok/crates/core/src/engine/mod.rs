@@ -1,0 +1,12 @@
+//! ev-exhaustive fixture, clean side: `handle` feeds the sanitizer and
+//! dispatches every variant explicitly — no wildcard arm.
+
+impl Simulation {
+    fn handle(&mut self, ev: Ev) {
+        self.sanitizer.on_event(self.now, events::ev_tag(&ev));
+        match ev {
+            Ev::Traffic => self.rx_poll(),
+            Ev::Wakeup { nf } => self.wake(nf),
+        }
+    }
+}

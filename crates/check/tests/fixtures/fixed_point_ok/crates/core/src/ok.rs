@@ -1,0 +1,25 @@
+//! Negative fixture: the fixed forms of the three historical bugs, plus
+//! shapes that look similar but are sound. None of these may fire.
+
+pub fn rounded_share(total_cycles: u64, weight: f64, total_weight: f64) -> u64 {
+    (total_cycles as f64 * weight / total_weight).round() as u64
+}
+
+pub fn mark_after_scaling(scaled_occupancy: u64, capacity: u64, mark_pct: u64) -> bool {
+    (scaled_occupancy * 100) >> 16 >= capacity * mark_pct
+}
+
+pub fn ceiling_deadline(bytes: u64, bandwidth_bps: u64) -> Duration {
+    Duration::from_nanos(bytes.saturating_mul(1_000_000_000).div_ceil(bandwidth_bps))
+}
+
+pub const SHIFT: u32 = 16;
+
+pub fn shift_up_then_divide(x: u64) -> u64 {
+    (x << SHIFT) / 3
+}
+
+pub fn reviewed_truncation(x: u64) -> u64 {
+    // nfv-lint: allow(fixed-point-div) -- quantizing to multiples of 7 is the spec here
+    (x / 7) * 7
+}

@@ -1,0 +1,12 @@
+//! float-accum fixture: compound assignment with float evidence on the
+//! same line fires; integer accumulation does not.
+
+pub struct Load {
+    pub total: f64,
+    pub samples: u64,
+}
+
+pub fn note(load: &mut Load, dwell: Duration) {
+    load.total += dwell.as_secs_f64(); //~ float-accum
+    load.samples += 1;
+}

@@ -1,0 +1,14 @@
+//! hot-alloc fixture, helper side: `drain_batch` is called by the root,
+//! `log_detail` only by `drain_batch` — hotness must propagate through
+//! both hops, across files.
+
+impl Simulation {
+    fn drain_batch(&mut self, ev: Ev) {
+        let scratch = vec![0u8; 4]; //~ hot-alloc
+        self.log_detail();
+    }
+
+    fn log_detail(&mut self) {
+        let detail = format!("drained"); //~ hot-alloc
+    }
+}

@@ -1,0 +1,15 @@
+//! hot-alloc fixture, dispatch side: `handle` is a dispatch root; the
+//! helpers it reaches (directly or transitively, see exec.rs) are hot.
+//! `cold_report` is never called from the hot path, so its allocation
+//! is fine.
+
+impl Simulation {
+    pub(super) fn handle(&mut self, ev: Ev) {
+        self.drain_batch(ev);
+    }
+
+    fn cold_report(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines
+    }
+}

@@ -1,0 +1,9 @@
+//~ hot-alloc
+//! Deleting (here: renaming) a dispatch root without updating
+//! `rules::hot_alloc::HOT_ROOTS` is itself a deny finding — this is
+//! exactly how the old hand-kept `HOT_FNS` list rotted. The finding
+//! lands on line 1 because it describes the file, not a token.
+
+impl Simulation {
+    fn handle_event(&mut self, ev: Ev) {}
+}

@@ -1,0 +1,6 @@
+//! layering fixture, allowlisted side: `PacketHandler` is the NF plugin
+//! point, boxed once at registration — exempt by name.
+
+pub fn register(handler: Box<dyn PacketHandler>) {
+    let _ = handler;
+}

@@ -1,0 +1,6 @@
+//! layering fixture, out-of-scope side: mechanism crates may use trait
+//! objects freely.
+
+pub fn sink() -> Box<dyn std::fmt::Debug> {
+    Box::new(0u8)
+}

@@ -1,0 +1,5 @@
+//! layering fixture: trait objects are denied in the policy crates.
+
+pub fn queued(&self) -> Box<dyn Iterator<Item = u32>> { //~ layering
+    todo!()
+}

@@ -1,0 +1,8 @@
+//! Regression fixture: the historical cgroup-share truncation bug.
+//! Casting the weighted share straight to `u64` floors it, so the
+//! per-NF shares sum below the total and the last NF is starved. The
+//! real code rounds before casting (`.round() as u64`).
+
+pub fn compute_share(total_cycles: u64, weight: f64, total_weight: f64) -> u64 {
+    (total_cycles as f64 * weight / total_weight) as u64 //~ fixed-point-div
+}

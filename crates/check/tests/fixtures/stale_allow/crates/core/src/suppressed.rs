@@ -1,0 +1,14 @@
+//! stale-allow fixture: three ways an allow directive goes stale. The
+//! first suppresses a real finding but gives no reason; the second
+//! suppresses nothing; the third names a rule that does not exist.
+
+// nfv-lint: allow(hash-map) //~ stale-allow
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>) -> Option<u32> { //~ hash-map
+    let limit = 8; // nfv-lint: allow(wall-clock) -- leftover from a removed Instant //~ stale-allow
+    m.get(&limit).copied()
+}
+
+// nfv-lint: allow(no-such-rule) -- rule was renamed away //~ stale-allow
+pub fn unrelated() {}

@@ -1,0 +1,8 @@
+//! Regression fixture: the historical storage ceiling-division bug.
+//! A flooring divide inside the drain-deadline computation completes
+//! transfers that need a fractional nanosecond one tick early, which
+//! shifts every downstream event. The real code uses `div_ceil`.
+
+pub fn drain_deadline(bytes: u64, bandwidth_bps: u64) -> Duration {
+    Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / bandwidth_bps) //~ fixed-point-div
+}

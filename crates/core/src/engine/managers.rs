@@ -211,27 +211,29 @@ impl Simulation {
             return;
         }
         let me = NfId(idx as u32);
-        let mut deadlocked: Vec<usize> = Vec::new();
-        {
-            let nf = &self.platform.nfs[idx];
-            for &c in nf.pending_by_chain.keys() {
-                let Some(my_pos) = self.platform.chains.first_position(c, me) else {
-                    continue;
-                };
-                let me_throttler = self.bp.throttlers(c).any(|b| b == me);
-                let downstream = self.bp.throttlers(c).any(|b| {
-                    self.platform
-                        .chains
-                        .first_position(c, b)
-                        .is_some_and(|p| p > my_pos)
-                });
-                if me_throttler && !downstream {
-                    deadlocked.push(c.index());
-                }
+        // Disjoint field borrows let the sanitizer record inline while
+        // `platform` stays borrowed — no scratch Vec on the dispatch path.
+        let Simulation {
+            platform,
+            bp,
+            sanitizer,
+            ..
+        } = self;
+        let nf = &platform.nfs[idx];
+        for &c in nf.pending_by_chain.keys() {
+            let Some(my_pos) = platform.chains.first_position(c, me) else {
+                continue;
+            };
+            let me_throttler = bp.throttlers(c).any(|b| b == me);
+            let downstream = bp.throttlers(c).any(|b| {
+                platform
+                    .chains
+                    .first_position(c, b)
+                    .is_some_and(|p| p > my_pos)
+            });
+            if me_throttler && !downstream {
+                sanitizer.note_bottleneck_suppressed(now, idx, c.index());
             }
-        }
-        for chain in deadlocked {
-            self.sanitizer.note_bottleneck_suppressed(now, idx, chain);
         }
     }
 

@@ -168,6 +168,7 @@ impl Sanitizer {
     /// is a pure function of the event.
     pub fn on_event(&mut self, now: SimTime, tag: u64) {
         if now < self.last_time {
+            // nfv-lint: allow(hot-alloc) -- invariant-violation path only
             let detail = format!(
                 "event at {now} after event at {} (clock moved backwards)",
                 self.last_time
@@ -195,6 +196,7 @@ impl Sanitizer {
         }
         let accounted = delivered + dropped + in_flight;
         if classified != accounted {
+            // nfv-lint: allow(hot-alloc) -- invariant-violation path only
             let detail = format!(
                 "classified {classified} != delivered {delivered} + dropped {dropped} \
                  + in-flight {in_flight} (= {accounted})"
@@ -226,6 +228,7 @@ impl Sanitizer {
                 // The very first transition out of the initial state is
                 // exempt: changed_at defaults to t=0.
                 if dwell < min_dwell && w.changed_at > SimTime::ZERO {
+                    // nfv-lint: allow(hot-alloc) -- invariant-violation path only
                     let detail = format!(
                         "NF {nf} watermark flipped to {} after only {dwell} \
                          (threshold {min_dwell})",
@@ -256,9 +259,13 @@ impl Sanitizer {
         if !self.wants_suppression() {
             return;
         }
-        let detail =
-            format!("NF {nf} suppressed while it is the active bottleneck of chain {chain}");
-        self.record(Severity::Error, "suppression-safety", now, detail);
+        self.record(
+            Severity::Error,
+            "suppression-safety",
+            now,
+            // nfv-lint: allow(hot-alloc) -- invariant-violation path only
+            format!("NF {nf} suppressed while it is the active bottleneck of chain {chain}"),
+        );
     }
 
     /// Record a violation under an arbitrary rule id (escape hatch for

@@ -656,6 +656,7 @@ impl Platform {
         self.nfs[idx].current_batch = None;
         self.nfs[idx].cost_factor = 1;
         self.nfs[idx].pending_by_chain.clear();
+        // nfv-lint: allow(hot-alloc) -- crash drain runs once per injected fault
         let mut pids: Vec<nfv_pkt::PktId> = Vec::new();
         while let Some(pid) = self.nfs[idx].rx.dequeue() {
             pids.push(pid);

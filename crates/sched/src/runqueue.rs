@@ -92,10 +92,10 @@ impl RunQueue {
 
     /// Iterate over queued task ids (order: next-to-run first for CFS,
     /// FIFO order for RR).
-    pub fn iter(&self) -> Box<dyn Iterator<Item = TaskId> + '_> {
+    pub fn iter(&self) -> QueuedIter<'_> {
         match self {
-            RunQueue::Cfs { tree, .. } => Box::new(tree.iter().map(|&(_, id)| id)),
-            RunQueue::Rr { fifo } => Box::new(fifo.iter().copied()),
+            RunQueue::Cfs { tree, .. } => QueuedIter::Cfs(tree.iter()),
+            RunQueue::Rr { fifo } => QueuedIter::Rr(fifo.iter()),
         }
     }
 
@@ -126,6 +126,36 @@ impl RunQueue {
         match self {
             RunQueue::Cfs { tree, .. } => tree.iter().next().map(|&(v, _)| v),
             RunQueue::Rr { .. } => None,
+        }
+    }
+}
+
+/// Borrowing iterator over a [`RunQueue`]'s task ids. An enum over the
+/// two backing collections' iterators — no `Box<dyn Iterator>`, which
+/// would both violate the no-trait-objects layering convention and
+/// allocate on the per-dispatch path (`Scheduler` walks the queue to sum
+/// runnable weights on every pick).
+#[derive(Debug)]
+pub enum QueuedIter<'a> {
+    /// CFS: `(vruntime, id)` pairs in tree order, next-to-run first.
+    Cfs(std::collections::btree_set::Iter<'a, (u64, TaskId)>),
+    /// RR: FIFO arrival order.
+    Rr(std::collections::vec_deque::Iter<'a, TaskId>),
+}
+
+impl Iterator for QueuedIter<'_> {
+    type Item = TaskId;
+    fn next(&mut self) -> Option<TaskId> {
+        match self {
+            QueuedIter::Cfs(it) => it.next().map(|&(_, id)| id),
+            QueuedIter::Rr(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            QueuedIter::Cfs(it) => it.size_hint(),
+            QueuedIter::Rr(it) => it.size_hint(),
         }
     }
 }
