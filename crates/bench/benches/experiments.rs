@@ -115,12 +115,27 @@ fn timelines(c: &mut Criterion) {
     });
 }
 
+fn slo_cells(c: &mut Criterion) {
+    bench_cell(c, "slo_budget_vs_ratecost", || {
+        let s = slo::run_cell(Policy::Slo, quick());
+        let n = slo::run_cell(Policy::CfsNormal, quick());
+        // The experiment's headline: the SLO policy holds the interactive
+        // chain's p99 inside the budget that rate-cost scheduling misses.
+        assert!(slo::meets_budget(&s), "SLO blew the interactive budget");
+        assert!(
+            !slo::meets_budget(&n),
+            "NORMAL met the budget — no contrast"
+        );
+    });
+}
+
 criterion_group!(
     benches,
     fig1_cells,
     fig7_cells,
     multicore_cells,
     variable_and_orderings,
-    timelines
+    timelines,
+    slo_cells
 );
 criterion_main!(benches);

@@ -15,4 +15,5 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig7;
 pub mod multicore;
+pub mod slo;
 pub mod tuning;

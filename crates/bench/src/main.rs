@@ -47,6 +47,7 @@ fn main() {
         ("ablations", ablations::run),
         ("coop", coop::run),
         ("faults", faults::run),
+        ("slo", slo::run),
     ];
 
     let args: Vec<String> = std::env::args().skip(1).collect();

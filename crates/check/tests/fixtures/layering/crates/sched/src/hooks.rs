@@ -1,0 +1,10 @@
+//! layering fixture: the Scheduler trait seam must stay monomorphic —
+//! generic bounds are fine, trait objects are not.
+
+pub struct SchedCore<S: Scheduler> {
+    scheduler: S,
+}
+
+pub fn driver(s: &dyn Scheduler) { //~ layering
+    todo!()
+}

@@ -344,10 +344,13 @@ impl Simulation {
         }
         for c in 0..self.platform.chains.count() {
             let chain = ChainId(c as u32);
+            let lat = &self.platform.stats.chains[c].latency;
             self.metrics.record_chain(
                 c,
                 self.bp.is_throttled(chain),
                 self.bp.throttlers(chain).count() as u64,
+                lat.percentile(99.0).map_or(0, |d| d.as_nanos()),
+                lat.percentile(99.9).map_or(0, |d| d.as_nanos()),
             );
         }
     }

@@ -46,6 +46,7 @@ use nfv_des::{Duration, EventQueue, Sanitizer, Severity, SimRng, SimTime};
 use nfv_obs::{MetricsRecorder, TraceEvent, TraceSink};
 use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
 use nfv_platform::{NfSpec, PacketHandler, Platform, TcpEvent};
+use nfv_sched::Policy;
 use nfv_traffic::{CbrFlow, TcpSource};
 use std::collections::BTreeMap;
 
@@ -66,6 +67,9 @@ pub struct Simulation {
     bp: Backpressure,
     load: LoadMonitor,
     ecn: EcnMarker,
+    /// Per-chain latency budgets (SLO targets), consumed at `prime` by
+    /// the SLO policy to derive per-task deadlines.
+    chain_budgets: BTreeMap<ChainId, Duration>,
     /// Per-core state bundles, one per NF core, built at `prime`.
     domains: Vec<CoreDomain>,
     actions: Vec<(SimTime, Action)>,
@@ -119,6 +123,7 @@ impl Simulation {
             bp: Backpressure::new(cfg.nfvnice.bp, 0, 0),
             load: LoadMonitor::new(cfg.nfvnice.load, 0),
             ecn: EcnMarker::new(cfg.nfvnice.ecn_cfg, Vec::new()),
+            chain_budgets: BTreeMap::new(),
             domains: Vec::new(),
             actions: Vec::new(),
             trace: if cfg.obs.trace {
@@ -228,6 +233,16 @@ impl Simulation {
         self.platform.set_io_flow(flow);
     }
 
+    /// Declare an end-to-end latency budget (SLO) for `chain`. Under
+    /// [`Policy::Slo`] the budget is split across the chain's NFs at
+    /// prime time, proportional to per-packet cost, and pushed into the
+    /// scheduler as per-task deadline budgets (an NF serving several
+    /// budgeted chains keeps the tightest share). Ignored — harmlessly —
+    /// under every other policy.
+    pub fn set_chain_budget(&mut self, chain: ChainId, budget: Duration) {
+        self.chain_budgets.insert(chain, budget);
+    }
+
     /// Schedule a configuration change.
     pub fn at(&mut self, t: SimTime, action: Action) {
         self.actions.push((t, action));
@@ -311,6 +326,9 @@ impl Simulation {
         );
         // The NF population is final now: carve it into per-core domains.
         self.domains = CoreDomain::build_all(&self.platform);
+        if matches!(self.cfg.platform.policy, Policy::Slo) {
+            self.derive_slo_deadlines();
+        }
         self.flow_bytes_snapshot = vec![0; self.platform.stats.flows.len()];
         self.series.cpu_pct = vec![Vec::new(); n_nfs];
         self.series.flow_mbps = vec![Vec::new(); self.platform.stats.flows.len()];
@@ -340,6 +358,39 @@ impl Simulation {
         // Initial TCP window.
         for i in 0..self.tcp.len() {
             self.pump_tcp(i, SimTime::ZERO);
+        }
+    }
+
+    /// Convert per-chain latency budgets into per-task relative
+    /// deadlines for [`Policy::Slo`]: each chain's budget is split across
+    /// its NFs proportionally to mean per-packet cost, and an NF serving
+    /// several budgeted chains keeps the tightest share. Unbudgeted NFs
+    /// stay at [`nfv_sched::SLO_DEFAULT_BUDGET`], loose enough that any
+    /// budgeted chain outranks them.
+    fn derive_slo_deadlines(&mut self) {
+        let mut budgets: Vec<Option<Duration>> = vec![None; self.platform.nfs.len()];
+        for (&chain, &budget) in &self.chain_budgets {
+            let path = self.platform.chains.path(chain);
+            let total: u64 = path
+                .iter()
+                .map(|nf| self.platform.nfs[nf.index()].spec.cost.mean_cycles())
+                .sum();
+            for nf in path {
+                let cost = self.platform.nfs[nf.index()].spec.cost.mean_cycles();
+                // Round up so the shares never sum below the budget's
+                // granularity floor (a zero share would mean an
+                // always-expired deadline).
+                let share_ns = (budget.as_nanos() * cost).div_ceil(total.max(1));
+                let share = Duration::from_nanos(share_ns);
+                let slot = &mut budgets[nf.index()];
+                *slot = Some(slot.map_or(share, |prev| prev.min(share)));
+            }
+        }
+        for (idx, b) in budgets.iter().enumerate() {
+            if let Some(budget) = *b {
+                let task = self.platform.nfs[idx].task;
+                self.platform.sched.set_task_budget(task, budget);
+            }
         }
     }
 

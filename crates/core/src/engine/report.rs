@@ -92,6 +92,9 @@ impl Simulation {
                     delivered: cs.delivered,
                     pps: cs.delivered as f64 / secs,
                     entry_drops: cs.entry_drops,
+                    latency_p50: cs.latency.median().unwrap_or(Duration::ZERO),
+                    latency_p99: cs.latency.percentile(99.0).unwrap_or(Duration::ZERO),
+                    latency_p999: cs.latency.percentile(99.9).unwrap_or(Duration::ZERO),
                 }
             })
             .collect();

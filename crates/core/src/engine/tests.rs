@@ -115,6 +115,91 @@ fn queue_backends_produce_identical_runs() {
 }
 
 #[test]
+fn sched_backends_produce_identical_runs() {
+    // The trait seam must be invisible: for every policy, the hook-based
+    // SchedCore driver and the classic monolithic scheduler must yield
+    // the same event order, hence the same trace digest, delivery counts
+    // and per-NF switch counters, on a full fig7-style overloaded-chain
+    // sim. Poisson arrivals so RNG draws depend on event order.
+    for policy in [
+        Policy::CfsNormal,
+        Policy::CfsBatch,
+        Policy::rr_1ms(),
+        Policy::Cooperative,
+        Policy::Edf {
+            period: Duration::from_millis(1),
+        },
+        Policy::Slo,
+    ] {
+        let run = |backend: nfv_sched::SchedBackend| {
+            let mut cfg = base_cfg(1, policy, NfvniceConfig::full());
+            cfg.platform.sched_backend = backend;
+            let mut sim = Simulation::new(cfg);
+            let a = sim.add_nf(NfSpec::new("light", 0, 120));
+            let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+            let chain = sim.add_chain(&[a, b]);
+            sim.set_chain_budget(chain, Duration::from_millis(2));
+            sim.add_udp_with(chain, 400_000.0, 64, |f| f.poisson());
+            sim.run(Duration::from_millis(50))
+        };
+        let hooks = run(nfv_sched::SchedBackend::Hooks);
+        let classic = run(nfv_sched::SchedBackend::Classic);
+        assert_eq!(hooks.trace_digest, classic.trace_digest, "{policy:?}");
+        assert_eq!(
+            hooks.flows[0].delivered, classic.flows[0].delivered,
+            "{policy:?}"
+        );
+        assert_eq!(
+            hooks.flows[0].dropped, classic.flows[0].dropped,
+            "{policy:?}"
+        );
+        assert_eq!(
+            hooks.total_wasted_drops, classic.total_wasted_drops,
+            "{policy:?}"
+        );
+        for (h, c) in hooks.nfs.iter().zip(classic.nfs.iter()) {
+            assert_eq!(h.processed, c.processed, "{policy:?} {}", h.name);
+            assert_eq!(h.cswch_per_sec, c.cswch_per_sec, "{policy:?} {}", h.name);
+            assert_eq!(
+                h.nvcswch_per_sec, c.nvcswch_per_sec,
+                "{policy:?} {}",
+                h.name
+            );
+            assert_eq!(h.cpu_time, c.cpu_time, "{policy:?} {}", h.name);
+        }
+        for (h, c) in hooks.chains.iter().zip(classic.chains.iter()) {
+            assert_eq!(h.latency_p99, c.latency_p99, "{policy:?}");
+        }
+    }
+}
+
+#[test]
+fn slo_policy_prioritizes_budgeted_chain() {
+    // One core, an interactive chain with a tight budget sharing the
+    // core with an overloaded bulk chain. Under SLO scheduling the
+    // interactive chain's p99 must hold inside its budget.
+    let build = |policy: Policy| {
+        let mut sim = Simulation::new(base_cfg(1, policy, NfvniceConfig::full()));
+        let inter = sim.add_nf(NfSpec::new("inter", 0, 300));
+        let bulk = sim.add_nf(NfSpec::new("bulk", 0, 8_000));
+        let ic = sim.add_chain(&[inter]);
+        let bc = sim.add_chain(&[bulk]);
+        sim.set_chain_budget(ic, Duration::from_micros(500));
+        sim.add_udp(ic, 50_000.0, 64);
+        sim.add_udp(bc, 2_000_000.0, 64); // ~6x overload
+        (sim.run(Duration::from_millis(100)), ic)
+    };
+    let (slo, ic) = build(Policy::Slo);
+    let p99 = slo.chains[ic.index()].latency_p99;
+    assert!(
+        p99 <= Duration::from_micros(500),
+        "SLO p99 {} ns blows the 500 µs budget",
+        p99.as_nanos()
+    );
+    assert!(slo.chains[ic.index()].delivered > 0);
+}
+
+#[test]
 fn chain_delivery_traverses_all_nfs() {
     let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::off()));
     let a = sim.add_nf(NfSpec::new("a", 0, 100));

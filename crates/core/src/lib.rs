@@ -68,5 +68,5 @@ pub use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Packet, Proto};
 pub use nfv_platform::{
     BlockReason, CostModel, IoMode, NfAction, NfIoSpec, NfSpec, PacketHandler, PlatformConfig,
 };
-pub use nfv_sched::{CfsParams, Policy};
+pub use nfv_sched::{CfsParams, Policy, SchedBackend, SLO_DEFAULT_BUDGET};
 pub use nfv_traffic::{CbrFlow, CostClassGen, TcpSource};

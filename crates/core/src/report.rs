@@ -71,6 +71,12 @@ pub struct ChainReport {
     pub pps: f64,
     /// Entry-shed packets.
     pub entry_drops: u64,
+    /// Median end-to-end latency of packets completing the chain.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency (the SLO headline number).
+    pub latency_p99: Duration,
+    /// 99.9th-percentile end-to-end latency.
+    pub latency_p999: Duration,
 }
 
 /// Per-second time series captured during the run (Figs 13, 15a).

@@ -35,6 +35,11 @@ pub struct ChainSeries {
     pub throttled: Vec<u64>,
     /// Number of NFs currently throttling this chain.
     pub bottlenecks: Vec<u64>,
+    /// Running 99th-percentile end-to-end latency (ns) of delivered
+    /// packets; 0 before any delivery.
+    pub lat_p99_ns: Vec<u64>,
+    /// Running 99.9th-percentile end-to-end latency (ns).
+    pub lat_p999_ns: Vec<u64>,
 }
 
 /// The monitor-tick sampler for all NFs and chains.
@@ -116,13 +121,22 @@ impl MetricsRecorder {
     }
 
     /// Record chain `idx`'s column for the current tick.
-    pub fn record_chain(&mut self, idx: usize, throttled: bool, bottlenecks: u64) {
+    pub fn record_chain(
+        &mut self,
+        idx: usize,
+        throttled: bool,
+        bottlenecks: u64,
+        lat_p99_ns: u64,
+        lat_p999_ns: u64,
+    ) {
         if !self.on {
             return;
         }
         let c = &mut self.chains[idx];
         c.throttled.push(u64::from(throttled));
         c.bottlenecks.push(bottlenecks);
+        c.lat_p99_ns.push(lat_p99_ns);
+        c.lat_p999_ns.push(lat_p999_ns);
     }
 
     /// Number of completed sample ticks.
@@ -168,6 +182,10 @@ impl MetricsRecorder {
             json::push_u64_array(&mut s, &c.throttled);
             s.push_str(",\"bottlenecks\":");
             json::push_u64_array(&mut s, &c.bottlenecks);
+            s.push_str(",\"lat_p99_ns\":");
+            json::push_u64_array(&mut s, &c.lat_p99_ns);
+            s.push_str(",\"lat_p999_ns\":");
+            json::push_u64_array(&mut s, &c.lat_p999_ns);
             s.push('}');
         }
         s.push_str("]}");
@@ -192,13 +210,17 @@ impl MetricsRecorder {
                 );
             }
         }
-        out.push_str("\nt_ns,chain,throttled,bottlenecks,in_flight\n");
+        out.push_str("\nt_ns,chain,throttled,bottlenecks,lat_p99_ns,lat_p999_ns,in_flight\n");
         for (i, &t) in self.t_ns.iter().enumerate() {
             for (c_idx, c) in self.chains.iter().enumerate() {
                 let _ = writeln!(
                     out,
-                    "{t},{c_idx},{},{},{}",
-                    c.throttled[i], c.bottlenecks[i], self.in_flight[i]
+                    "{t},{c_idx},{},{},{},{},{}",
+                    c.throttled[i],
+                    c.bottlenecks[i],
+                    c.lat_p99_ns[i],
+                    c.lat_p999_ns[i],
+                    self.in_flight[i]
                 );
             }
         }
@@ -216,7 +238,7 @@ mod tests {
         m.begin_tick(SimTime::from_millis(1), 5);
         m.record_nf(0, 10, false, 1024, 1e6, 100);
         m.record_nf(1, 90, true, 512, 2e6, 550);
-        m.record_chain(0, true, 1);
+        m.record_chain(0, true, 1, 250_000, 900_000);
         m
     }
 
@@ -248,6 +270,7 @@ mod tests {
         assert!(a.starts_with("{\"samples\":1,"));
         assert!(a.contains("\"name\":\"b\""));
         assert!(a.contains("\"lambda_pps\":[1000000]"));
+        assert!(a.contains("\"lat_p99_ns\":[250000],\"lat_p999_ns\":[900000]"));
     }
 
     #[test]
@@ -256,6 +279,6 @@ mod tests {
         assert!(csv.starts_with("t_ns,nf,name,"));
         assert!(csv.contains("1000000,1,b,90,1,512,2000000,550"));
         assert!(csv.contains("t_ns,chain,"));
-        assert!(csv.contains("1000000,0,1,1,5"));
+        assert!(csv.contains("1000000,0,1,1,250000,900000,5"));
     }
 }

@@ -19,7 +19,7 @@ use nfv_obs::{DropCause, SleepReason, TraceKind, TraceSink, NO_ID};
 use nfv_pkt::{
     ChainId, Ecn, Enqueue, FlowId, FlowTable, Mempool, NfId, Nic, Packet, Proto, WireFrame,
 };
-use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy};
+use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy, SchedBackend};
 use std::collections::BTreeSet;
 
 /// Static platform configuration.
@@ -30,6 +30,9 @@ pub struct PlatformConfig {
     pub nf_cores: usize,
     /// Kernel scheduling policy for NF tasks.
     pub policy: Policy,
+    /// Which scheduler implementation drives the run (hook-based driver
+    /// or the classic monolithic oracle — byte-identical by contract).
+    pub sched_backend: SchedBackend,
     /// CFS tunables (ignored by RR).
     pub cfs: CfsParams,
     /// Direct context-switch cost.
@@ -49,6 +52,7 @@ impl Default for PlatformConfig {
         PlatformConfig {
             nf_cores: 1,
             policy: Policy::CfsNormal,
+            sched_backend: SchedBackend::default_backend(),
             cfs: CfsParams::default(),
             cs_cost: Duration::from_nanos(1_500),
             freq: CpuFreq::PAPER_DEFAULT,
@@ -133,7 +137,13 @@ pub struct Platform {
 impl Platform {
     /// Build an empty platform.
     pub fn new(cfg: PlatformConfig) -> Self {
-        let sched = OsScheduler::new(cfg.nf_cores, cfg.policy, cfg.cfs, cfg.cs_cost);
+        let sched = OsScheduler::with_backend(
+            cfg.nf_cores,
+            cfg.policy,
+            cfg.cfs,
+            cfg.cs_cost,
+            cfg.sched_backend,
+        );
         Platform {
             mempool: Mempool::new(cfg.mempool_capacity),
             nic: Nic::new(cfg.nic_rx_capacity),

@@ -76,6 +76,9 @@ pub struct ChainStats {
     pub entry_drops: u64,
     /// Per-second completed-packet rate.
     pub pps_meter: RateMeter,
+    /// End-to-end latency (NIC arrival → wire exit) of delivered packets
+    /// — the distribution behind the per-chain p50/p99/p999 columns.
+    pub latency: DurationHistogram,
 }
 
 /// Global counters not attributable to one flow.
@@ -113,6 +116,7 @@ impl PlatformStats {
         let c = &mut self.chains[chain.index()];
         c.delivered += 1;
         c.pps_meter.add(1);
+        c.latency.record(latency);
     }
 
     /// Record an in-box drop for `flow` (and entry bookkeeping when the

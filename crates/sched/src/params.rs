@@ -25,6 +25,20 @@ pub enum Policy {
     /// related-work section discusses (§5). NFVnice's backpressure still
     /// works here because yields happen at `libnf` batch boundaries.
     Cooperative,
+    /// Earliest-deadline-first: every job (wake → block span) gets the
+    /// same relative deadline `period`, and the task with the earliest
+    /// absolute deadline runs. Not in the paper — the baseline for the
+    /// SLO study the paper's rate-cost shares can't express.
+    Edf {
+        /// Uniform relative deadline assigned to each job on wakeup.
+        period: Duration,
+    },
+    /// SLO-aware EDF: per-task relative deadlines are derived from
+    /// configured per-chain latency budgets (cost-proportional split,
+    /// tightest chain wins), so a latency-sensitive chain's NFs always
+    /// outrank bulk traffic regardless of load. Tasks with no budgeted
+    /// chain fall back to [`SLO_DEFAULT_BUDGET`].
+    Slo,
 }
 
 impl Policy {
@@ -51,6 +65,14 @@ impl Policy {
                 format!("RR({}ms)", quantum.as_millis())
             }
             Policy::Cooperative => "COOP".into(),
+            Policy::Edf { period } => {
+                if period.as_nanos().is_multiple_of(1_000_000) {
+                    format!("EDF({}ms)", period.as_millis())
+                } else {
+                    format!("EDF({}us)", period.as_nanos() / 1_000)
+                }
+            }
+            Policy::Slo => "SLO".into(),
         }
     }
 }
@@ -84,6 +106,11 @@ impl Default for CfsParams {
 
 /// Weight assigned to a task with default cgroup shares (nice 0).
 pub const NICE0_WEIGHT: u64 = 1024;
+
+/// Relative deadline a task falls back to under [`Policy::Slo`] when no
+/// chain it serves has a configured latency budget — loose enough that
+/// budgeted chains always outrank it.
+pub const SLO_DEFAULT_BUDGET: Duration = Duration::from_millis(100);
 
 /// Lower bound the kernel enforces for `cpu.shares`.
 pub const MIN_SHARES: u64 = 2;

@@ -1,4 +1,5 @@
-//! Per-core runqueues: a CFS red-black-tree equivalent and an RR FIFO.
+//! Per-core runqueues: a CFS red-black-tree equivalent, an RR FIFO and a
+//! deadline-ordered tree for the EDF/SLO policies.
 
 use crate::task::TaskId;
 use std::collections::{BTreeSet, VecDeque};
@@ -7,7 +8,8 @@ use std::collections::{BTreeSet, VecDeque};
 ///
 /// CFS keeps tasks ordered by `(vruntime, id)` — the kernel uses a
 /// red-black tree; a B-tree set gives the same ordering guarantees and
-/// complexity. RR keeps strict FIFO arrival order.
+/// complexity. RR keeps strict FIFO arrival order. EDF orders by
+/// `(absolute deadline, id)`.
 #[derive(Debug)]
 pub enum RunQueue {
     /// Virtual-runtime ordered queue (CFS Normal and Batch).
@@ -15,13 +17,21 @@ pub enum RunQueue {
         /// Tasks keyed by (vruntime, id); leftmost runs next.
         tree: BTreeSet<(u64, TaskId)>,
         /// Monotonic floor of vruntime on this core, used to place waking
-        /// tasks so sleepers neither starve nor dominate.
+        /// tasks so sleepers neither starve nor dominate. Advanced on pop
+        /// *and* against the running task at every charge boundary (real
+        /// CFS tracks `curr` too — a floor that only moves on pops
+        /// freezes while one task runs alone).
         min_vruntime: u64,
     },
-    /// FIFO queue (round robin).
+    /// FIFO queue (round robin and cooperative).
     Rr {
         /// Tasks in arrival order.
         fifo: VecDeque<TaskId>,
+    },
+    /// Deadline-ordered queue (EDF and SLO policies).
+    Edf {
+        /// Tasks keyed by (absolute deadline ns, id); earliest runs next.
+        tree: BTreeSet<(u64, TaskId)>,
     },
 }
 
@@ -41,11 +51,19 @@ impl RunQueue {
         }
     }
 
-    /// Insert a runnable task. `vruntime` is ignored for RR.
-    pub fn insert(&mut self, id: TaskId, vruntime: u64) {
+    /// Empty deadline queue.
+    pub fn edf() -> Self {
+        RunQueue::Edf {
+            tree: BTreeSet::new(),
+        }
+    }
+
+    /// Insert a runnable task. `key` is the ordering key — vruntime for
+    /// CFS, absolute deadline for EDF; ignored by RR.
+    pub fn insert(&mut self, id: TaskId, key: u64) {
         match self {
-            RunQueue::Cfs { tree, .. } => {
-                let fresh = tree.insert((vruntime, id));
+            RunQueue::Cfs { tree, .. } | RunQueue::Edf { tree } => {
+                let fresh = tree.insert((key, id));
                 debug_assert!(fresh, "task {id} double-inserted");
             }
             RunQueue::Rr { fifo } => {
@@ -66,21 +84,37 @@ impl RunQueue {
                 Some(id)
             }
             RunQueue::Rr { fifo } => fifo.pop_front(),
+            RunQueue::Edf { tree } => {
+                let &(d, id) = tree.iter().next()?;
+                tree.remove(&(d, id));
+                Some(id)
+            }
         }
     }
 
-    /// Current `min_vruntime` (0 for RR, which has no such notion).
+    /// Current `min_vruntime` (0 for RR/EDF, which have no such notion).
     pub fn min_vruntime(&self) -> u64 {
         match self {
             RunQueue::Cfs { min_vruntime, .. } => *min_vruntime,
-            RunQueue::Rr { .. } => 0,
+            RunQueue::Rr { .. } | RunQueue::Edf { .. } => 0,
+        }
+    }
+
+    /// Raise `min_vruntime` to `floor` if it is behind (CFS only; no-op
+    /// elsewhere). Called at charge boundaries with
+    /// `min(curr.vruntime, leftmost)` so the floor keeps tracking a task
+    /// running alone — the staleness that otherwise lets a waking sleeper
+    /// monopolize the core.
+    pub fn advance_min_vruntime(&mut self, floor: u64) {
+        if let RunQueue::Cfs { min_vruntime, .. } = self {
+            *min_vruntime = (*min_vruntime).max(floor);
         }
     }
 
     /// Number of queued (runnable, not running) tasks.
     pub fn len(&self) -> usize {
         match self {
-            RunQueue::Cfs { tree, .. } => tree.len(),
+            RunQueue::Cfs { tree, .. } | RunQueue::Edf { tree } => tree.len(),
             RunQueue::Rr { fifo } => fifo.len(),
         }
     }
@@ -90,13 +124,18 @@ impl RunQueue {
         self.len() == 0
     }
 
-    /// Iterate over queued task ids (order: next-to-run first for CFS,
-    /// FIFO order for RR).
+    /// Iterate over queued task ids (order: next-to-run first for CFS and
+    /// EDF, FIFO order for RR).
     pub fn iter(&self) -> QueuedIter<'_> {
         match self {
-            RunQueue::Cfs { tree, .. } => QueuedIter::Cfs(tree.iter()),
+            RunQueue::Cfs { tree, .. } | RunQueue::Edf { tree } => QueuedIter::Keyed(tree.iter()),
             RunQueue::Rr { fifo } => QueuedIter::Rr(fifo.iter()),
         }
+    }
+
+    /// The task that would run next, without removing it.
+    pub fn head(&self) -> Option<TaskId> {
+        self.iter().next()
     }
 
     /// Remove a specific queued task (wherever it sits), returning whether
@@ -104,10 +143,10 @@ impl RunQueue {
     /// crashed) and must leave the queue without being dispatched.
     pub fn remove(&mut self, id: TaskId) -> bool {
         match self {
-            RunQueue::Cfs { tree, .. } => {
-                // The tree is keyed by (vruntime, id); a linear scan finds
-                // the entry without the caller having to know the vruntime.
-                // Queues hold at most a handful of NFs per core.
+            RunQueue::Cfs { tree, .. } | RunQueue::Edf { tree } => {
+                // The tree is keyed by (key, id); a linear scan finds the
+                // entry without the caller having to know the key. Queues
+                // hold at most a handful of NFs per core.
                 match tree.iter().find(|&&(_, t)| t == id).copied() {
                     Some(key) => tree.remove(&key),
                     None => false,
@@ -121,10 +160,12 @@ impl RunQueue {
         }
     }
 
-    /// Smallest queued vruntime, if any (CFS only).
-    pub fn leftmost_vruntime(&self) -> Option<u64> {
+    /// Smallest queued ordering key, if any (CFS vruntime / EDF deadline).
+    pub fn leftmost_key(&self) -> Option<u64> {
         match self {
-            RunQueue::Cfs { tree, .. } => tree.iter().next().map(|&(v, _)| v),
+            RunQueue::Cfs { tree, .. } | RunQueue::Edf { tree } => {
+                tree.iter().next().map(|&(v, _)| v)
+            }
             RunQueue::Rr { .. } => None,
         }
     }
@@ -133,12 +174,12 @@ impl RunQueue {
 /// Borrowing iterator over a [`RunQueue`]'s task ids. An enum over the
 /// two backing collections' iterators — no `Box<dyn Iterator>`, which
 /// would both violate the no-trait-objects layering convention and
-/// allocate on the per-dispatch path (`Scheduler` walks the queue to sum
+/// allocate on the per-dispatch path (`slice` walks the queue to sum
 /// runnable weights on every pick).
 #[derive(Debug)]
 pub enum QueuedIter<'a> {
-    /// CFS: `(vruntime, id)` pairs in tree order, next-to-run first.
-    Cfs(std::collections::btree_set::Iter<'a, (u64, TaskId)>),
+    /// CFS/EDF: `(key, id)` pairs in tree order, next-to-run first.
+    Keyed(std::collections::btree_set::Iter<'a, (u64, TaskId)>),
     /// RR: FIFO arrival order.
     Rr(std::collections::vec_deque::Iter<'a, TaskId>),
 }
@@ -147,14 +188,14 @@ impl Iterator for QueuedIter<'_> {
     type Item = TaskId;
     fn next(&mut self) -> Option<TaskId> {
         match self {
-            QueuedIter::Cfs(it) => it.next().map(|&(_, id)| id),
+            QueuedIter::Keyed(it) => it.next().map(|&(_, id)| id),
             QueuedIter::Rr(it) => it.next().copied(),
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            QueuedIter::Cfs(it) => it.size_hint(),
+            QueuedIter::Keyed(it) => it.size_hint(),
             QueuedIter::Rr(it) => it.size_hint(),
         }
     }
@@ -197,6 +238,18 @@ mod tests {
     }
 
     #[test]
+    fn advance_min_vruntime_is_monotonic_and_cfs_only() {
+        let mut cfs = RunQueue::cfs();
+        cfs.advance_min_vruntime(400);
+        assert_eq!(cfs.min_vruntime(), 400);
+        cfs.advance_min_vruntime(100); // never regresses
+        assert_eq!(cfs.min_vruntime(), 400);
+        let mut edf = RunQueue::edf();
+        edf.advance_min_vruntime(400);
+        assert_eq!(edf.min_vruntime(), 0);
+    }
+
+    #[test]
     fn rr_is_fifo() {
         let mut rq = RunQueue::rr();
         rq.insert(TaskId(3), 999);
@@ -206,7 +259,20 @@ mod tests {
     }
 
     #[test]
-    fn remove_by_id_from_both_kinds() {
+    fn edf_pops_earliest_deadline() {
+        let mut rq = RunQueue::edf();
+        rq.insert(TaskId(1), 3_000_000);
+        rq.insert(TaskId(2), 1_000_000);
+        rq.insert(TaskId(3), 2_000_000);
+        assert_eq!(rq.leftmost_key(), Some(1_000_000));
+        assert_eq!(rq.pop_next(), Some(TaskId(2)));
+        assert_eq!(rq.pop_next(), Some(TaskId(3)));
+        assert_eq!(rq.pop_next(), Some(TaskId(1)));
+        assert_eq!(rq.pop_next(), None);
+    }
+
+    #[test]
+    fn remove_by_id_from_all_kinds() {
         let mut cfs = RunQueue::cfs();
         cfs.insert(TaskId(1), 10);
         cfs.insert(TaskId(2), 5);
@@ -222,10 +288,17 @@ mod tests {
         assert!(!rr.remove(TaskId(9)));
         assert_eq!(rr.pop_next(), Some(TaskId(3)));
         assert_eq!(rr.pop_next(), None);
+
+        let mut edf = RunQueue::edf();
+        edf.insert(TaskId(5), 100);
+        edf.insert(TaskId(6), 50);
+        assert!(edf.remove(TaskId(6)));
+        assert_eq!(edf.pop_next(), Some(TaskId(5)));
+        assert_eq!(edf.pop_next(), None);
     }
 
     #[test]
-    fn iter_and_len() {
+    fn iter_len_and_head() {
         let mut rq = RunQueue::cfs();
         rq.insert(TaskId(1), 10);
         rq.insert(TaskId(2), 5);
@@ -233,6 +306,7 @@ mod tests {
         assert!(!rq.is_empty());
         let order: Vec<_> = rq.iter().collect();
         assert_eq!(order, vec![TaskId(2), TaskId(1)]);
-        assert_eq!(rq.leftmost_vruntime(), Some(5));
+        assert_eq!(rq.head(), Some(TaskId(2)));
+        assert_eq!(rq.leftmost_key(), Some(5));
     }
 }

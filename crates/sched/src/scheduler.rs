@@ -12,76 +12,129 @@
 //!   target latency, runqueue size and weights; RR: the fixed quantum).
 //!   Once `now` passes the slice end *and* another task is waiting, the
 //!   platform must requeue the current task (involuntary switch).
-//! * **Wakeup preemption** (CFS Normal only) — a task waking with
-//!   sufficiently smaller vruntime flags `resched_pending`; the preemption
-//!   takes effect at the next segment boundary, a few microseconds later,
-//!   just as a real kernel preempts at the next tick or interrupt return.
+//! * **Wakeup preemption** (CFS Normal and the deadline policies) — a
+//!   task waking with sufficiently smaller vruntime (or an earlier
+//!   deadline) flags `resched_pending`; the preemption takes effect at
+//!   the next segment boundary, a few microseconds later, just as a real
+//!   kernel preempts at the next tick or interrupt return.
+//!
+//! Since the trait refactor (DESIGN.md §12), `OsScheduler` is a thin
+//! facade over one of two interchangeable backends selected by
+//! [`SchedBackend`]: the hook-based [`SchedCore`] driving
+//! [`PolicyDispatch`], or the pre-trait monolithic
+//! [`ClassicScheduler`](crate::classic::ClassicScheduler) kept as a
+//! differential oracle. Both must produce byte-identical runs — CI's
+//! `sched-diff` job enforces it the same way `queue-diff` pins the event
+//! queue backends.
 
-use crate::params::{CfsParams, Policy, NICE0_WEIGHT};
-use crate::runqueue::RunQueue;
-use crate::task::{SwitchKind, Task, TaskId, TaskState};
+use crate::classic::ClassicScheduler;
+use crate::hooks::{PolicyDispatch, SchedCore};
+use crate::kernel::KernelCtx;
+use crate::params::{CfsParams, Policy};
+use crate::task::{SwitchKind, Task, TaskId};
 use nfv_des::{Duration, SimTime};
-use nfv_obs::{TraceKind, TraceSink};
+use nfv_obs::TraceSink;
 
-/// Per-core scheduling state.
+/// Which scheduler implementation drives the run. Both produce
+/// byte-identical output for every policy; the classic monolith exists
+/// only as a differential oracle for the hook seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedBackend {
+    /// The hook-based `SchedCore<PolicyDispatch>` driver (default).
+    Hooks,
+    /// The pre-trait monolithic scheduler (oracle; default under
+    /// `--features classic-sched`).
+    Classic,
+}
+
+impl SchedBackend {
+    /// The build's default backend: `Hooks`, or `Classic` when the
+    /// `classic-sched` feature is enabled (so CI can run the whole suite
+    /// against the oracle without touching configs).
+    pub fn default_backend() -> SchedBackend {
+        if cfg!(feature = "classic-sched") {
+            SchedBackend::Classic
+        } else {
+            SchedBackend::Hooks
+        }
+    }
+}
+
+impl Default for SchedBackend {
+    fn default() -> Self {
+        SchedBackend::default_backend()
+    }
+}
+
+/// The two interchangeable implementations behind [`OsScheduler`].
 #[derive(Debug)]
-struct Core {
-    rq: RunQueue,
-    current: Option<TaskId>,
-    /// Absolute time the current task's slice expires.
-    slice_end: SimTime,
-    /// Set by wakeup preemption; consumed at the next segment boundary.
-    resched_pending: bool,
-    /// Task that most recently occupied the CPU (context-switch cost is
-    /// only paid when the incoming task differs).
-    last_ran: Option<TaskId>,
-    /// Total busy time (any task executing).
-    busy: Duration,
+enum Backend {
+    Hooks(SchedCore<PolicyDispatch>),
+    Classic(ClassicScheduler),
 }
 
 /// The simulated OS scheduler for all cores of the machine.
 #[derive(Debug)]
 pub struct OsScheduler {
     policy: Policy,
-    cfs: CfsParams,
-    /// Direct cost of a context switch, charged on each dispatch that
-    /// changes tasks.
-    cs_cost: Duration,
-    tasks: Vec<Task>,
-    cores: Vec<Core>,
-    /// Structured-event sink (off unless observability is enabled).
-    trace: TraceSink,
+    backend: Backend,
 }
 
 impl OsScheduler {
-    /// A scheduler for `num_cores` NF cores under `policy`.
+    /// A scheduler for `num_cores` NF cores under `policy`, using the
+    /// build's default backend.
     pub fn new(num_cores: usize, policy: Policy, cfs: CfsParams, cs_cost: Duration) -> Self {
-        let mk_rq = || match policy {
-            Policy::CfsNormal | Policy::CfsBatch => RunQueue::cfs(),
-            Policy::RoundRobin { .. } | Policy::Cooperative => RunQueue::rr(),
+        Self::with_backend(num_cores, policy, cfs, cs_cost, SchedBackend::default())
+    }
+
+    /// A scheduler with an explicit backend choice (differential tests;
+    /// `PlatformConfig::sched_backend`).
+    pub fn with_backend(
+        num_cores: usize,
+        policy: Policy,
+        cfs: CfsParams,
+        cs_cost: Duration,
+        backend: SchedBackend,
+    ) -> Self {
+        let backend = match backend {
+            SchedBackend::Hooks => Backend::Hooks(SchedCore::new(
+                num_cores,
+                PolicyDispatch::for_policy(policy),
+                cfs,
+                cs_cost,
+            )),
+            SchedBackend::Classic => {
+                Backend::Classic(ClassicScheduler::new(num_cores, policy, cfs, cs_cost))
+            }
         };
-        OsScheduler {
-            policy,
-            cfs,
-            cs_cost,
-            tasks: Vec::new(),
-            cores: (0..num_cores)
-                .map(|_| Core {
-                    rq: mk_rq(),
-                    current: None,
-                    slice_end: SimTime::ZERO,
-                    resched_pending: false,
-                    last_ran: None,
-                    busy: Duration::ZERO,
-                })
-                .collect(),
-            trace: TraceSink::off(),
+        OsScheduler { policy, backend }
+    }
+
+    /// The active backend kind.
+    pub fn backend(&self) -> SchedBackend {
+        match &self.backend {
+            Backend::Hooks(_) => SchedBackend::Hooks,
+            Backend::Classic(_) => SchedBackend::Classic,
+        }
+    }
+
+    fn ctx(&self) -> &KernelCtx {
+        match &self.backend {
+            Backend::Hooks(s) => &s.ctx,
+            Backend::Classic(s) => &s.ctx,
+        }
+    }
+
+    fn ctx_mut(&mut self) -> &mut KernelCtx {
+        match &mut self.backend {
+            Backend::Hooks(s) => &mut s.ctx,
+            Backend::Classic(s) => &mut s.ctx,
         }
     }
 
     /// Attach a trace sink recording paid context switches.
     pub fn set_trace(&mut self, trace: TraceSink) {
-        self.trace = trace;
+        self.ctx_mut().trace = trace;
     }
 
     /// The active policy.
@@ -91,99 +144,77 @@ impl OsScheduler {
 
     /// Register a new task pinned to `core`, initially blocked.
     pub fn add_task(&mut self, name: impl Into<String>, core: usize) -> TaskId {
-        assert!(core < self.cores.len(), "core {core} out of range");
-        let id = TaskId(self.tasks.len() as u32);
-        let mut t = Task::new(name, core, NICE0_WEIGHT);
-        // Start at the core's current min_vruntime so the first wake is fair.
-        t.vruntime = self.cores[core].rq.min_vruntime();
-        self.tasks.push(t);
-        id
+        match &mut self.backend {
+            Backend::Hooks(s) => s.add_task(name, core),
+            Backend::Classic(s) => s.add_task(name, core),
+        }
     }
 
     /// Immutable task access.
     pub fn task(&self, id: TaskId) -> &Task {
-        &self.tasks[id.index()]
+        self.ctx().task(id)
     }
 
     /// Number of registered tasks.
     pub fn num_tasks(&self) -> usize {
-        self.tasks.len()
+        self.ctx().num_tasks()
     }
 
     /// Number of cores managed.
     pub fn num_cores(&self) -> usize {
-        self.cores.len()
+        self.ctx().num_cores()
     }
 
     /// Update a task's scheduler weight (cgroup `cpu.shares` write).
     /// Takes effect from the next charge/dispatch; the queue position is
     /// keyed by vruntime, which is unaffected.
     pub fn set_weight(&mut self, id: TaskId, weight: u64) {
-        self.tasks[id.index()].weight = weight.max(1);
+        self.ctx_mut().set_weight(id, weight);
+    }
+
+    /// Grant `id` a per-job latency budget: each wakeup's deadline
+    /// becomes `now + budget`. Only consulted by the deadline policies
+    /// ([`Policy::Edf`] / [`Policy::Slo`]); the engine derives these from
+    /// per-chain SLO budgets at prime time, before any task first wakes.
+    pub fn set_task_budget(&mut self, id: TaskId, budget: Duration) {
+        self.ctx_mut().tasks[id.index()].rel_deadline = budget;
     }
 
     /// Currently running task on `core`.
     pub fn current(&self, core: usize) -> Option<TaskId> {
-        self.cores[core].current
+        self.ctx().current(core)
     }
 
     /// Runnable tasks queued (excluding the running one) on `core`.
     pub fn queued(&self, core: usize) -> usize {
-        self.cores[core].rq.len()
+        self.ctx().queued(core)
     }
 
     /// True when `core` has neither a running task nor queued runnable
     /// work. The engine's per-core domain must be inactive exactly when
     /// its core is idle and no batch event is in flight.
     pub fn core_idle(&self, core: usize) -> bool {
-        let c = &self.cores[core];
-        c.current.is_none() && c.rq.is_empty()
+        self.ctx().core_idle(core)
     }
 
     /// Total busy time accumulated on `core`.
     pub fn core_busy(&self, core: usize) -> Duration {
-        self.cores[core].busy
+        self.ctx().core_busy(core)
     }
 
     /// Make `id` runnable (semaphore post). No-op if already runnable or
     /// running. Returns `true` if the task's core had been idle, so the
     /// caller knows to dispatch.
     pub fn wake(&mut self, id: TaskId, now: SimTime) -> bool {
-        let core_idx = self.tasks[id.index()].core;
-        if self.tasks[id.index()].state != TaskState::Blocked {
-            return false;
+        match &mut self.backend {
+            Backend::Hooks(s) => s.wake(id, now),
+            Backend::Classic(s) => s.wake(id, now),
         }
-        // CFS wake placement: a sleeper resumes at no less than
-        // min_vruntime − latency/2, so it gets a modest wakeup bonus but
-        // cannot monopolize the core after a long sleep.
-        if matches!(self.policy, Policy::CfsNormal | Policy::CfsBatch) {
-            let floor = self.cores[core_idx]
-                .rq
-                .min_vruntime()
-                .saturating_sub(self.cfs.latency.as_nanos() / 2);
-            let t = &mut self.tasks[id.index()];
-            t.vruntime = t.vruntime.max(floor);
-        }
-        let vr = self.tasks[id.index()].vruntime;
-        self.tasks[id.index()].state = TaskState::Runnable;
-        self.tasks[id.index()].runnable_since = now;
-        self.cores[core_idx].rq.insert(id, vr);
-
-        // Wakeup preemption (CFS Normal only).
-        if self.policy == Policy::CfsNormal {
-            if let Some(curr) = self.cores[core_idx].current {
-                let curr_vr = self.tasks[curr.index()].vruntime;
-                if curr_vr > vr + self.cfs.wakeup_granularity.as_nanos() {
-                    self.cores[core_idx].resched_pending = true;
-                }
-            }
-        }
-        self.cores[core_idx].current.is_none()
     }
 
     /// True when `id` is blocked.
     pub fn is_blocked(&self, id: TaskId) -> bool {
-        self.tasks[id.index()].state == TaskState::Blocked
+        self.ctx().is_blocked(id)
     }
 
     /// Forcibly block a task that is not on the CPU (crash/park). A
@@ -191,17 +222,10 @@ impl OsScheduler {
     /// left blocked. Returns `false` — and does nothing — when the task is
     /// currently `Running`: the caller owns the in-flight batch and must
     /// park again at the batch boundary (via [`OsScheduler::block_current`]).
-    pub fn park(&mut self, id: TaskId, _now: SimTime) -> bool {
-        let core = self.tasks[id.index()].core;
-        match self.tasks[id.index()].state {
-            TaskState::Running => false,
-            TaskState::Blocked => true,
-            TaskState::Runnable => {
-                let removed = self.cores[core].rq.remove(id);
-                debug_assert!(removed, "runnable task {id} missing from its runqueue");
-                self.tasks[id.index()].state = TaskState::Blocked;
-                true
-            }
+    pub fn park(&mut self, id: TaskId, now: SimTime) -> bool {
+        match &mut self.backend {
+            Backend::Hooks(s) => s.park(id, now),
+            Backend::Classic(s) => s.park(id, now),
         }
     }
 
@@ -211,116 +235,49 @@ impl OsScheduler {
     /// # Panics
     /// Panics if the core already has a running task.
     pub fn dispatch(&mut self, core: usize, now: SimTime) -> Option<(TaskId, Duration)> {
-        assert!(
-            self.cores[core].current.is_none(),
-            "dispatch on busy core {core}"
-        );
-        let id = self.cores[core].rq.pop_next()?;
-        let slice = self.slice_for(core, id);
-        let c = &mut self.cores[core];
-        c.current = Some(id);
-        c.slice_end = now + slice;
-        c.resched_pending = false;
-        let overhead = if c.last_ran == Some(id) {
-            Duration::ZERO
-        } else {
-            self.trace.record(
-                now,
-                TraceKind::CtxSwitch {
-                    core: core as u32,
-                    task: id.0,
-                },
-            );
-            self.cs_cost
-        };
-        c.last_ran = Some(id);
-        let t = &mut self.tasks[id.index()];
-        debug_assert_eq!(t.state, TaskState::Runnable);
-        t.state = TaskState::Running;
-        t.sched_latency_sum += now.since(t.runnable_since);
-        t.dispatches += 1;
-        Some((id, overhead))
-    }
-
-    /// Compute the slice the dispatched task receives.
-    fn slice_for(&self, core: usize, id: TaskId) -> Duration {
-        match self.policy {
-            Policy::RoundRobin { quantum } => quantum,
-            // Cooperative tasks are never preempted; give an effectively
-            // infinite slice (a year of simulated time).
-            Policy::Cooperative => Duration::from_secs(31_536_000),
-            Policy::CfsNormal | Policy::CfsBatch => {
-                let nr = self.cores[core].rq.len() as u64 + 1;
-                let period = self.cfs.latency.max(Duration::from_nanos(
-                    self.cfs.min_granularity.as_nanos() * nr,
-                ));
-                let total_weight: u64 = self.cores[core]
-                    .rq
-                    .iter()
-                    .map(|t| self.tasks[t.index()].weight)
-                    .sum::<u64>()
-                    + self.tasks[id.index()].weight;
-                let share = period.as_nanos() * self.tasks[id.index()].weight / total_weight.max(1);
-                Duration::from_nanos(share).max(self.cfs.min_granularity)
-            }
+        match &mut self.backend {
+            Backend::Hooks(s) => s.dispatch(core, now),
+            Backend::Classic(s) => s.dispatch(core, now),
         }
     }
 
     /// Charge `dur` of execution to the running task on `core`.
     pub fn charge_current(&mut self, core: usize, dur: Duration) {
-        let id = self.cores[core].current.expect("charge on idle core");
-        self.tasks[id.index()].charge(dur);
-        self.cores[core].busy += dur;
+        match &mut self.backend {
+            Backend::Hooks(s) => s.charge_current(core, dur),
+            Backend::Classic(s) => s.charge_current(core, dur),
+        }
     }
 
     /// Must the current task on `core` be descheduled at this boundary?
     /// True when its slice has expired (and a competitor is waiting) or a
     /// wakeup preemption is pending.
     pub fn need_resched(&self, core: usize, now: SimTime) -> bool {
-        let c = &self.cores[core];
-        if c.current.is_none() {
-            return false;
-        }
-        if c.rq.is_empty() {
-            return false; // nobody to switch to
-        }
-        c.resched_pending || now >= c.slice_end
+        self.ctx().need_resched(core, now)
     }
 
     /// The current task blocks (empty ring, backpressure yield-to-sleep,
     /// I/O wait, full TX ring). Voluntary switch.
-    pub fn block_current(&mut self, core: usize, _now: SimTime) -> TaskId {
-        let id = self.cores[core].current.take().expect("block on idle core");
-        let t = &mut self.tasks[id.index()];
-        t.state = TaskState::Blocked;
-        t.voluntary_switches += 1;
-        id
+    pub fn block_current(&mut self, core: usize, now: SimTime) -> TaskId {
+        match &mut self.backend {
+            Backend::Hooks(s) => s.block_current(core, now),
+            Backend::Classic(s) => s.block_current(core, now),
+        }
     }
 
     /// The current task leaves the CPU but stays runnable (slice expiry or
     /// cooperative yield with work remaining). `kind` selects which context
     /// switch counter it lands in.
     pub fn requeue_current(&mut self, core: usize, now: SimTime, kind: SwitchKind) -> TaskId {
-        let id = self.cores[core]
-            .current
-            .take()
-            .expect("requeue on idle core");
-        self.cores[core].resched_pending = false;
-        let vr = self.tasks[id.index()].vruntime;
-        let t = &mut self.tasks[id.index()];
-        t.state = TaskState::Runnable;
-        t.runnable_since = now;
-        match kind {
-            SwitchKind::Voluntary => t.voluntary_switches += 1,
-            SwitchKind::Involuntary => t.involuntary_switches += 1,
+        match &mut self.backend {
+            Backend::Hooks(s) => s.requeue_current(core, now, kind),
+            Backend::Classic(s) => s.requeue_current(core, now, kind),
         }
-        self.cores[core].rq.insert(id, vr);
-        id
     }
 
     /// All registered task ids.
     pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
-        (0..self.tasks.len() as u32).map(TaskId)
+        (0..self.num_tasks() as u32).map(TaskId)
     }
 }
 
@@ -328,8 +285,20 @@ impl OsScheduler {
 mod tests {
     use super::*;
 
+    const BACKENDS: [SchedBackend; 2] = [SchedBackend::Hooks, SchedBackend::Classic];
+
     fn sched(policy: Policy) -> OsScheduler {
         OsScheduler::new(2, policy, CfsParams::default(), Duration::from_micros(2))
+    }
+
+    fn sched_with(policy: Policy, backend: SchedBackend) -> OsScheduler {
+        OsScheduler::with_backend(
+            2,
+            policy,
+            CfsParams::default(),
+            Duration::from_micros(2),
+            backend,
+        )
     }
 
     #[test]
@@ -485,25 +454,82 @@ mod tests {
         assert!(!s.wake(b, SimTime::ZERO)); // already runnable: no-op
     }
 
+    // Regression test for the vruntime-staleness starvation bug: before
+    // the fix, min_vruntime only advanced on pops, so it froze at 0 while
+    // the worker ran alone for 1 s; a waking sleeper then resumed at the
+    // stale floor and monopolized the core until it burned through a full
+    // second of vruntime deficit. With the floor tracking `curr`, the
+    // sleeper's bonus is bounded to latency/2 (1.5 ms) of catch-up.
     #[test]
-    fn sleeper_gets_bounded_bonus_not_starvation_weapon() {
-        let mut s = sched(Policy::CfsNormal);
-        let worker = s.add_task("worker", 0);
-        let sleeper = s.add_task("sleeper", 0);
-        let mut now = SimTime::ZERO;
-        s.wake(worker, now);
-        s.dispatch(0, now);
-        // worker accumulates 1s of vruntime
-        s.charge_current(0, Duration::from_secs(1));
-        now = SimTime::from_secs(1);
-        s.requeue_current(0, now, SwitchKind::Involuntary);
-        // min_vruntime still 0 (nothing popped since) — wake placement uses
-        // the floor, then the sleeper runs but its slice is bounded, so the
-        // worker is not starved indefinitely: after the sleeper accumulates
-        // ~latency of vruntime it parks behind the worker's next slot.
-        s.wake(sleeper, now);
-        let (next, _) = s.dispatch(0, now).unwrap();
-        assert_eq!(next, sleeper);
+    fn waking_sleeper_catches_up_within_half_latency_after_solo_run() {
+        for backend in BACKENDS {
+            let mut s = sched_with(Policy::CfsNormal, backend);
+            let worker = s.add_task("worker", 0);
+            let sleeper = s.add_task("sleeper", 0);
+            let mut now = SimTime::ZERO;
+            s.wake(worker, now);
+            s.dispatch(0, now);
+            // worker accumulates 1s of vruntime in segments (the floor
+            // advances at each charge boundary, as in the real engine)
+            for _ in 0..1000 {
+                s.charge_current(0, Duration::from_millis(1));
+            }
+            now = SimTime::from_secs(1);
+            s.wake(sleeper, now);
+            s.requeue_current(0, now, SwitchKind::Involuntary);
+            let (next, _) = s.dispatch(0, now).unwrap();
+            assert_eq!(next, sleeper, "sleeper gets its wakeup bonus first");
+            // The sleeper was placed at min_vruntime − latency/2; after
+            // 1.5 ms of execution it has caught up and the worker runs
+            // again — not after a full second.
+            s.charge_current(0, Duration::from_micros(1_500));
+            now += Duration::from_micros(1_500);
+            s.requeue_current(0, now, SwitchKind::Involuntary);
+            let (back, _) = s.dispatch(0, now).unwrap();
+            assert_eq!(
+                back, worker,
+                "bonus is bounded to latency/2 of catch-up ({backend:?})"
+            );
+        }
+    }
+
+    // Regression test for the stale wakeup-preemption flag: parking the
+    // task that triggered the preemption must clear (re-evaluate)
+    // `resched_pending`, even when another — insufficiently behind —
+    // competitor remains queued.
+    #[test]
+    fn park_clears_stale_wakeup_preemption() {
+        for backend in BACKENDS {
+            let mut s = sched_with(Policy::CfsNormal, backend);
+            let hog = s.add_task("hog", 0);
+            let late = s.add_task("late", 0);
+            let trigger = s.add_task("trigger", 0);
+            let mut now = SimTime::ZERO;
+            s.wake(hog, now);
+            s.wake(late, now);
+            s.dispatch(0, now); // hog runs (tie by id), late queued
+            s.charge_current(0, Duration::from_millis(1));
+            now = SimTime::from_millis(1);
+            s.requeue_current(0, now, SwitchKind::Involuntary);
+            s.dispatch(0, now); // late runs
+            s.charge_current(0, Duration::from_millis(1));
+            s.block_current(0, now);
+            s.dispatch(0, now); // hog runs again, vruntime 1 ms
+            s.charge_current(0, Duration::from_micros(200));
+            now += Duration::from_micros(200);
+            s.wake(trigger, now); // far behind: preemption trigger
+            assert!(
+                s.need_resched(0, now),
+                "trigger wakes far behind: preempt ({backend:?})"
+            );
+            s.wake(late, now); // within the 1 ms granularity: not a trigger
+            assert!(s.park(trigger, now));
+            assert!(
+                !s.need_resched(0, now),
+                "preemption trigger is gone; queued competitor does not \
+                 justify it ({backend:?})"
+            );
+        }
     }
 
     #[test]
@@ -520,6 +546,61 @@ mod tests {
         assert!(!s.park(a, SimTime::ZERO), "running task defers to boundary");
         s.block_current(0, SimTime::ZERO);
         assert!(s.park(a, SimTime::ZERO), "blocked task stays parked");
+    }
+
+    #[test]
+    fn edf_runs_earliest_deadline_and_preempts_on_wakeup() {
+        for backend in BACKENDS {
+            let mut s = sched_with(
+                Policy::Edf {
+                    period: Duration::from_millis(2),
+                },
+                backend,
+            );
+            let a = s.add_task("a", 0);
+            let b = s.add_task("b", 0);
+            // a wakes at t=1ms (deadline 3ms), b at t=0 (deadline 2ms):
+            // b runs first despite waking earlier in program order.
+            s.wake(b, SimTime::ZERO);
+            s.wake(a, SimTime::from_millis(1));
+            let (first, _) = s.dispatch(0, SimTime::from_millis(1)).unwrap();
+            assert_eq!(first, b, "earliest deadline first ({backend:?})");
+            s.charge_current(0, Duration::from_millis(1));
+            s.block_current(0, SimTime::from_millis(2));
+            let (second, _) = s.dispatch(0, SimTime::from_millis(2)).unwrap();
+            assert_eq!(second, a);
+            // b wakes again at 2.5ms → deadline 4.5ms, later than a's 3ms:
+            // no preemption.
+            s.charge_current(0, Duration::from_micros(500));
+            s.wake(b, SimTime::from_micros(2_500));
+            assert!(!s.need_resched(0, SimTime::from_micros(2_500)));
+        }
+    }
+
+    #[test]
+    fn slo_budget_tightens_deadline() {
+        for backend in BACKENDS {
+            let mut s = sched_with(Policy::Slo, backend);
+            let tight = s.add_task("tight", 0);
+            let lax = s.add_task("lax", 0);
+            // Both default to SLO_DEFAULT_BUDGET; tighten one to 100 µs.
+            s.set_task_budget(tight, Duration::from_micros(100));
+            // lax wakes first, then tight: tight's much nearer deadline
+            // flags a preemption against the running lax.
+            s.wake(lax, SimTime::ZERO);
+            s.dispatch(0, SimTime::ZERO);
+            s.charge_current(0, Duration::from_micros(10));
+            s.wake(tight, SimTime::from_micros(10));
+            assert!(
+                s.need_resched(0, SimTime::from_micros(10)),
+                "tighter budget preempts ({backend:?})"
+            );
+            s.requeue_current(0, SimTime::from_micros(10), SwitchKind::Involuntary);
+            let (next, _) = s.dispatch(0, SimTime::from_micros(10)).unwrap();
+            assert_eq!(next, tight);
+            assert_eq!(s.task(tight).rel_deadline, Duration::from_micros(100));
+            assert_eq!(s.task(tight).deadline, 110_000);
+        }
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub struct Task {
     pub state: TaskState,
     /// When the task last became runnable (for scheduling-latency stats).
     pub runnable_since: SimTime,
+    /// Relative deadline granted to each job (wake → block span) under the
+    /// deadline policies: the EDF period, or the task's share of its
+    /// chain's latency budget under SLO. Unused (zero) elsewhere.
+    pub rel_deadline: Duration,
+    /// Absolute deadline (ns) of the current job, assigned on wakeup and
+    /// preserved across preemptions. Orders the EDF/SLO runqueue.
+    pub deadline: u64,
 
     // ---- accounting ----
     /// Total CPU time consumed.
@@ -81,6 +88,8 @@ impl Task {
             vruntime: 0,
             state: TaskState::Blocked,
             runnable_since: SimTime::ZERO,
+            rel_deadline: Duration::ZERO,
+            deadline: 0,
             cpu_time: Duration::ZERO,
             voluntary_switches: 0,
             involuntary_switches: 0,
