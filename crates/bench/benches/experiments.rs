@@ -129,6 +129,27 @@ fn slo_cells(c: &mut Criterion) {
     });
 }
 
+fn scale_cells(c: &mut Criterion) {
+    bench_cell(c, "scale_1m_flows", || {
+        // The sweep needs ~233 ms to visit its full 2^20-tuple slice at
+        // 4.5 Mpps, so this cell runs a touch longer than `quick()`.
+        let len = RunLength {
+            steady: nfvnice::Duration::from_millis(250),
+            timeline_scale: 25,
+        };
+        let r = scale::run_1m(len);
+        assert!(
+            r.flows_active >= 1 << 20,
+            "table must hold a million concurrent flows"
+        );
+        assert!(r.flow.max_probe < 256, "probe lengths must stay bounded");
+    });
+    bench_cell(c, "scale_flash_crowd", || {
+        let r = scale::run_flash(quick());
+        assert!(r.flows_evicted > 0, "aging must reclaim the crowd");
+    });
+}
+
 criterion_group!(
     benches,
     fig1_cells,
@@ -136,6 +157,7 @@ criterion_group!(
     multicore_cells,
     variable_and_orderings,
     timelines,
-    slo_cells
+    slo_cells,
+    scale_cells
 );
 criterion_main!(benches);

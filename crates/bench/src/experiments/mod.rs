@@ -15,5 +15,6 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig7;
 pub mod multicore;
+pub mod scale;
 pub mod slo;
 pub mod tuning;

@@ -1,0 +1,197 @@
+//! SCALE experiment: the million-flow flow-state engine under
+//! internet-like load.
+//!
+//! The paper's own cells drive a handful of pinned CBR flows; this family
+//! instead stresses the flow table the way a provider edge would —
+//! millions of distinct 5-tuples learned reactively through wildcard
+//! rules, heavy-tailed per-flow rates, flash crowds and diurnal ramps —
+//! and reports what the engine sustains:
+//!
+//! - `1m_flows` — one tenant sweeps its entire 2^20-tuple slice fast
+//!   enough to install over a million concurrent flows, with classify on
+//!   the exact-match fast path for the steady-state majority.
+//! - `tenants` — four tenants with private tuple slices and chains share
+//!   one core while aging keeps each tenant's table slice bounded.
+//! - `elephants_mice` — 256 pinned flows with bounded-Pareto rates: the
+//!   fairness picture when a few elephants carry most of the load.
+//! - `flash_crowd` — a burst of brand-new flows arrives mid-run and is
+//!   aged back out before the end; the table's footprint must follow.
+//! - `diurnal` — a raised-cosine day profile over a windowed sweep.
+//!
+//! Flow-table internals (probe lengths, rehashes) go to
+//! `BENCH_timings.json`; this table prints only deterministic sim state.
+
+use crate::util::{human_count, mpps, run_logged, sim_config, RunLength, Table, LOW, MED};
+use nfvnice::{
+    diurnal_windows, heavy_tail_rates, tenant, Duration, FlowAging, NfSpec, NfvniceConfig,
+    ParetoShape, Policy, Report, SimRng, SimTime, Simulation, SweepSource, TenantSpec, TENANT_SPAN,
+};
+
+/// Aging policy for the churn cells: the epoch advances every 16 monitor
+/// ticks (16 ms at the default 1 ms sample period) and an unpinned flow
+/// idle for more than 2 whole epochs is evicted.
+pub fn churn_aging() -> FlowAging {
+    FlowAging {
+        idle_epochs: 2,
+        epoch_ticks: 16,
+    }
+}
+
+/// A one-core simulation in compact flow-stats mode: per-flow counters
+/// stay, the ~4 KB/flow meters + latency detail is skipped — the only
+/// way a million-flow run fits in memory.
+fn scale_sim(aging: Option<FlowAging>) -> Simulation {
+    let mut cfg = sim_config(1, Policy::CfsBatch, NfvniceConfig::full());
+    cfg.platform.flow_detail = false;
+    if let Some(a) = aging {
+        cfg.platform.flow_aging = a;
+    }
+    Simulation::new(cfg)
+}
+
+fn frac(d: Duration, num: u64, den: u64) -> SimTime {
+    SimTime::from_nanos(d.as_nanos() * num / den)
+}
+
+/// The million-flow cell: tenant 0's sweep covers its whole 2^20-tuple
+/// slice at 4.5 Mpps, so every tuple is visited within the first ~233 ms
+/// and the table carries the full slice concurrently from then on.
+pub fn run_1m(len: RunLength) -> Report {
+    let mut s = scale_sim(None);
+    let nf = s.add_nf(NfSpec::new("fwd", 0, LOW));
+    let chain = s.add_chain(&[nf]);
+    let t = tenant(TenantSpec {
+        index: 0,
+        flows: TENANT_SPAN,
+        rate_pps: 4.5e6,
+        frame_size: 64,
+    });
+    s.add_wildcard(t.pattern, chain, 0);
+    s.add_sweep(t.sweep);
+    run_logged("scale", "1m_flows", &mut s, len.steady)
+}
+
+/// Four tenants, each with a private tuple slice, chain and offered load,
+/// sharing one core; aging on, so each tenant's learned flows track its
+/// sweep's working set.
+pub fn run_tenants(len: RunLength) -> Report {
+    let mut s = scale_sim(Some(churn_aging()));
+    let specs = [
+        (1u32, 65_536u32, 1.2e6, LOW),
+        (2, 32_768, 0.8e6, LOW),
+        (3, 16_384, 0.5e6, MED),
+        (4, 8_192, 0.3e6, MED),
+    ];
+    for (index, flows, rate_pps, cost) in specs {
+        let nf = s.add_nf(NfSpec::new(format!("tenant{index}"), 0, cost));
+        let chain = s.add_chain(&[nf]);
+        let t = tenant(TenantSpec {
+            index,
+            flows,
+            rate_pps,
+            frame_size: 64,
+        });
+        s.add_wildcard(t.pattern, chain, 0);
+        s.add_sweep(t.sweep);
+    }
+    run_logged("scale", "tenants", &mut s, len.steady)
+}
+
+/// 256 pinned flows whose rates are bounded-Pareto draws summing to
+/// 4 Mpps: many mice, a few elephants, one shared chain.
+pub fn run_elephants(len: RunLength) -> Report {
+    let mut s = scale_sim(None);
+    let nf = s.add_nf(NfSpec::new("mix", 0, MED));
+    let chain = s.add_chain(&[nf]);
+    let mut rng = SimRng::seed_from_u64(424_242);
+    for rate in heavy_tail_rates(&mut rng, 256, 4.0e6, ParetoShape::elephants_mice()) {
+        s.add_udp(chain, rate, 64);
+    }
+    run_logged("scale", "elephants_mice", &mut s, len.steady)
+}
+
+/// A background tenant plus a flash crowd of 256 Ki brand-new flows in
+/// the second quarter of the run; aging evicts the crowd before the end.
+pub fn run_flash(len: RunLength) -> Report {
+    let mut s = scale_sim(Some(churn_aging()));
+    let nf = s.add_nf(NfSpec::new("edge", 0, LOW));
+    let chain = s.add_chain(&[nf]);
+    let bg = tenant(TenantSpec {
+        index: 0,
+        flows: 4_096,
+        rate_pps: 0.5e6,
+        frame_size: 64,
+    });
+    s.add_wildcard(bg.pattern, chain, 0);
+    s.add_sweep(bg.sweep);
+    let crowd = tenant(TenantSpec {
+        index: 1,
+        flows: 1 << 18,
+        rate_pps: 4.0e6,
+        frame_size: 64,
+    });
+    s.add_wildcard(crowd.pattern, chain, 0);
+    s.add_sweep(
+        crowd
+            .sweep
+            .window(frac(len.steady, 1, 4), frac(len.steady, 2, 4)),
+    );
+    run_logged("scale", "flash_crowd", &mut s, len.steady)
+}
+
+/// A day in a run: eight piecewise-constant windows whose rates follow a
+/// raised cosine from 0.5 to 4 Mpps over a 64 Ki-tuple space.
+pub fn run_diurnal(len: RunLength) -> Report {
+    let mut s = scale_sim(Some(churn_aging()));
+    let nf = s.add_nf(NfSpec::new("day", 0, LOW));
+    let chain = s.add_chain(&[nf]);
+    let t = tenant(TenantSpec {
+        index: 0,
+        flows: 65_536,
+        rate_pps: 1.0, // placeholder; windows below carry the real rates
+        frame_size: 64,
+    });
+    s.add_wildcard(t.pattern, chain, 0);
+    for (start, stop, rate) in diurnal_windows(len.steady, 8, 0.5e6, 4.0e6) {
+        s.add_sweep(SweepSource::new(0, 65_536, 64, rate).window(start, stop));
+    }
+    run_logged("scale", "diurnal", &mut s, len.steady)
+}
+
+/// Full experiment: one row of deterministic sim state per cell.
+pub fn run(len: RunLength) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "\n=== SCALE — million-flow flow-state engine under internet-like load \
+         (one core, compact flow stats) ===\n",
+    );
+    let mut t = Table::new(&[
+        "cell",
+        "flows",
+        "evicted",
+        "delivered Mpps",
+        "entry drops",
+        "nic drops",
+    ]);
+    type Cell = (&'static str, fn(RunLength) -> Report);
+    let cells: [Cell; 5] = [
+        ("1m_flows", run_1m),
+        ("tenants", run_tenants),
+        ("elephants_mice", run_elephants),
+        ("flash_crowd", run_flash),
+        ("diurnal", run_diurnal),
+    ];
+    for (name, cell) in cells {
+        let r = cell(len);
+        t.row(vec![
+            name.to_string(),
+            human_count(r.flows_active as f64),
+            human_count(r.flows_evicted as f64),
+            mpps(r.total_delivered_pps),
+            human_count(r.entry_drops as f64),
+            human_count(r.nic_overflow as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -48,6 +48,7 @@ fn main() {
         ("coop", coop::run),
         ("faults", faults::run),
         ("slo", slo::run),
+        ("scale", scale::run),
     ];
 
     let args: Vec<String> = std::env::args().skip(1).collect();

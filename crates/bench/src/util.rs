@@ -3,8 +3,8 @@
 
 use nfv_pkt::line_rate_pps;
 use nfvnice::{
-    trace_to_jsonl_into, Duration, MetricsRecorder, NfvniceConfig, Policy, QueueStats, Report,
-    SanitizerConfig, SimConfig, Simulation,
+    trace_to_jsonl_into, Duration, FlowTableStats, MetricsRecorder, NfvniceConfig, Policy,
+    QueueStats, Report, SanitizerConfig, SimConfig, Simulation,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -67,6 +67,14 @@ struct CellRecord {
     queue: QueueStats,
     /// Events popped and discarded as stale by the engine.
     stale_pops: u64,
+    /// Flow-table self-profiling counters. Backend-dependent (probe
+    /// lengths, rehashes), so like `queue` they live in the timings file
+    /// only — the metrics document must stay identical across the
+    /// sharded engine and the flat oracle.
+    flow: FlowTableStats,
+    /// Flows installed at the end of the run / evicted by aging over it.
+    flows_active: u64,
+    flows_evicted: u64,
     metrics: Option<MetricsRecorder>,
     /// Buffered trace JSONL (header line + events) when running under a
     /// parallel suite; `None` when streamed directly or tracing is off.
@@ -125,6 +133,9 @@ pub fn run_logged(experiment: &str, cell: &str, s: &mut Simulation, dur: Duratio
         trace_digest: r.trace_digest,
         queue: r.queue,
         stale_pops: r.stale_pops,
+        flow: r.flow,
+        flows_active: r.flows_active,
+        flows_evicted: r.flows_evicted,
         metrics,
         trace_jsonl,
     };
@@ -287,7 +298,7 @@ pub fn timings_json() -> String {
             s,
             ",\"queue\":{{\"pushes\":{},\"pops\":{},\"stale_pops\":{},\"cascades\":{},\
              \"cascaded_entries\":{},\"allocs\":{},\"max_len\":{},\
-             \"pops_per_sim_sec\":{:.1},\"allocs_per_sim_sec\":{:.1}}}}}",
+             \"pops_per_sim_sec\":{:.1},\"allocs_per_sim_sec\":{:.1}}}",
             q.pushes,
             q.pops,
             c.stale_pops,
@@ -297,6 +308,29 @@ pub fn timings_json() -> String {
             q.max_len,
             per_sec(q.pops),
             per_sec(q.allocs),
+        );
+        // Flow-table self-profiling: like `queue`, backend-dependent
+        // internals stay in this (timings) file only.
+        let f = &c.flow;
+        let avg_probe = f.probe_steps as f64 / (f.exact_hits + f.installs).max(1) as f64;
+        let _ = write!(
+            s,
+            ",\"flow\":{{\"active\":{},\"evicted\":{},\"installs\":{},\"recycled\":{},\
+             \"exact_hits\":{},\"wildcard_hits\":{},\"probe_steps\":{},\"max_probe\":{},\
+             \"avg_probe\":{:.3},\"rehashes\":{},\"shards\":{},\"slots\":{},\"pinned\":{}}}}}",
+            c.flows_active,
+            c.flows_evicted,
+            f.installs,
+            f.recycled,
+            f.exact_hits,
+            f.wildcard_hits,
+            f.probe_steps,
+            f.max_probe,
+            avg_probe,
+            f.rehashes,
+            f.shards,
+            f.slots,
+            f.pinned,
         );
     }
     let _ = write!(s, "],\"total_wall_ms\":{total:.3}");

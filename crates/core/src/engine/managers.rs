@@ -29,6 +29,13 @@ impl Simulation {
                 self.udp[idx].emit(now, self.cfg.traffic_poll, &mut self.rng, &mut frames);
             }
         }
+        // Sweep sources (scenario traffic over wildcard rules) emit after
+        // the pinned flows: their tuples churn the flow table, so they
+        // lose the NIC-tail lottery first under overload, keeping the
+        // pinned flows' behavior comparable with sweep-free runs.
+        for s in &mut self.sweeps {
+            s.emit(now, self.cfg.traffic_poll, &mut self.rng, &mut frames);
+        }
         // UDP is non-responsive: NIC overflow is silent loss. Overflow
         // always hits the burst's tail, so the bulk path traces the same
         // drops in the same order as a per-frame loop would.
@@ -273,6 +280,7 @@ impl Simulation {
             self.ecn.observe(idx, nf.rx.len());
         }
         self.run_watchdog(now);
+        self.age_flow_table();
         self.sample_metrics(now);
         let ticks_per_weight_update = (self.cfg.nfvnice.load.weight_period.as_nanos()
             / self.cfg.nfvnice.load.sample_period.as_nanos())
@@ -282,6 +290,29 @@ impl Simulation {
         {
             self.update_weights(now);
         }
+    }
+
+    /// Flow aging, driven off the monitor tick: every
+    /// [`FlowAging::epoch_ticks`](nfv_pkt::FlowAging) monitor ticks the
+    /// table's epoch advances and wildcard-learned flows idle for more
+    /// than `idle_epochs` whole epochs are evicted (ids recycled). Off by
+    /// default (`idle_epochs == 0`), keeping default runs byte-identical
+    /// to the pre-aging engine. Runs before `sample_metrics` so the
+    /// tick's `flows_active` column reflects the post-eviction table.
+    fn age_flow_table(&mut self) {
+        let aging = self.cfg.platform.flow_aging;
+        if !aging.enabled()
+            || !self
+                .monitor_ticks
+                .is_multiple_of(u64::from(aging.epoch_ticks.max(1)))
+        {
+            return;
+        }
+        let mut evicted = std::mem::take(&mut self.scratch_evicted);
+        evicted.clear();
+        self.platform.age_flows(aging.idle_epochs, &mut evicted);
+        self.flows_evicted += evicted.len() as u64;
+        self.scratch_evicted = evicted;
     }
 
     /// Rate-cost proportional weight assignment, one core domain at a
@@ -330,6 +361,11 @@ impl Simulation {
         }
         self.metrics
             .begin_tick(now, self.platform.mempool.in_use() as u64);
+        // Deterministic sim state, identical across flow-table index
+        // backends — unlike the probe/rehash counters, which stay out of
+        // the metrics document (BENCH_timings.json only).
+        self.metrics
+            .record_flows(self.platform.flow_table.len() as u64, self.flows_evicted);
         for idx in 0..self.platform.nfs.len() {
             let nf = &self.platform.nfs[idx];
             let id = NfId(idx as u32);

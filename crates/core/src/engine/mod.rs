@@ -44,10 +44,10 @@ use crate::load::LoadMonitor;
 use crate::report::{Report, Series};
 use nfv_des::{Duration, EventQueue, Sanitizer, Severity, SimRng, SimTime};
 use nfv_obs::{MetricsRecorder, TraceEvent, TraceSink};
-use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto};
+use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Proto, TuplePattern};
 use nfv_platform::{NfSpec, PacketHandler, Platform, TcpEvent};
 use nfv_sched::Policy;
-use nfv_traffic::{CbrFlow, TcpSource};
+use nfv_traffic::{CbrFlow, SweepSource, TcpSource};
 use std::collections::BTreeMap;
 
 /// A configured simulation: build it, attach NFs/chains/traffic, `run`.
@@ -61,6 +61,7 @@ pub struct Simulation {
     /// inspect violations after `run`, e.g. `sim.sanitizer.assert_clean()`).
     pub sanitizer: Sanitizer,
     udp: Vec<CbrFlow>,
+    sweeps: Vec<SweepSource>,
     tcp: Vec<TcpSource>,
     tcp_by_flow: BTreeMap<FlowId, usize>,
     flow_chain: Vec<ChainId>,
@@ -98,9 +99,13 @@ pub struct Simulation {
     /// `pending_desync` counter value already reported to the sanitizer.
     seen_desync: u64,
     traffic_rotor: usize,
+    /// Flows evicted by aging over the run (cumulative; backend-identical
+    /// by construction, so it may feed metrics columns).
+    flows_evicted: u64,
     // per-second series bookkeeping (CPU snapshots live in the domains)
     series: Series,
     flow_bytes_snapshot: Vec<u64>,
+    scratch_evicted: Vec<FlowId>,
     scratch_tcp: Vec<TcpEvent>,
     scratch_woken: Vec<NfId>,
     scratch_frames: Vec<nfv_pkt::WireFrame>,
@@ -117,6 +122,7 @@ impl Simulation {
             rng,
             sanitizer: Sanitizer::new(cfg.sanitizer),
             udp: Vec::new(),
+            sweeps: Vec::new(),
             tcp: Vec::new(),
             tcp_by_flow: BTreeMap::new(),
             flow_chain: Vec::new(),
@@ -148,8 +154,10 @@ impl Simulation {
             stale_pops: 0,
             seen_desync: 0,
             traffic_rotor: 0,
+            flows_evicted: 0,
             series: Series::default(),
             flow_bytes_snapshot: Vec::new(),
+            scratch_evicted: Vec::new(),
             scratch_tcp: Vec::new(),
             scratch_woken: Vec::new(),
             scratch_frames: Vec::new(),
@@ -197,6 +205,23 @@ impl Simulation {
             .push(customize(CbrFlow::new(tuple, frame_size, rate_pps)));
         self.note_flow(flow, chain);
         flow
+    }
+
+    /// Install a wildcard rule steering matching tuples onto `chain` at
+    /// `priority` (higher wins on overlap). Flows classified through a
+    /// wildcard are learned into the exact table as unpinned entries —
+    /// unlike `add_udp`/`add_tcp` installs, they are evicted by aging
+    /// when [`FlowAging`](nfv_pkt::FlowAging) is enabled.
+    pub fn add_wildcard(&mut self, pattern: TuplePattern, chain: ChainId, priority: i32) {
+        self.platform.install_wildcard(pattern, chain, priority);
+    }
+
+    /// Attach a tuple-sweeping traffic source: paced like a CBR/Poisson
+    /// flow, but spreading frames across its whole tuple space so every
+    /// frame exercises wildcard classification and flow-table churn.
+    /// Route its tuples with [`Simulation::add_wildcard`].
+    pub fn add_sweep(&mut self, sweep: SweepSource) {
+        self.sweeps.push(sweep);
     }
 
     /// Attach a TCP flow to `chain`.

@@ -76,8 +76,8 @@ impl Simulation {
                     mbps: fs.delivered_bytes as f64 * 8.0 / secs / 1e6,
                     dropped: fs.dropped,
                     entry_drops: fs.entry_drops,
-                    latency_p50: fs.latency.median().unwrap_or(Duration::ZERO),
-                    latency_p99: fs.latency.percentile(99.0).unwrap_or(Duration::ZERO),
+                    latency_p50: fs.latency_p50().unwrap_or(Duration::ZERO),
+                    latency_p99: fs.latency_p99().unwrap_or(Duration::ZERO),
                 }
             })
             .collect();
@@ -121,6 +121,9 @@ impl Simulation {
             trace_digest: self.sanitizer.digest(),
             stale_pops: self.stale_pops,
             queue: self.queue.stats(),
+            flows_active: self.platform.flow_table.len() as u64,
+            flows_evicted: self.flows_evicted,
+            flow: self.platform.flow_table.stats(),
             series: std::mem::take(&mut self.series),
         }
     }

@@ -174,6 +174,104 @@ fn sched_backends_produce_identical_runs() {
 }
 
 #[test]
+fn flow_backends_produce_identical_runs() {
+    // The flow-table index seam must be invisible: the sharded engine and
+    // the flat oracle must mint the same flow ids, learn wildcard flows
+    // and evict idle ones in the same order — hence the same trace
+    // digest, report and metrics document — on a run that exercises
+    // pinned flows, a tuple sweep through a wildcard rule, and aging.
+    use nfv_pkt::{FlowAging, FlowTableKind, TuplePattern};
+    use nfv_traffic::SweepSource;
+    let run = |kind: FlowTableKind| {
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.platform.flow_table = kind;
+        cfg.platform.flow_aging = FlowAging {
+            idle_epochs: 2,
+            epoch_ticks: 4,
+        };
+        cfg.obs.metrics = true;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp_with(chain, 200_000.0, 64, |f| f.poisson());
+        sim.add_wildcard(TuplePattern::any(), chain, 0);
+        // A flash crowd of 4096 brand-new flows mid-run: learned through
+        // the wildcard, idle afterwards, evicted by aging before the end.
+        sim.add_sweep(SweepSource::flash(
+            1 << 20,
+            4096,
+            64,
+            2_000_000.0,
+            SimTime::from_millis(5),
+            Duration::from_millis(3),
+        ));
+        let r = sim.run(Duration::from_millis(40));
+        sim.sanitizer.assert_clean();
+        assert!(invariants::packets_conserved(&sim.platform));
+        let metrics = sim.take_metrics().to_json();
+        (r, metrics)
+    };
+    let (sharded, sharded_metrics) = run(FlowTableKind::Sharded);
+    let (flat, flat_metrics) = run(FlowTableKind::Flat);
+    assert!(sharded.flows_evicted > 0, "aging never fired");
+    assert_eq!(sharded.trace_digest, flat.trace_digest);
+    assert_eq!(sharded.flows_active, flat.flows_active);
+    assert_eq!(sharded.flows_evicted, flat.flows_evicted);
+    assert_eq!(sharded.flows.len(), flat.flows.len());
+    for (s, f) in sharded.flows.iter().zip(flat.flows.iter()) {
+        assert_eq!(s.delivered, f.delivered, "flow {:?}", s.flow);
+        assert_eq!(s.dropped, f.dropped, "flow {:?}", s.flow);
+    }
+    assert_eq!(sharded_metrics, flat_metrics);
+}
+
+#[test]
+fn aging_runs_are_reproducible_and_keep_metrics_clean() {
+    // Aging is deterministic sim state: two identical runs with eviction
+    // active must produce byte-identical metrics documents, and the
+    // backend-dependent flow-table internals (probe lengths, rehashes)
+    // must never leak into them — those live in `BENCH_timings.json`.
+    use nfv_pkt::{FlowAging, TuplePattern};
+    use nfv_traffic::SweepSource;
+    let run = || {
+        let mut cfg = base_cfg(1, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.platform.flow_aging = FlowAging {
+            idle_epochs: 1,
+            epoch_ticks: 4,
+        };
+        cfg.obs.metrics = true;
+        let mut sim = Simulation::new(cfg);
+        let nf = sim.add_nf(NfSpec::new("bridge", 0, 250));
+        let chain = sim.add_chain(&[nf]);
+        sim.add_wildcard(TuplePattern::any(), chain, 0);
+        sim.add_sweep(SweepSource::flash(
+            0,
+            2048,
+            64,
+            1_000_000.0,
+            SimTime::from_millis(2),
+            Duration::from_millis(3),
+        ));
+        let r = sim.run(Duration::from_millis(30));
+        (
+            r.trace_digest,
+            r.flows_evicted,
+            sim.take_metrics().to_json(),
+        )
+    };
+    let (digest_a, evicted_a, metrics_a) = run();
+    let (digest_b, _, metrics_b) = run();
+    assert!(evicted_a > 0, "aging never fired");
+    assert_eq!(digest_a, digest_b);
+    assert_eq!(metrics_a, metrics_b);
+    assert!(metrics_a.contains("\"flows_active\":"));
+    assert!(metrics_a.contains("\"flows_evicted\":"));
+    assert!(!metrics_a.contains("probe"));
+    assert!(!metrics_a.contains("rehash"));
+}
+
+#[test]
 fn slo_policy_prioritizes_budgeted_chain() {
     // One core, an interactive chain with a tight budget sharing the
     // core with an overloaded bulk chain. Under SLO scheduling the

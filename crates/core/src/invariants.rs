@@ -37,11 +37,16 @@ impl ConservationLedger {
 }
 
 /// Read the conservation ledger off a platform.
+///
+/// Every side is a running total (the flow table's lifetime classified
+/// count — which survives eviction — and the platform's delivery/drop
+/// totals), so reading the ledger is O(1): the sim-sanitizer can audit
+/// it at every event even with a million live flows.
 pub fn conservation_ledger(p: &Platform) -> ConservationLedger {
     ConservationLedger {
-        classified: p.flow_table.entries().map(|e| e.packets).sum(),
-        delivered: p.stats.flows.iter().map(|f| f.delivered).sum(),
-        dropped: p.stats.flows.iter().map(|f| f.dropped).sum(),
+        classified: p.flow_table.classified_packets(),
+        delivered: p.stats.delivered_total,
+        dropped: p.stats.dropped_total,
         in_flight: p.mempool.in_use() as u64,
     }
 }

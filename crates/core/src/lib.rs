@@ -59,14 +59,22 @@ pub use report::{ChainReport, FlowReport, NfReport, Report, Series};
 
 // Re-export the pieces users need to assemble experiments without naming
 // every substrate crate.
-pub use nfv_des::{CpuFreq, Duration, QueueKind, QueueStats, Sanitizer, SanitizerConfig, SimTime};
+pub use nfv_des::{
+    CpuFreq, Duration, QueueKind, QueueStats, Sanitizer, SanitizerConfig, SimRng, SimTime,
+};
 pub use nfv_obs::{
     trace_to_csv, trace_to_jsonl, trace_to_jsonl_into, DropCause, MetricsRecorder, SleepReason,
     TraceEvent, TraceKind, TraceSink,
 };
-pub use nfv_pkt::{ChainId, FiveTuple, FlowId, NfId, Packet, Proto};
+pub use nfv_pkt::{
+    ChainId, FiveTuple, FlowAging, FlowId, FlowTableKind, FlowTableStats, IpPrefix, NfId, Packet,
+    Proto, TuplePattern,
+};
 pub use nfv_platform::{
     BlockReason, CostModel, IoMode, NfAction, NfIoSpec, NfSpec, PacketHandler, PlatformConfig,
 };
 pub use nfv_sched::{CfsParams, Policy, SchedBackend, SLO_DEFAULT_BUDGET};
-pub use nfv_traffic::{CbrFlow, CostClassGen, TcpSource};
+pub use nfv_traffic::{
+    diurnal_windows, heavy_tail_flows, heavy_tail_rates, sweep_index, tenant, CbrFlow,
+    CostClassGen, ParetoShape, SweepSource, TcpSource, TenantSet, TenantSpec, TENANT_SPAN,
+};

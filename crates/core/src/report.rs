@@ -1,7 +1,7 @@
 //! Run reports: every metric the paper's tables and figures need.
 
 use nfv_des::{jain_index, Duration, QueueStats};
-use nfv_pkt::{ChainId, FlowId, NfId};
+use nfv_pkt::{ChainId, FlowId, FlowTableStats, NfId};
 
 /// Per-NF results (Tables 1–5 columns).
 #[derive(Debug, Clone)]
@@ -142,6 +142,17 @@ pub struct Report {
     /// cascades, backing-store allocations). Deterministic per backend;
     /// surfaced in `BENCH_timings.json`, never in the metrics document.
     pub queue: QueueStats,
+    /// Flows installed in the flow table when the run ended. Part of the
+    /// deterministic sim state (identical across index backends), so it
+    /// may appear in metrics output — unlike [`Report::flow`].
+    pub flows_active: u64,
+    /// Flows evicted by aging over the whole run (cumulative). Also
+    /// backend-identical by construction.
+    pub flows_evicted: u64,
+    /// Flow-table self-profiling counters (probe lengths, rehashes,
+    /// shard shape). Backend-*dependent*, so like [`Report::queue`] they
+    /// go to `BENCH_timings.json` only — never into metrics or traces.
+    pub flow: FlowTableStats,
     /// Per-second series.
     pub series: Series,
 }
@@ -255,6 +266,9 @@ mod tests {
             trace_digest: 0,
             stale_pops: 0,
             queue: QueueStats::default(),
+            flows_active: 2,
+            flows_evicted: 0,
+            flow: FlowTableStats::default(),
             series: Series::default(),
         }
     }

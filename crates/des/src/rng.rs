@@ -108,6 +108,17 @@ impl SimRng {
         (v.max(1.0)) as u64
     }
 
+    /// Bounded-Pareto sample in `[lo, hi]` with shape `alpha`, by inverse
+    /// CDF over one [`SimRng::unit`] draw. Heavy-tailed traffic mixes use
+    /// small shapes (α ≈ 1.2): most draws land near `lo` (mice) while a
+    /// deterministic minority stretch toward `hi` (elephants).
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(alpha > 0.0 && lo > 0.0 && hi >= lo, "bad pareto shape");
+        let u = self.unit();
+        let ratio = (lo / hi).powf(alpha);
+        lo * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha)
+    }
+
     /// Pick a uniformly random element of a slice.
     pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         assert!(!xs.is_empty(), "choose on empty slice");

@@ -54,6 +54,10 @@ pub struct MetricsRecorder {
     pub chains: Vec<ChainSeries>,
     /// Mempool packets in flight at each tick.
     pub in_flight: Vec<u64>,
+    /// Flows installed in the flow table at each tick.
+    pub flows_active: Vec<u64>,
+    /// Cumulative flows evicted by aging up to each tick.
+    pub flows_evicted: Vec<u64>,
 }
 
 impl MetricsRecorder {
@@ -97,6 +101,19 @@ impl MetricsRecorder {
         }
         self.t_ns.push(t.as_nanos());
         self.in_flight.push(in_flight);
+    }
+
+    /// Record the flow-table column for the current tick: currently
+    /// installed flows and the cumulative aged-out eviction count. Both
+    /// are deterministic sim state, identical across flow-table index
+    /// backends — the backend-dependent probe/rehash counters never
+    /// appear in the metrics document.
+    pub fn record_flows(&mut self, active: u64, evicted: u64) {
+        if !self.on {
+            return;
+        }
+        self.flows_active.push(active);
+        self.flows_evicted.push(evicted);
     }
 
     /// Record NF `idx`'s column for the current tick.
@@ -154,6 +171,10 @@ impl MetricsRecorder {
         json::push_u64_array(&mut s, &self.t_ns);
         s.push_str(",\"in_flight\":");
         json::push_u64_array(&mut s, &self.in_flight);
+        s.push_str(",\"flows_active\":");
+        json::push_u64_array(&mut s, &self.flows_active);
+        s.push_str(",\"flows_evicted\":");
+        json::push_u64_array(&mut s, &self.flows_evicted);
         s.push_str(",\"nfs\":[");
         for (i, nf) in self.nfs.iter().enumerate() {
             if i > 0 {
@@ -210,17 +231,21 @@ impl MetricsRecorder {
                 );
             }
         }
-        out.push_str("\nt_ns,chain,throttled,bottlenecks,lat_p99_ns,lat_p999_ns,in_flight\n");
+        out.push_str(
+            "\nt_ns,chain,throttled,bottlenecks,lat_p99_ns,lat_p999_ns,in_flight,flows_active,flows_evicted\n",
+        );
         for (i, &t) in self.t_ns.iter().enumerate() {
             for (c_idx, c) in self.chains.iter().enumerate() {
                 let _ = writeln!(
                     out,
-                    "{t},{c_idx},{},{},{},{},{}",
+                    "{t},{c_idx},{},{},{},{},{},{},{}",
                     c.throttled[i],
                     c.bottlenecks[i],
                     c.lat_p99_ns[i],
                     c.lat_p999_ns[i],
-                    self.in_flight[i]
+                    self.in_flight[i],
+                    self.flows_active.get(i).copied().unwrap_or(0),
+                    self.flows_evicted.get(i).copied().unwrap_or(0),
                 );
             }
         }
@@ -236,6 +261,7 @@ mod tests {
         let mut m = MetricsRecorder::recording();
         m.init(["a", "b"].into_iter(), 1);
         m.begin_tick(SimTime::from_millis(1), 5);
+        m.record_flows(7, 2);
         m.record_nf(0, 10, false, 1024, 1e6, 100);
         m.record_nf(1, 90, true, 512, 2e6, 550);
         m.record_chain(0, true, 1, 250_000, 900_000);
@@ -271,6 +297,7 @@ mod tests {
         assert!(a.contains("\"name\":\"b\""));
         assert!(a.contains("\"lambda_pps\":[1000000]"));
         assert!(a.contains("\"lat_p99_ns\":[250000],\"lat_p999_ns\":[900000]"));
+        assert!(a.contains("\"flows_active\":[7],\"flows_evicted\":[2]"));
     }
 
     #[test]
@@ -279,6 +306,6 @@ mod tests {
         assert!(csv.starts_with("t_ns,nf,name,"));
         assert!(csv.contains("1000000,1,b,90,1,512,2000000,550"));
         assert!(csv.contains("t_ns,chain,"));
-        assert!(csv.contains("1000000,0,1,1,250000,900000,5"));
+        assert!(csv.contains("1000000,0,1,1,250000,900000,5,7,2"));
     }
 }

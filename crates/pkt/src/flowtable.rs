@@ -3,23 +3,146 @@
 //! The NF manager's RX threads look up each arriving packet here to find
 //! which chain (and therefore which first NF) it belongs to — the same role
 //! as OpenNetVM's flow table + flow rule installer. Rules are installed at
-//! configuration time by the harness (standing in for an SDN controller).
+//! configuration time by the harness (standing in for an SDN controller),
+//! and an exact miss consults prioritized wildcard rules, caching the
+//! decision as an exact entry (the reactive flow-director pattern).
+//!
+//! # Million-flow engine
+//!
+//! The table is built to hold millions of concurrent flows:
+//!
+//! - **SoA layout.** The classify hot path touches three parallel arrays
+//!   indexed by flow id: `keys` (the 5-tuples, compared on probe), `hot`
+//!   (chain + aging stamp, written every packet) and `cold` (packet/byte
+//!   counters). Splitting hot from cold keeps the per-packet working set
+//!   small.
+//! - **Sharded open addressing.** The exact-match index is a set of
+//!   power-of-two linear-probing shards selected by the *high* bits of a
+//!   seed-free multiply-xor tuple hash (in-shard position uses the low
+//!   bits). Growth rehashes one shard at a time, so the amortized rehash
+//!   spike is 1/64th of a monolithic table's. The pre-shard flat table
+//!   survives as a differential oracle: select per table via
+//!   [`FlowTable::with_kind`] / [`FlowTableKind`], or build flat-default
+//!   with `--features flat-flowtable`. Ids, classification results and
+//!   eviction order are byte-identical across backends (CI `flow-diff`
+//!   job); only internal probe/rehash counters differ, and those go to
+//!   `BENCH_timings.json` only.
+//! - **Deterministic aging.** Every entry carries an epoch-granular
+//!   `last_seen` stamp. [`FlowTable::age`] advances the epoch and scans in
+//!   flow-id order, evicting wildcard-learned entries idle for more than
+//!   `idle_epochs` epochs. Explicitly installed entries are pinned and
+//!   never aged out. Freed ids go on a free list (popped LIFO) so the id
+//!   space stays dense at the peak concurrent flow count. Counters of
+//!   evicted flows accumulate into `forgotten_packets`/`forgotten_bytes`
+//!   so packet-conservation ledgers still balance.
 
 use crate::ids::{ChainId, FlowId};
 use crate::packet::FiveTuple;
 use crate::pattern::TuplePattern;
 
-/// Per-flow record.
-#[derive(Debug, Clone)]
+/// Per-flow record: a by-value view assembled from the table's SoA
+/// columns. Aging bookkeeping is deliberately not exposed here — it must
+/// never leak into metrics or trace output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowEntry {
     /// Interned flow id.
     pub flow: FlowId,
     /// Service chain assigned to this flow.
     pub chain: ChainId,
-    /// Packets classified for this flow.
+    /// Packets classified for this flow (since install or recycle).
     pub packets: u64,
-    /// Bytes classified for this flow.
+    /// Bytes classified for this flow (since install or recycle).
     pub bytes: u64,
+}
+
+/// Exact-match index backend selector (mirrors `QueueKind` /
+/// `SchedBackend`): the sharded engine is the default, the flat
+/// single-table survives as a differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTableKind {
+    /// Sharded open addressing: 64 shards by tuple-hash high bits.
+    Sharded,
+    /// One monolithic open-addressing table (the pre-shard engine).
+    Flat,
+}
+
+impl FlowTableKind {
+    /// The build-default backend: `Sharded`, unless the crate was built
+    /// with `--features flat-flowtable`.
+    pub fn default_kind() -> Self {
+        if cfg!(feature = "flat-flowtable") {
+            FlowTableKind::Flat
+        } else {
+            FlowTableKind::Sharded
+        }
+    }
+}
+
+impl Default for FlowTableKind {
+    fn default() -> Self {
+        Self::default_kind()
+    }
+}
+
+/// Flow aging policy. `idle_epochs == 0` disables aging entirely (the
+/// default — default configs stay byte-identical to the pre-aging
+/// engine, same idiom as `FaultConfig::stall_ticks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowAging {
+    /// Evict a wildcard-learned flow once it has been idle for more than
+    /// this many completed epochs. `0` disables aging.
+    pub idle_epochs: u32,
+    /// Monitor ticks per aging epoch (the engine advances the epoch and
+    /// runs the eviction scan every this many monitor ticks).
+    pub epoch_ticks: u32,
+}
+
+impl FlowAging {
+    /// Is aging enabled?
+    pub fn enabled(&self) -> bool {
+        self.idle_epochs > 0
+    }
+}
+
+impl Default for FlowAging {
+    fn default() -> Self {
+        FlowAging {
+            idle_epochs: 0,
+            epoch_ticks: 16,
+        }
+    }
+}
+
+/// Internal flow-table counters. Probe/rehash numbers depend on the
+/// index backend, so — like `QueueStats` — they are reported only through
+/// `BENCH_timings.json`-style channels, never metrics or trace output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Fresh installs (explicit or wildcard-learned), including recycles.
+    pub installs: u64,
+    /// Installs that reused a freed flow id.
+    pub recycled: u64,
+    /// Entries evicted by aging.
+    pub evicted: u64,
+    /// Classify calls answered by the exact-match index.
+    pub exact_hits: u64,
+    /// Classify calls answered by a wildcard rule (installing a cache
+    /// entry).
+    pub wildcard_hits: u64,
+    /// Cumulative probe steps across lookups and installs.
+    pub probe_steps: u64,
+    /// Longest single probe sequence observed.
+    pub max_probe: u64,
+    /// Shard grow-and-rehash events.
+    pub rehashes: u64,
+    /// Number of index shards.
+    pub shards: u64,
+    /// Total index slots across shards (current capacity).
+    pub slots: u64,
+    /// Live entries (pinned + wildcard-learned).
+    pub live: u64,
+    /// Live entries pinned by explicit install.
+    pub pinned: u64,
 }
 
 /// A wildcard rule: pattern → chain at a priority (higher wins).
@@ -30,26 +153,25 @@ struct WildcardRule {
     priority: i32,
 }
 
-/// 5-tuple flow table: exact-match entries backed by prioritized wildcard
-/// rules. An exact miss consults the wildcards (highest priority first,
-/// then installation order) and, on a hit, caches the decision as a fresh
-/// exact entry — the reactive flow-director pattern OpenNetVM inherits
-/// from OpenFlow.
-///
-/// The exact-match index is a hand-rolled open-addressing table (a
-/// fixed-key multiply hash, linear probing) rather than `std` maps: the
-/// lookup runs once per arriving frame, and the hash is seed-free so
-/// results stay deterministic. All ordered views go through `by_id`
-/// (flow-id order), never the index.
-#[derive(Debug, Default)]
-pub struct FlowTable {
-    /// Entries indexed by flow id.
-    entries: Vec<FlowEntry>,
-    by_id: Vec<FiveTuple>,
-    /// Open-addressing slots: `0` is empty, else `flow_index + 1`.
-    /// Always a power of two; grown at 7/8 load.
-    index: Vec<u32>,
-    wildcards: Vec<WildcardRule>,
+/// `last_seen` sentinel: explicitly installed, never aged out.
+const PINNED: u32 = u32::MAX;
+/// `last_seen` sentinel: slot evicted, id parked on the free list.
+const DEAD: u32 = u32::MAX - 1;
+/// Epochs saturate below the sentinels.
+const MAX_EPOCH: u32 = DEAD - 1;
+
+/// Hot per-flow record: everything the per-packet path writes.
+#[derive(Debug, Clone, Copy)]
+struct HotSlot {
+    chain: ChainId,
+    last_seen: u32,
+}
+
+/// Cold per-flow counters: read on the control path only.
+#[derive(Debug, Clone, Copy, Default)]
+struct ColdSlot {
+    packets: u64,
+    bytes: u64,
 }
 
 /// Seed-free multiply-xor hash of a 5-tuple (the ports/proto and the two
@@ -65,84 +187,313 @@ fn tuple_hash(t: &FiveTuple) -> u64 {
     h ^ (h >> 29)
 }
 
+const SHARD_BITS: u32 = 6;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// One open-addressing region: power-of-two slot array, linear probing,
+/// grown at 1/2 occupancy to keep probes short. `0` is empty, else
+/// `flow_index + 1`. In-shard position comes from the hash's low bits.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: Vec<u32>,
+    used: usize,
+}
+
+impl Shard {
+    /// Find the flow holding `tuple`. Returns `(flow, probe steps)`.
+    #[inline]
+    fn get(&self, h: u64, tuple: &FiveTuple, keys: &[FiveTuple]) -> (Option<u32>, u64) {
+        let (slot, steps) = self.find_slot(h, tuple, keys);
+        (slot.map(|i| self.slots[i] - 1), steps)
+    }
+
+    /// Slot index holding `tuple`, or `None`, plus the probe length.
+    #[inline]
+    fn find_slot(&self, h: u64, tuple: &FiveTuple, keys: &[FiveTuple]) -> (Option<usize>, u64) {
+        if self.slots.is_empty() {
+            return (None, 0);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        let mut steps = 1u64;
+        loop {
+            match self.slots[i] {
+                0 => return (None, steps),
+                f if keys[(f - 1) as usize] == *tuple => return (Some(i), steps),
+                _ => {
+                    i = (i + 1) & mask;
+                    steps += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert a flow known to be absent. Returns `(rehashes, probe steps)`.
+    fn insert(&mut self, h: u64, flow: u32, keys: &[FiveTuple]) -> (u64, u64) {
+        let mut rehashes = 0;
+        // Keep occupancy at or below 1/2 so probe sequences stay short
+        // even under adversarial tuple mixes.
+        if self.slots.len() < 2 * (self.used + 1) {
+            self.grow(keys);
+            rehashes = 1;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        let mut steps = 1u64;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+            steps += 1;
+        }
+        self.slots[i] = flow + 1;
+        self.used += 1;
+        (rehashes, steps)
+    }
+
+    /// Grow to 4× the live count and rehash this shard only. Iterating the
+    /// old slot array keeps the layout a pure function of the table's
+    /// install/evict history.
+    fn grow(&mut self, keys: &[FiveTuple]) {
+        let cap = (4 * (self.used + 1)).next_power_of_two().max(8);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize(cap, 0);
+        let mask = cap - 1;
+        for f in old {
+            if f == 0 {
+                continue;
+            }
+            let mut i = tuple_hash(&keys[(f - 1) as usize]) as usize & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = f;
+        }
+    }
+
+    /// Remove `tuple` with backward-shift deletion (no tombstones: later
+    /// entries of the probe cluster are pulled back so lookups stay
+    /// correct and probe lengths do not rot as flows churn).
+    fn remove(&mut self, h: u64, tuple: &FiveTuple, keys: &[FiveTuple]) {
+        let (Some(mut i), _) = self.find_slot(h, tuple, keys) else {
+            return;
+        };
+        let mask = self.slots.len() - 1;
+        self.slots[i] = 0;
+        self.used -= 1;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let f = self.slots[j];
+            if f == 0 {
+                return;
+            }
+            let ideal = tuple_hash(&keys[(f - 1) as usize]) as usize & mask;
+            // `f` may move into the hole iff its ideal slot is at or
+            // before the hole in cyclic probe order.
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.slots[i] = f;
+                self.slots[j] = 0;
+                i = j;
+            }
+        }
+    }
+}
+
+/// The exact-match index: one shard (flat oracle) or 64 (sharded engine).
+#[derive(Debug)]
+enum Index {
+    Flat(Shard),
+    Sharded(Vec<Shard>),
+}
+
+impl Index {
+    fn with_kind(kind: FlowTableKind) -> Self {
+        match kind {
+            FlowTableKind::Flat => Index::Flat(Shard::default()),
+            FlowTableKind::Sharded => {
+                let mut shards = Vec::with_capacity(SHARDS);
+                shards.resize_with(SHARDS, Shard::default);
+                Index::Sharded(shards)
+            }
+        }
+    }
+
+    #[inline]
+    fn shard(&self, h: u64) -> &Shard {
+        match self {
+            Index::Flat(s) => s,
+            Index::Sharded(v) => &v[(h >> (64 - SHARD_BITS)) as usize],
+        }
+    }
+
+    #[inline]
+    fn shard_mut(&mut self, h: u64) -> &mut Shard {
+        match self {
+            Index::Flat(s) => s,
+            Index::Sharded(v) => &mut v[(h >> (64 - SHARD_BITS)) as usize],
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        match self {
+            Index::Flat(_) => 1,
+            Index::Sharded(v) => v.len(),
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        match self {
+            Index::Flat(s) => s.slots.len(),
+            Index::Sharded(v) => v.iter().map(|s| s.slots.len()).sum(),
+        }
+    }
+}
+
+/// 5-tuple flow table: exact-match entries backed by prioritized wildcard
+/// rules. See the module docs for the engine layout; all ordered views
+/// (iteration, the eviction scan) go through flow-id order, never the
+/// index, so external behavior is identical across index backends.
+#[derive(Debug)]
+pub struct FlowTable {
+    /// Tuple keys by flow id (probed on lookup).
+    keys: Vec<FiveTuple>,
+    /// Hot per-flow records by flow id.
+    hot: Vec<HotSlot>,
+    /// Cold per-flow counters by flow id.
+    cold: Vec<ColdSlot>,
+    /// Freed flow ids, popped LIFO on install.
+    free: Vec<u32>,
+    /// Live entries (`keys.len()` minus dead slots).
+    live: usize,
+    /// Current aging epoch.
+    epoch: u32,
+    /// Running total of packets classified over the table's lifetime —
+    /// always `Σ live entry packets + forgotten_packets`, maintained
+    /// incrementally so the conservation ledger is O(1) even with a
+    /// million live flows.
+    classified_packets: u64,
+    /// Packets classified to since-evicted flows (conservation ledger).
+    forgotten_packets: u64,
+    /// Bytes classified to since-evicted flows.
+    forgotten_bytes: u64,
+    wildcards: Vec<WildcardRule>,
+    index: Index,
+    kind: FlowTableKind,
+    stats: FlowTableStats,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::with_kind(FlowTableKind::default_kind())
+    }
+}
+
 impl FlowTable {
-    /// An empty table.
+    /// An empty table on the build-default backend.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Slot in `index` holding `tuple`, or the empty slot where it would
-    /// be inserted.
-    #[inline]
-    fn probe(&self, tuple: &FiveTuple) -> usize {
-        debug_assert!(self.index.len().is_power_of_two());
-        let mask = self.index.len() - 1;
-        let mut i = tuple_hash(tuple) as usize & mask;
-        loop {
-            match self.index[i] {
-                0 => return i,
-                f if self.by_id[(f - 1) as usize] == *tuple => return i,
-                _ => i = (i + 1) & mask,
-            }
+    /// An empty table on an explicit index backend.
+    pub fn with_kind(kind: FlowTableKind) -> Self {
+        FlowTable {
+            keys: Vec::new(),
+            hot: Vec::new(),
+            cold: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            epoch: 0,
+            classified_packets: 0,
+            forgotten_packets: 0,
+            forgotten_bytes: 0,
+            wildcards: Vec::new(),
+            index: Index::with_kind(kind),
+            kind,
+            stats: FlowTableStats::default(),
         }
     }
 
-    /// Grow-and-rehash keeping at most 7/8 occupancy (insertion order is
-    /// irrelevant for open addressing lookups; rehash iterates `by_id`, so
-    /// the layout is a pure function of install order).
-    fn maybe_grow(&mut self) {
-        if self.index.len() >= 2 * (self.by_id.len() + 1) {
-            return;
-        }
-        let cap = (4 * (self.by_id.len() + 1)).next_power_of_two();
-        self.index.clear();
-        self.index.resize(cap, 0);
-        let mask = cap - 1;
-        for (n, t) in self.by_id.iter().enumerate() {
-            let mut i = tuple_hash(t) as usize & mask;
-            while self.index[i] != 0 {
-                i = (i + 1) & mask;
-            }
-            self.index[i] = n as u32 + 1;
+    /// The index backend this table runs on.
+    pub fn kind(&self) -> FlowTableKind {
+        self.kind
+    }
+
+    #[inline]
+    fn note_probe(&mut self, steps: u64) {
+        self.stats.probe_steps += steps;
+        if steps > self.stats.max_probe {
+            self.stats.max_probe = steps;
         }
     }
 
     /// Install a rule mapping `tuple` to `chain`, returning the interned
     /// [`FlowId`]. Reinstalling an existing tuple updates its chain (rule
-    /// replacement) and keeps its id and counters.
+    /// replacement) and keeps its id and counters. Explicit installs are
+    /// pinned: they are never aged out.
     pub fn install(&mut self, tuple: FiveTuple, chain: ChainId) -> FlowId {
-        if self.index.is_empty() {
-            self.maybe_grow();
-        }
-        let slot = self.probe(&tuple);
-        if let Some(f) = self.index[slot].checked_sub(1) {
-            self.entries[f as usize].chain = chain;
+        self.intern(tuple, chain, PINNED)
+    }
+
+    /// Exact-match install shared by [`FlowTable::install`] (pinned) and
+    /// the wildcard cache path (stamped with the current epoch).
+    fn intern(&mut self, tuple: FiveTuple, chain: ChainId, stamp: u32) -> FlowId {
+        let h = tuple_hash(&tuple);
+        let (found, steps) = self.index.shard(h).get(h, &tuple, &self.keys);
+        self.note_probe(steps);
+        if let Some(f) = found {
+            let hs = &mut self.hot[f as usize];
+            hs.chain = chain;
+            if stamp == PINNED {
+                hs.last_seen = PINNED;
+            } else if hs.last_seen != PINNED {
+                hs.last_seen = stamp;
+            }
             return FlowId(f);
         }
-        let flow = FlowId(self.by_id.len() as u32);
-        self.index[slot] = flow.0 + 1;
-        self.by_id.push(tuple);
-        self.entries.push(FlowEntry {
-            flow,
-            chain,
-            packets: 0,
-            bytes: 0,
-        });
-        self.maybe_grow();
-        flow
+        let id = match self.free.pop() {
+            Some(id) => {
+                // Recycled slot: fresh key/counters, same dense id space.
+                self.stats.recycled += 1;
+                self.keys[id as usize] = tuple;
+                self.hot[id as usize] = HotSlot {
+                    chain,
+                    last_seen: stamp,
+                };
+                self.cold[id as usize] = ColdSlot::default();
+                id
+            }
+            None => {
+                let id = self.keys.len() as u32;
+                self.keys.push(tuple);
+                self.hot.push(HotSlot {
+                    chain,
+                    last_seen: stamp,
+                });
+                self.cold.push(ColdSlot::default());
+                id
+            }
+        };
+        let (rehashes, steps) = self.index.shard_mut(h).insert(h, id, &self.keys);
+        self.stats.rehashes += rehashes;
+        self.note_probe(steps);
+        self.live += 1;
+        self.stats.installs += 1;
+        FlowId(id)
     }
 
     /// Install a wildcard rule at `priority` (higher wins on overlap).
+    /// The rule list is kept sorted highest-priority-first; binary-search
+    /// the insertion point so each install is O(log n) compare + shift,
+    /// and equal priorities keep installation order.
     pub fn install_wildcard(&mut self, pattern: TuplePattern, chain: ChainId, priority: i32) {
-        self.wildcards.push(WildcardRule {
-            pattern,
-            chain,
-            priority,
-        });
-        // Highest priority first; stable sort keeps installation order for
-        // equal priorities.
-        self.wildcards
-            .sort_by_key(|r| std::cmp::Reverse(r.priority));
+        let at = self.wildcards.partition_point(|r| r.priority >= priority);
+        self.wildcards.insert(
+            at,
+            WildcardRule {
+                pattern,
+                chain,
+                priority,
+            },
+        );
     }
 
     /// Number of wildcard rules installed.
@@ -156,55 +507,149 @@ impl FlowTable {
     /// traffic (the RX thread drops it).
     #[inline]
     pub fn classify(&mut self, tuple: &FiveTuple, bytes: u32) -> Option<(FlowId, ChainId)> {
-        if !self.index.is_empty() {
-            if let Some(f) = self.index[self.probe(tuple)].checked_sub(1) {
-                let e = &mut self.entries[f as usize];
-                e.packets += 1;
-                e.bytes += bytes as u64;
-                return Some((e.flow, e.chain));
+        let h = tuple_hash(tuple);
+        let (found, steps) = self.index.shard(h).get(h, tuple, &self.keys);
+        self.note_probe(steps);
+        if let Some(f) = found {
+            self.stats.exact_hits += 1;
+            let hs = &mut self.hot[f as usize];
+            if hs.last_seen != PINNED {
+                hs.last_seen = self.epoch;
             }
+            let chain = hs.chain;
+            let c = &mut self.cold[f as usize];
+            c.packets += 1;
+            c.bytes += bytes as u64;
+            self.classified_packets += 1;
+            return Some((FlowId(f), chain));
         }
         let chain = self
             .wildcards
             .iter()
             .find(|r| r.pattern.matches(tuple))?
             .chain;
-        let flow = self.install(*tuple, chain);
-        let e = &mut self.entries[flow.index()];
-        e.packets += 1;
-        e.bytes += bytes as u64;
+        self.stats.wildcard_hits += 1;
+        let flow = self.intern(*tuple, chain, self.epoch);
+        let c = &mut self.cold[flow.index()];
+        c.packets += 1;
+        c.bytes += bytes as u64;
+        self.classified_packets += 1;
         Some((flow, chain))
     }
 
-    /// Look up without mutating counters.
-    #[inline]
-    pub fn get(&self, tuple: &FiveTuple) -> Option<&FlowEntry> {
-        if self.index.is_empty() {
-            return None;
+    /// Advance the aging epoch and evict wildcard-learned entries idle
+    /// for more than `idle_epochs` completed epochs, appending their ids
+    /// (ascending) to `evicted`. Pinned entries always survive. The scan
+    /// runs in flow-id order, so eviction (and therefore id recycling) is
+    /// identical across index backends. No-op when `idle_epochs == 0`.
+    pub fn age(&mut self, idle_epochs: u32, evicted: &mut Vec<FlowId>) {
+        if idle_epochs == 0 {
+            return;
         }
-        self.index[self.probe(tuple)]
-            .checked_sub(1)
-            .map(|f| &self.entries[f as usize])
+        if self.epoch < MAX_EPOCH {
+            self.epoch += 1;
+        }
+        for id in 0..self.keys.len() as u32 {
+            let seen = self.hot[id as usize].last_seen;
+            if seen >= DEAD || self.epoch - seen <= idle_epochs {
+                continue;
+            }
+            let tuple = self.keys[id as usize];
+            let h = tuple_hash(&tuple);
+            self.index.shard_mut(h).remove(h, &tuple, &self.keys);
+            self.hot[id as usize].last_seen = DEAD;
+            let c = self.cold[id as usize];
+            self.forgotten_packets += c.packets;
+            self.forgotten_bytes += c.bytes;
+            self.live -= 1;
+            self.stats.evicted += 1;
+            self.free.push(id);
+            evicted.push(FlowId(id));
+        }
     }
 
-    /// The tuple for a given flow id.
+    /// The current aging epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Total packets classified over the table's lifetime — equal to the
+    /// live entries' packet counters plus [`FlowTable::forgotten_packets`],
+    /// maintained as a running total so packet-conservation ledgers stay
+    /// O(1) regardless of table size.
+    pub fn classified_packets(&self) -> u64 {
+        self.classified_packets
+    }
+
+    /// Packets counted for flows that have since been evicted. Add this
+    /// to the live entries' counters to get total classified packets
+    /// (packet-conservation ledgers need the sum).
+    pub fn forgotten_packets(&self) -> u64 {
+        self.forgotten_packets
+    }
+
+    /// Bytes counted for flows that have since been evicted.
+    pub fn forgotten_bytes(&self) -> u64 {
+        self.forgotten_bytes
+    }
+
+    /// Look up without mutating counters or aging stamps.
+    #[inline]
+    pub fn get(&self, tuple: &FiveTuple) -> Option<FlowEntry> {
+        let h = tuple_hash(tuple);
+        let (found, _) = self.index.shard(h).get(h, tuple, &self.keys);
+        found.map(|f| self.entry_of(f))
+    }
+
+    fn entry_of(&self, f: u32) -> FlowEntry {
+        FlowEntry {
+            flow: FlowId(f),
+            chain: self.hot[f as usize].chain,
+            packets: self.cold[f as usize].packets,
+            bytes: self.cold[f as usize].bytes,
+        }
+    }
+
+    /// The tuple for a given (live) flow id.
     pub fn tuple_of(&self, flow: FlowId) -> FiveTuple {
-        self.by_id[flow.index()]
+        debug_assert!(self.hot[flow.index()].last_seen != DEAD);
+        self.keys[flow.index()]
     }
 
-    /// Number of installed flows.
+    /// Number of live flows (pinned + wildcard-learned, excluding evicted
+    /// slots awaiting recycle).
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.live
     }
 
-    /// True when no rules are installed.
+    /// True when no flows are live.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.live == 0
     }
 
-    /// Iterate over all entries (deterministic order by flow id).
-    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
-        self.entries.iter()
+    /// Size of the flow-id space (live + free slots): the upper bound any
+    /// returned `FlowId` indexes into. Dense: peaks at the maximum
+    /// concurrent flow count, not the total ever seen.
+    pub fn id_space(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Iterate over all live entries (deterministic order by flow id).
+    pub fn entries(&self) -> impl Iterator<Item = FlowEntry> + '_ {
+        (0..self.keys.len() as u32)
+            .filter(|&id| self.hot[id as usize].last_seen != DEAD)
+            .map(|id| self.entry_of(id))
+    }
+
+    /// Internal counters snapshot (occupancy fields filled on demand).
+    /// Backend-dependent — report via `BENCH_timings.json` only.
+    pub fn stats(&self) -> FlowTableStats {
+        let mut s = self.stats;
+        s.shards = self.index.shard_count() as u64;
+        s.slots = self.index.slot_count() as u64;
+        s.live = self.live as u64;
+        s.pinned = self.hot.iter().filter(|h| h.last_seen == PINNED).count() as u64;
+        s
     }
 }
 
@@ -300,5 +745,144 @@ mod tests {
         assert_eq!(ft.tuple_of(fa), a);
         assert_eq!(ft.tuple_of(fb), b);
         assert_eq!(ft.entries().count(), 2);
+    }
+
+    #[test]
+    fn equal_priority_wildcards_keep_install_order() {
+        use crate::pattern::{IpPrefix, TuplePattern};
+        let mut ft = FlowTable::new();
+        // Both match src 10/8; first installed must win at equal priority.
+        ft.install_wildcard(
+            TuplePattern::any().from_src(IpPrefix::new(0x0a000000, 8)),
+            ChainId(1),
+            5,
+        );
+        ft.install_wildcard(
+            TuplePattern::any().from_src(IpPrefix::new(0x0a000000, 8)),
+            ChainId(2),
+            5,
+        );
+        // Higher priority inserted later still wins.
+        ft.install_wildcard(TuplePattern::any().proto(Proto::Tcp), ChainId(3), 9);
+        let udp = FiveTuple::synthetic(1, Proto::Udp);
+        let tcp = FiveTuple::synthetic(2, Proto::Tcp);
+        assert_eq!(ft.classify(&udp, 64).unwrap().1, ChainId(1));
+        assert_eq!(ft.classify(&tcp, 64).unwrap().1, ChainId(3));
+    }
+
+    fn aging_table(kind: FlowTableKind) -> FlowTable {
+        use crate::pattern::{IpPrefix, TuplePattern};
+        let mut ft = FlowTable::with_kind(kind);
+        ft.install_wildcard(
+            TuplePattern::any().from_src(IpPrefix::new(0x0a000000, 8)),
+            ChainId(0),
+            0,
+        );
+        ft
+    }
+
+    #[test]
+    fn aging_evicts_idle_learned_flows_and_recycles_ids() {
+        let mut ft = aging_table(FlowTableKind::default_kind());
+        let a = FiveTuple::synthetic(1, Proto::Udp);
+        let b = FiveTuple::synthetic(2, Proto::Udp);
+        let (fa, _) = ft.classify(&a, 100).unwrap();
+        let (fb, _) = ft.classify(&b, 100).unwrap();
+        assert_eq!(ft.len(), 2);
+
+        let mut ev = Vec::new();
+        ft.age(1, &mut ev); // epoch 1: idle for 1 epoch, not yet > 1
+        assert!(ev.is_empty());
+        ft.age(1, &mut ev); // epoch 2: idle for 2 epochs > 1 → evict
+        assert_eq!(ev, vec![fa, fb], "evicted in ascending id order");
+        assert_eq!(ft.len(), 0);
+        assert!(ft.get(&a).is_none());
+        assert_eq!(ft.forgotten_packets(), 2);
+        assert_eq!(ft.forgotten_bytes(), 200);
+        assert_eq!(ft.entries().count(), 0);
+
+        // Recycle: free list pops LIFO, counters restart from zero.
+        let c = FiveTuple::synthetic(3, Proto::Udp);
+        let (fc, _) = ft.classify(&c, 64).unwrap();
+        assert_eq!(fc, fb, "highest freed id reused first");
+        assert_eq!(ft.get(&c).unwrap().packets, 1);
+        assert_eq!(ft.id_space(), 2, "id space stays dense");
+        assert_eq!(ft.stats().recycled, 1);
+    }
+
+    #[test]
+    fn pinned_and_recently_seen_flows_survive_aging() {
+        let mut ft = aging_table(FlowTableKind::default_kind());
+        let pinned = FiveTuple::synthetic(1, Proto::Udp);
+        let warm = FiveTuple::synthetic(2, Proto::Udp);
+        let idle = FiveTuple::synthetic(3, Proto::Udp);
+        ft.install(pinned, ChainId(0));
+        ft.classify(&warm, 64).unwrap();
+        let (f_idle, _) = ft.classify(&idle, 64).unwrap();
+
+        let mut ev = Vec::new();
+        for _ in 0..4 {
+            ft.age(2, &mut ev);
+            ft.classify(&warm, 64).unwrap(); // keep `warm` fresh each epoch
+        }
+        assert_eq!(ev, vec![f_idle], "only the idle learned flow ages out");
+        assert!(ft.get(&pinned).is_some());
+        assert!(ft.get(&warm).is_some());
+    }
+
+    #[test]
+    fn explicit_install_pins_a_learned_flow() {
+        let mut ft = aging_table(FlowTableKind::default_kind());
+        let t = FiveTuple::synthetic(1, Proto::Udp);
+        let (f, _) = ft.classify(&t, 64).unwrap();
+        ft.install(t, ChainId(7)); // promote to pinned, keep id
+        let mut ev = Vec::new();
+        for _ in 0..5 {
+            ft.age(1, &mut ev);
+        }
+        assert!(ev.is_empty());
+        assert_eq!(ft.get(&t).unwrap().flow, f);
+        assert_eq!(ft.get(&t).unwrap().chain, ChainId(7));
+    }
+
+    #[test]
+    fn backends_agree_under_install_classify_evict_churn() {
+        let mut sharded = aging_table(FlowTableKind::Sharded);
+        let mut flat = aging_table(FlowTableKind::Flat);
+        for round in 0..6u32 {
+            for n in 0..200u32 {
+                let t = FiveTuple::synthetic(round * 97 + n, Proto::Udp);
+                let a = sharded.classify(&t, 64);
+                let b = flat.classify(&t, 64);
+                assert_eq!(a, b);
+            }
+            let (mut ev_s, mut ev_f) = (Vec::new(), Vec::new());
+            sharded.age(1, &mut ev_s);
+            flat.age(1, &mut ev_f);
+            assert_eq!(ev_s, ev_f, "eviction order identical across backends");
+            assert_eq!(sharded.len(), flat.len());
+            assert_eq!(sharded.id_space(), flat.id_space());
+        }
+        assert_eq!(
+            sharded.stats().evicted,
+            flat.stats().evicted,
+            "same churn totals"
+        );
+        assert!(sharded.stats().shards == SHARDS as u64 && flat.stats().shards == 1);
+    }
+
+    #[test]
+    fn probe_lengths_stay_bounded_at_scale() {
+        let mut ft = FlowTable::with_kind(FlowTableKind::Sharded);
+        for n in 0..100_000u32 {
+            ft.install(FiveTuple::synthetic(n, Proto::Udp), ChainId(0));
+        }
+        let s = ft.stats();
+        assert_eq!(s.live, 100_000);
+        assert!(
+            s.max_probe <= 64,
+            "probe length {} exploded at 100k flows",
+            s.max_probe
+        );
     }
 }

@@ -1,10 +1,139 @@
 //! Property-based tests for rings, mempool and flow table.
 
 use nfv_des::SimTime;
-use nfv_pkt::{ChainId, FlowId};
+use nfv_pkt::{ChainId, FlowId, FlowTableKind, TuplePattern};
 use nfv_pkt::{Enqueue, FiveTuple, FlowTable, Mempool, Packet, PktId, Proto, Ring};
 use proptest::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Reference model of the flow table's external contract: dense LIFO-
+/// recycled ids, pinned-vs-learned aging, epoch eviction, cumulative
+/// forgotten counters. Keyed by synthetic tuple index, no hashing at all.
+#[derive(Default)]
+struct ModelTable {
+    live: BTreeMap<u16, ModelFlow>,
+    free: Vec<u32>,
+    next_id: u32,
+    epoch: u32,
+    wildcards: Vec<(i32, u32)>, // (priority, install seq) → chain by seq
+    wildcard_chains: Vec<ChainId>,
+    forgotten_packets: u64,
+}
+
+struct ModelFlow {
+    id: u32,
+    chain: ChainId,
+    packets: u64,
+    pinned: bool,
+    last_seen: u32,
+}
+
+impl ModelTable {
+    fn mint(&mut self, n: u16, chain: ChainId, pinned: bool) -> u32 {
+        let id = self.free.pop().unwrap_or_else(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        });
+        self.live.insert(
+            n,
+            ModelFlow {
+                id,
+                chain,
+                packets: 0,
+                pinned,
+                last_seen: self.epoch,
+            },
+        );
+        id
+    }
+
+    fn install(&mut self, n: u16, chain: ChainId) -> u32 {
+        if let Some(f) = self.live.get_mut(&n) {
+            f.chain = chain;
+            f.pinned = true;
+            return f.id;
+        }
+        self.mint(n, chain, true)
+    }
+
+    fn install_wildcard(&mut self, chain: ChainId, priority: i32) {
+        let seq = self.wildcard_chains.len() as u32;
+        self.wildcards.push((priority, seq));
+        self.wildcard_chains.push(chain);
+    }
+
+    /// Winning rule: highest priority, then earliest install (all model
+    /// rules are match-anything patterns).
+    fn wildcard_winner(&self) -> Option<ChainId> {
+        self.wildcards
+            .iter()
+            .max_by_key(|&&(p, seq)| (p, std::cmp::Reverse(seq)))
+            .map(|&(_, seq)| self.wildcard_chains[seq as usize])
+    }
+
+    fn classify(&mut self, n: u16) -> Option<(u32, ChainId)> {
+        let epoch = self.epoch;
+        if let Some(f) = self.live.get_mut(&n) {
+            f.packets += 1;
+            if !f.pinned {
+                f.last_seen = epoch;
+            }
+            return Some((f.id, f.chain));
+        }
+        let chain = self.wildcard_winner()?;
+        let id = self.mint(n, chain, false);
+        self.live.get_mut(&n).unwrap().packets += 1;
+        Some((id, chain))
+    }
+
+    fn age(&mut self, idle_epochs: u32) -> Vec<u32> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let victims: Vec<u16> = self
+            .live
+            .iter()
+            .filter(|(_, f)| !f.pinned && epoch - f.last_seen > idle_epochs)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut ids: Vec<u32> = Vec::new();
+        for n in victims {
+            let f = self.live.remove(&n).unwrap();
+            self.forgotten_packets += f.packets;
+            ids.push(f.id);
+        }
+        // The engine scans (and frees) in ascending id order.
+        ids.sort_unstable();
+        self.free.extend(ids.iter().copied());
+        ids
+    }
+}
+
+/// One step of the interleaved churn script.
+#[derive(Debug, Clone)]
+enum FtOp {
+    Install { n: u16, chain: u8 },
+    InstallWildcard { chain: u8, priority: i32 },
+    Classify { n: u16 },
+    Age { idle_epochs: u32 },
+}
+
+fn ft_op() -> impl Strategy<Value = FtOp> {
+    // The stand-in `prop_oneof!` has no arm weights; repeating the
+    // classify arm biases the script toward data-path traffic.
+    prop_oneof![
+        (0u16..48, 0u8..6).prop_map(|(n, chain)| FtOp::Install { n, chain }),
+        (0u8..6, 0u8..4).prop_map(|(chain, priority)| FtOp::InstallWildcard {
+            chain,
+            priority: priority as i32,
+        }),
+        (0u16..48).prop_map(|n| FtOp::Classify { n }),
+        (0u16..48).prop_map(|n| FtOp::Classify { n }),
+        (0u16..48).prop_map(|n| FtOp::Classify { n }),
+        (0u16..48).prop_map(|n| FtOp::Classify { n }),
+        (1u32..3).prop_map(|idle_epochs| FtOp::Age { idle_epochs }),
+    ]
+}
 
 proptest! {
     /// The ring behaves exactly like a bounded VecDeque under a random
@@ -87,6 +216,83 @@ proptest! {
                 prop_assert_eq!(expected[n as usize], 0);
             }
         }
+    }
+
+    /// Interleaved install / install_wildcard / classify / eviction churn:
+    /// the sharded engine, the flat-table oracle and a BTreeMap model all
+    /// agree on classification results, flow ids, counters, eviction order
+    /// and the conservation accumulator at every step.
+    #[test]
+    fn flow_table_backends_match_model_under_churn(
+        script in prop::collection::vec(ft_op(), 1..400),
+    ) {
+        let mut sharded = FlowTable::with_kind(FlowTableKind::Sharded);
+        let mut flat = FlowTable::with_kind(FlowTableKind::Flat);
+        let mut model = ModelTable::default();
+        let mut scratch_s = Vec::new();
+        let mut scratch_f = Vec::new();
+        for op in script {
+            match op {
+                FtOp::Install { n, chain } => {
+                    let t = FiveTuple::synthetic(n as u32, Proto::Udp);
+                    let c = ChainId(chain as u32);
+                    let fs = sharded.install(t, c);
+                    let ff = flat.install(t, c);
+                    let fm = model.install(n, c);
+                    prop_assert_eq!(fs, ff);
+                    prop_assert_eq!(fs, FlowId(fm));
+                }
+                FtOp::InstallWildcard { chain, priority } => {
+                    let c = ChainId(chain as u32);
+                    sharded.install_wildcard(TuplePattern::any(), c, priority);
+                    flat.install_wildcard(TuplePattern::any(), c, priority);
+                    model.install_wildcard(c, priority);
+                }
+                FtOp::Classify { n } => {
+                    let t = FiveTuple::synthetic(n as u32, Proto::Udp);
+                    let rs = sharded.classify(&t, 64);
+                    let rf = flat.classify(&t, 64);
+                    let rm = model.classify(n).map(|(id, c)| (FlowId(id), c));
+                    prop_assert_eq!(rs, rf);
+                    prop_assert_eq!(rs, rm);
+                }
+                FtOp::Age { idle_epochs } => {
+                    scratch_s.clear();
+                    scratch_f.clear();
+                    sharded.age(idle_epochs, &mut scratch_s);
+                    flat.age(idle_epochs, &mut scratch_f);
+                    let em: Vec<FlowId> =
+                        model.age(idle_epochs).into_iter().map(FlowId).collect();
+                    prop_assert_eq!(&scratch_s, &scratch_f);
+                    prop_assert_eq!(&scratch_s, &em);
+                }
+            }
+            prop_assert_eq!(sharded.len(), model.live.len());
+            prop_assert_eq!(flat.len(), model.live.len());
+        }
+        // Terminal state: every tuple's counters and chain agree.
+        for n in 0u16..48 {
+            let t = FiveTuple::synthetic(n as u32, Proto::Udp);
+            let es = sharded.get(&t);
+            prop_assert_eq!(es, flat.get(&t));
+            match (es, model.live.get(&n)) {
+                (Some(e), Some(m)) => {
+                    prop_assert_eq!(e.flow, FlowId(m.id));
+                    prop_assert_eq!(e.chain, m.chain);
+                    prop_assert_eq!(e.packets, m.packets);
+                }
+                (None, None) => {}
+                (e, _) => prop_assert!(false, "presence mismatch for tuple {}: {:?}", n, e),
+            }
+        }
+        prop_assert_eq!(sharded.forgotten_packets(), model.forgotten_packets);
+        prop_assert_eq!(flat.forgotten_packets(), model.forgotten_packets);
+        prop_assert_eq!(sharded.id_space(), flat.id_space());
+        // The running lifetime total must equal live counters + forgotten
+        // (the O(1) conservation-ledger invariant).
+        let live_sum: u64 = sharded.entries().map(|e| e.packets).sum();
+        prop_assert_eq!(sharded.classified_packets(), live_sum + model.forgotten_packets);
+        prop_assert_eq!(flat.classified_packets(), sharded.classified_packets());
     }
 
     /// Watermark comparison is exact integer arithmetic at all fill levels.

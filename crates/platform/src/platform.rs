@@ -12,12 +12,13 @@ use crate::chain::ChainRegistry;
 use crate::nf::{
     BlockReason, ForwardAll, IoMode, NfAction, NfHealth, NfRuntime, NfSpec, PacketHandler,
 };
-use crate::stats::{DropLocation, PlatformStats, TcpEvent, TcpEventKind};
+use crate::stats::{DropLocation, FlowStats, PlatformStats, TcpEvent, TcpEventKind};
 use nfv_des::{CpuFreq, Duration, SimTime};
 use nfv_io::{StorageDevice, WriteOutcome};
 use nfv_obs::{DropCause, SleepReason, TraceKind, TraceSink, NO_ID};
 use nfv_pkt::{
-    ChainId, Ecn, Enqueue, FlowId, FlowTable, Mempool, NfId, Nic, Packet, Proto, WireFrame,
+    ChainId, Ecn, Enqueue, FlowAging, FlowId, FlowTable, FlowTableKind, Mempool, NfId, Nic, Packet,
+    Proto, TuplePattern, WireFrame,
 };
 use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy, SchedBackend};
 use std::collections::BTreeSet;
@@ -45,6 +46,15 @@ pub struct PlatformConfig {
     pub nic_rx_capacity: usize,
     /// `libnf` batch size (the paper processes ≤ 32 packets per batch).
     pub batch_size: usize,
+    /// Flow-table index backend (sharded engine or the flat oracle —
+    /// byte-identical by contract, like `sched_backend`).
+    pub flow_table: FlowTableKind,
+    /// Flow aging/eviction policy (off by default: `idle_epochs == 0`
+    /// keeps default runs byte-identical to the pre-aging engine).
+    pub flow_aging: FlowAging,
+    /// Track per-flow rate meters and latency histograms (~4 KB/flow).
+    /// Million-flow scale runs turn this off; counters are always kept.
+    pub flow_detail: bool,
 }
 
 impl Default for PlatformConfig {
@@ -59,6 +69,9 @@ impl Default for PlatformConfig {
             mempool_capacity: 524_288,
             nic_rx_capacity: Nic::DEFAULT_RX_CAPACITY,
             batch_size: 32,
+            flow_table: FlowTableKind::default_kind(),
+            flow_aging: FlowAging::default(),
+            flow_detail: true,
         }
     }
 }
@@ -147,7 +160,7 @@ impl Platform {
         Platform {
             mempool: Mempool::new(cfg.mempool_capacity),
             nic: Nic::new(cfg.nic_rx_capacity),
-            flow_table: FlowTable::new(),
+            flow_table: FlowTable::with_kind(cfg.flow_table),
             chains: ChainRegistry::new(),
             nfs: Vec::new(),
             sched,
@@ -190,16 +203,44 @@ impl Platform {
         id
     }
 
-    /// Install a flow rule steering `tuple` onto `chain`.
+    /// Install a flow rule steering `tuple` onto `chain`. Explicit
+    /// installs are pinned in the flow table: aging never evicts them.
     pub fn install_flow(&mut self, tuple: nfv_pkt::FiveTuple, chain: ChainId) -> FlowId {
         let flow = self.flow_table.install(tuple, chain);
-        while self.stats.flows.len() <= flow.index() {
-            self.stats.flows.push(Default::default());
-        }
+        self.grow_flow_stats(flow);
         if tuple.proto == Proto::Tcp {
             self.tcp_flows.insert(flow);
         }
         flow
+    }
+
+    /// Install a wildcard rule steering `pattern` onto `chain` at
+    /// `priority` (higher wins on overlap). Flows learned through a
+    /// wildcard are cached exact entries, subject to aging.
+    pub fn install_wildcard(&mut self, pattern: TuplePattern, chain: ChainId, priority: i32) {
+        self.flow_table.install_wildcard(pattern, chain, priority);
+    }
+
+    /// Advance flow aging by one epoch and evict wildcard-learned flows
+    /// idle for more than `idle_epochs` completed epochs (ids appended to
+    /// `evicted`, ascending). Explicit installs — including every TCP
+    /// flow — are pinned, so id recycling can never misroute TCP feedback
+    /// or I/O-flow marks. Per-flow delivery stats are kept across
+    /// eviction: a recycled id continues its slot's accounting, and the
+    /// table's forgotten-counters keep the conservation ledger balanced.
+    pub fn age_flows(&mut self, idle_epochs: u32, evicted: &mut Vec<FlowId>) {
+        self.flow_table.age(idle_epochs, evicted);
+    }
+
+    /// Size per-flow stats up to `flow`, honoring the detail knob.
+    fn grow_flow_stats(&mut self, flow: FlowId) {
+        while self.stats.flows.len() <= flow.index() {
+            self.stats.flows.push(if self.cfg.flow_detail {
+                FlowStats::detailed()
+            } else {
+                FlowStats::compact()
+            });
+        }
     }
 
     /// Mark a flow as triggering storage I/O at NFs with I/O profiles.
@@ -254,9 +295,7 @@ impl Platform {
             };
             // Wildcard rules can mint new flows at runtime; keep per-flow
             // stats sized accordingly.
-            while self.stats.flows.len() <= flow.index() {
-                self.stats.flows.push(Default::default());
-            }
+            self.grow_flow_stats(flow);
             // Graceful degradation: a chain routed through a dead NF can
             // never deliver, so shed at entry rather than filling rings
             // and the mempool with doomed packets. Shed before the λ

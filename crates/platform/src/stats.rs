@@ -48,8 +48,23 @@ pub enum TcpEventKind {
     Dropped,
 }
 
-/// Per-flow delivery accounting.
+/// Heavyweight per-flow measurement state: rate meters plus the latency
+/// histogram (~4 KB of buckets). Boxed and optional so million-flow runs
+/// can keep per-flow accounting at a few dozen bytes per flow
+/// (`PlatformConfig::flow_detail = false`); the plain counters in
+/// [`FlowStats`] are always maintained.
 #[derive(Debug, Default)]
+pub struct FlowDetail {
+    /// Per-second delivered packet rate.
+    pub pps_meter: RateMeter,
+    /// Per-second delivered bit rate ÷ 8 (bytes/s meter).
+    pub bytes_meter: RateMeter,
+    /// End-to-end latency (NIC arrival → wire exit) of delivered packets.
+    pub latency: DurationHistogram,
+}
+
+/// Per-flow delivery accounting.
+#[derive(Debug)]
 pub struct FlowStats {
     /// Packets that exited the chain.
     pub delivered: u64,
@@ -59,12 +74,51 @@ pub struct FlowStats {
     pub dropped: u64,
     /// Packets discarded by admission control at chain entry.
     pub entry_drops: u64,
-    /// Per-second delivered packet rate.
-    pub pps_meter: RateMeter,
-    /// Per-second delivered bit rate ÷ 8 (bytes/s meter).
-    pub bytes_meter: RateMeter,
-    /// End-to-end latency (NIC arrival → wire exit) of delivered packets.
-    pub latency: DurationHistogram,
+    /// Meters and latency histogram; `None` in compact (million-flow) mode.
+    pub detail: Option<Box<FlowDetail>>,
+}
+
+impl Default for FlowStats {
+    fn default() -> Self {
+        Self::detailed()
+    }
+}
+
+impl FlowStats {
+    /// Full accounting: counters plus meters and latency histogram (the
+    /// pre-split behavior, and still the default).
+    pub fn detailed() -> Self {
+        FlowStats {
+            delivered: 0,
+            delivered_bytes: 0,
+            dropped: 0,
+            entry_drops: 0,
+            detail: Some(Box::default()),
+        }
+    }
+
+    /// Counters only — what million-flow scale runs use.
+    pub fn compact() -> Self {
+        FlowStats {
+            delivered: 0,
+            delivered_bytes: 0,
+            dropped: 0,
+            entry_drops: 0,
+            detail: None,
+        }
+    }
+
+    /// Median end-to-end latency, when detail is tracked.
+    pub fn latency_p50(&self) -> Option<Duration> {
+        self.detail.as_ref().and_then(|d| d.latency.median())
+    }
+
+    /// 99th-percentile end-to-end latency, when detail is tracked.
+    pub fn latency_p99(&self) -> Option<Duration> {
+        self.detail
+            .as_ref()
+            .and_then(|d| d.latency.percentile(99.0))
+    }
 }
 
 /// Per-chain delivery accounting.
@@ -98,6 +152,12 @@ pub struct PlatformStats {
     /// no pending count). Surfaced by the sanitizer as an invariant
     /// violation instead of a mid-sim panic.
     pub pending_desync: u64,
+    /// Running totals of the per-flow `delivered`/`dropped` counters —
+    /// maintained on each delivery/drop so the packet-conservation ledger
+    /// is O(1) even with a million flows.
+    pub delivered_total: u64,
+    /// See [`PlatformStats::delivered_total`].
+    pub dropped_total: u64,
     /// Per-flow stats, indexed by `FlowId`.
     pub flows: Vec<FlowStats>,
     /// Per-chain stats, indexed by `ChainId`.
@@ -107,12 +167,15 @@ pub struct PlatformStats {
 impl PlatformStats {
     /// Record a delivery for `flow` on `chain` with end-to-end `latency`.
     pub fn delivered(&mut self, flow: FlowId, chain: ChainId, bytes: u32, latency: Duration) {
+        self.delivered_total += 1;
         let f = &mut self.flows[flow.index()];
         f.delivered += 1;
         f.delivered_bytes += bytes as u64;
-        f.pps_meter.add(1);
-        f.bytes_meter.add(bytes as u64);
-        f.latency.record(latency);
+        if let Some(d) = f.detail.as_deref_mut() {
+            d.pps_meter.add(1);
+            d.bytes_meter.add(bytes as u64);
+            d.latency.record(latency);
+        }
         let c = &mut self.chains[chain.index()];
         c.delivered += 1;
         c.pps_meter.add(1);
@@ -122,6 +185,7 @@ impl PlatformStats {
     /// Record an in-box drop for `flow` (and entry bookkeeping when the
     /// location is the chain entry).
     pub fn dropped(&mut self, flow: FlowId, chain: ChainId, loc: DropLocation) {
+        self.dropped_total += 1;
         self.flows[flow.index()].dropped += 1;
         if loc == DropLocation::EntryThrottle {
             self.flows[flow.index()].entry_drops += 1;
@@ -136,8 +200,10 @@ impl PlatformStats {
     /// Close the per-second measurement interval on every meter.
     pub fn roll(&mut self, now: nfv_des::SimTime) {
         for f in &mut self.flows {
-            f.pps_meter.roll(now);
-            f.bytes_meter.roll(now);
+            if let Some(d) = f.detail.as_deref_mut() {
+                d.pps_meter.roll(now);
+                d.bytes_meter.roll(now);
+            }
         }
         for c in &mut self.chains {
             c.pps_meter.roll(now);
@@ -160,7 +226,7 @@ mod tests {
         assert_eq!(s.flows[0].delivered, 2);
         assert_eq!(s.flows[0].delivered_bytes, 128);
         assert_eq!(s.chains[0].delivered, 2);
-        assert!(s.flows[0].latency.median().unwrap() >= Duration::from_micros(4));
+        assert!(s.flows[0].latency_p50().unwrap() >= Duration::from_micros(4));
     }
 
     #[test]
@@ -183,7 +249,21 @@ mod tests {
         s.chains.push(ChainStats::default());
         s.delivered(FlowId(0), ChainId(0), 64, Duration::from_micros(1));
         s.roll(SimTime::from_secs(1));
-        let (_, mean, _) = s.flows[0].pps_meter.summary();
+        let (_, mean, _) = s.flows[0].detail.as_ref().unwrap().pps_meter.summary();
         assert_eq!(mean, 1.0);
+    }
+
+    #[test]
+    fn compact_flows_keep_counters_without_detail() {
+        let mut s = PlatformStats::default();
+        s.flows.push(FlowStats::compact());
+        s.chains.push(ChainStats::default());
+        s.delivered(FlowId(0), ChainId(0), 64, Duration::from_micros(5));
+        s.roll(SimTime::from_secs(1));
+        assert_eq!(s.flows[0].delivered, 1);
+        assert_eq!(s.flows[0].delivered_bytes, 64);
+        assert!(s.flows[0].latency_p50().is_none());
+        // Chain-level accounting is unaffected by compact flows.
+        assert!(s.chains[0].latency.median().is_some());
     }
 }

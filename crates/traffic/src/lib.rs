@@ -10,7 +10,12 @@
 #![warn(missing_docs)]
 
 pub mod cbr;
+pub mod scenarios;
 pub mod tcp;
 
 pub use cbr::{ArrivalProcess, CbrFlow, CostClassGen};
+pub use scenarios::{
+    diurnal_windows, heavy_tail_flows, heavy_tail_rates, sweep_index, tenant, ParetoShape,
+    SweepSource, TenantSet, TenantSpec, TENANT_SPAN,
+};
 pub use tcp::{Feedback, TcpSource};
