@@ -150,6 +150,24 @@ fn scale_cells(c: &mut Criterion) {
     });
 }
 
+fn elastic_cells(c: &mut Criterion) {
+    bench_cell(c, "elastic_scale_out_and_migration", || {
+        // This cell needs the full quick length: the controller's dwell
+        // and cooldown windows leave too little post-action run at 100 ms.
+        let len = RunLength::quick();
+        let cells = elastic::cells();
+        let bp = elastic::run_cell(cells[0].0, cells[0].1, len);
+        let out = elastic::run_cell(cells[1].0, cells[1].1, len);
+        let mig = elastic::run_cell(cells[2].0, cells[2].1, len);
+        // The experiment's headline: adding capacity beats shedding —
+        // each elastic freedom must out-deliver backpressure-only.
+        assert!(out.nf_scale_outs >= 1, "no replica was deployed");
+        assert!(mig.nf_migrations >= 1, "no migration happened");
+        assert!(out.total_delivered_pps > bp.total_delivered_pps);
+        assert!(mig.total_delivered_pps > bp.total_delivered_pps);
+    });
+}
+
 criterion_group!(
     benches,
     fig1_cells,
@@ -158,6 +176,7 @@ criterion_group!(
     variable_and_orderings,
     timelines,
     slo_cells,
-    scale_cells
+    scale_cells,
+    elastic_cells
 );
 criterion_main!(benches);

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod coop;
+pub mod elastic;
 pub mod faults;
 pub mod fig1;
 pub mod fig10;

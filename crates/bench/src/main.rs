@@ -47,6 +47,7 @@ fn main() {
         ("ablations", ablations::run),
         ("coop", coop::run),
         ("faults", faults::run),
+        ("elastic", elastic::run),
         ("slo", slo::run),
         ("scale", scale::run),
     ];

@@ -87,6 +87,13 @@ impl Backpressure {
         self.trace = trace;
     }
 
+    /// Append state for an NF deployed mid-run (elastic scale-out
+    /// replica): fresh `Watch` with no chain marks.
+    pub fn grow(&mut self) {
+        self.state.push(BpState::Watch);
+        self.marked.push(BTreeSet::new());
+    }
+
     /// Is `chain` currently subject to entry-point discard?
     pub fn is_throttled(&self, chain: ChainId) -> bool {
         !self.throttled_by[chain.index()].is_empty()

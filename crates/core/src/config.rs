@@ -2,6 +2,7 @@
 
 use crate::backpressure::BackpressureConfig;
 use crate::ecn::EcnConfig;
+use crate::elastic::ElasticConfig;
 use crate::faults::FaultConfig;
 use crate::load::LoadConfig;
 use nfv_des::Duration;
@@ -137,6 +138,10 @@ pub struct SimConfig {
     /// default: a run without faults is byte-identical to one built
     /// before fault injection existed).
     pub faults: FaultConfig,
+    /// Elastic scaling: bottleneck scale-out, cross-core migration,
+    /// hysteresis scale-in (inert by default — same byte-identity
+    /// contract as `faults`).
+    pub elastic: ElasticConfig,
     /// Event-queue backend. Defaults to the build's default
     /// ([`QueueKind::default_kind`]: the timer wheel, or the heap under
     /// the `heap-queue` feature); both produce identical event streams,
@@ -157,6 +162,7 @@ impl Default for SimConfig {
             sanitizer: SanitizerConfig::default(),
             obs: ObsConfig::default(),
             faults: FaultConfig::default(),
+            elastic: ElasticConfig::default(),
             queue: QueueKind::default_kind(),
         }
     }

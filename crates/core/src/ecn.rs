@@ -81,6 +81,15 @@ impl EcnMarker {
         self.avg_qlen[idx] = Ewma::new(self.cfg.gain_num, self.cfg.gain_den);
     }
 
+    /// Append state for an NF deployed mid-run (elastic scale-out
+    /// replica) with the given RX ring capacity: an unprimed EWMA, so the
+    /// fresh instance's empty ring cannot inherit marking pressure.
+    pub fn grow(&mut self, capacity: usize) {
+        self.avg_qlen
+            .push(Ewma::new(self.cfg.gain_num, self.cfg.gain_den));
+        self.capacities.push(capacity);
+    }
+
     /// Record that a mark was applied (bookkeeping for reports).
     pub fn note_mark(&mut self) {
         self.marks += 1;

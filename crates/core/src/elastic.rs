@@ -1,0 +1,196 @@
+//! Elastic NF scaling policy: configuration and the deployment cost
+//! model.
+//!
+//! NFVnice's backpressure sheds load when a chain outgrows an NF; elastic
+//! scaling *adds capacity* instead: a persistent bottleneck gets a
+//! scale-out replica on the least-loaded core (flow-consistent RSS-style
+//! sharding keeps per-flow state intact), a saturated core migrates its
+//! cheapest NF to a quieter one, and an idle replica is retired once the
+//! surge passes. Every decision runs on the monitor tick off deterministic
+//! inputs (backpressure state, the load estimator, scheduler busy time),
+//! so runs stay byte-reproducible.
+//!
+//! The direction gates follow the Online-VNF-Scaling formulation: an
+//! action is taken only when its modeled benefit (latency/drop cost
+//! accumulated while the condition persists, in checker-tick units)
+//! exceeds its deployment cost. The dwell requirement doubles as the
+//! hysteresis that keeps a transient burst from churning instances.
+//!
+//! Everything defaults **off**: an inert [`ElasticConfig`] schedules no
+//! work and a default-config run is byte-identical to the pre-elastic
+//! engine (enforced by the `elastic_off_is_byte_identical` differential
+//! test and the CI byte-diff job).
+
+/// Elastic scaling configuration. Inert by default; the three direction
+/// switches are independent so experiments can compare scale-out against
+/// migration on the same trace.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticConfig {
+    /// Spawn replicas of persistent bottleneck NFs.
+    pub scale_out: bool,
+    /// Migrate the cheapest NF off a saturated core.
+    pub migration: bool,
+    /// Retire idle replicas once the surge passes.
+    pub scale_in: bool,
+    /// Controller check period, in monitor ticks (1 ms each by default).
+    pub check_period_ticks: u32,
+    /// Consecutive throttled checks before an NF counts as a *persistent*
+    /// bottleneck eligible for scale-out.
+    pub dwell_checks: u32,
+    /// Maximum live replicas per base NF.
+    pub max_replicas: u32,
+    /// Deployment cost of one instance action, in checker-tick units of
+    /// bottleneck latency cost (the Online-VNF-Scaling trade-off knob).
+    pub deploy_cost: f64,
+    /// A core whose busy share of the check period is at or above this
+    /// percentage counts as saturated (migration source).
+    pub saturation_pct: u32,
+    /// Migration requires the destination's busy share to undercut the
+    /// source's by at least this many percentage points of headroom:
+    /// `quiet ≤ hot × (100 − margin) / 100`.
+    pub spread_margin_pct: u32,
+    /// A replica is idle when its arrival rate falls below this
+    /// percentage of its base's (with a 1 pps absolute floor, so a
+    /// fully-quiesced pair still counts as idle).
+    pub idle_load_pct: u32,
+    /// Consecutive idle checks before a replica may be retired.
+    pub idle_checks: u32,
+    /// Checks to wait after any action before taking another — one
+    /// topology change at a time, letting shares and estimators settle.
+    pub cooldown_checks: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            scale_out: false,
+            migration: false,
+            scale_in: false,
+            check_period_ticks: 10,
+            dwell_checks: 3,
+            max_replicas: 1,
+            deploy_cost: 2.0,
+            saturation_pct: 90,
+            spread_margin_pct: 30,
+            idle_load_pct: 60,
+            idle_checks: 5,
+            cooldown_checks: 5,
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// Everything on with the default tuning.
+    pub fn full() -> Self {
+        ElasticConfig {
+            scale_out: true,
+            migration: true,
+            scale_in: true,
+            ..ElasticConfig::default()
+        }
+    }
+
+    /// Is any direction enabled? An inert config schedules nothing and
+    /// costs nothing (the byte-identity guarantee).
+    pub fn active(&self) -> bool {
+        self.scale_out || self.migration || self.scale_in
+    }
+
+    /// Scale-out gate: after `streak` consecutive throttled checks, has
+    /// the accumulated bottleneck cost (one unit per check) paid for a
+    /// deployment? Requires the dwell floor too, so a cheap deploy cost
+    /// can never react to a single-check blip.
+    pub fn deploy_worthwhile(&self, streak: u32) -> bool {
+        streak >= self.dwell_checks && f64::from(streak) > self.deploy_cost
+    }
+
+    /// Scale-in gate: an idle replica's keep-cost accumulates one unit
+    /// per idle check; retire once it exceeds the (one-time) deployment
+    /// cost that a re-spawn would incur if the surge returned.
+    pub fn retire_worthwhile(&self, idle_streak: u32) -> bool {
+        idle_streak >= self.idle_checks && f64::from(idle_streak) > self.deploy_cost
+    }
+
+    /// Is `busy_pct` (a core's busy share of the check period, percent)
+    /// saturated enough to be a migration source?
+    pub fn saturated(&self, busy_pct: u32) -> bool {
+        busy_pct >= self.saturation_pct
+    }
+
+    /// Migration gate: moving an NF from a core with `hot_busy` to one
+    /// with `quiet_busy` (same units) is worthwhile only when the
+    /// destination undercuts the source by the configured margin —
+    /// otherwise the latency saved cannot cover the move's cache/reset
+    /// cost and the pair would ping-pong.
+    pub fn spread_worthwhile(&self, hot_busy: u64, quiet_busy: u64) -> bool {
+        hot_busy > 0
+            && quiet_busy * 100 <= hot_busy * u64::from(100 - self.spread_margin_pct.min(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let c = ElasticConfig::default();
+        assert!(!c.active());
+        assert!(ElasticConfig::full().active());
+        assert!(ElasticConfig {
+            scale_in: true,
+            ..ElasticConfig::default()
+        }
+        .active());
+    }
+
+    #[test]
+    fn deploy_gate_needs_dwell_and_amortization() {
+        let c = ElasticConfig {
+            dwell_checks: 3,
+            deploy_cost: 2.0,
+            ..ElasticConfig::default()
+        };
+        assert!(!c.deploy_worthwhile(0));
+        assert!(!c.deploy_worthwhile(2), "below the dwell floor");
+        assert!(c.deploy_worthwhile(3), "3 checks of cost > 2.0 deploy");
+        // An expensive deploy needs a longer streak than the dwell floor.
+        let pricey = ElasticConfig {
+            dwell_checks: 3,
+            deploy_cost: 5.0,
+            ..ElasticConfig::default()
+        };
+        assert!(!pricey.deploy_worthwhile(4), "4 units < 5.0 cost");
+        assert!(pricey.deploy_worthwhile(6));
+    }
+
+    #[test]
+    fn retire_gate_mirrors_deploy() {
+        let c = ElasticConfig {
+            idle_checks: 5,
+            deploy_cost: 2.0,
+            ..ElasticConfig::default()
+        };
+        assert!(!c.retire_worthwhile(4));
+        assert!(c.retire_worthwhile(5));
+    }
+
+    #[test]
+    fn spread_gate_requires_margin() {
+        let c = ElasticConfig {
+            spread_margin_pct: 30,
+            ..ElasticConfig::default()
+        };
+        assert!(c.spread_worthwhile(100, 70), "30-point undercut: worth it");
+        assert!(!c.spread_worthwhile(100, 71), "too close: would ping-pong");
+        assert!(c.spread_worthwhile(100, 0));
+        assert!(!c.spread_worthwhile(0, 0), "idle pair: nothing to spread");
+    }
+
+    #[test]
+    fn saturation_threshold() {
+        let c = ElasticConfig::default();
+        assert!(c.saturated(90) && c.saturated(100));
+        assert!(!c.saturated(89));
+    }
+}

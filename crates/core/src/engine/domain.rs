@@ -23,8 +23,10 @@ pub(crate) struct CoreDomain {
     /// one such event may exist per core at a time; `kick` is a no-op
     /// while the flag is set.
     pub(crate) active: bool,
-    /// NFs homed on this core, in deployment (NF-id) order. Built once at
-    /// `prime`; NF→core pinning is fixed for the life of a run.
+    /// NFs homed on this core, in deployment (NF-id) order. Built at
+    /// `prime`; the elastic controller may append scale-out replicas and
+    /// move NFs between rosters mid-run (migration), always keeping
+    /// id order and the `cpu_snapshot` slots in lockstep.
     pub(crate) nfs: Vec<usize>,
     /// Last-interval CPU-time snapshot per homed NF (parallel to `nfs`),
     /// for the per-second CPU% series.

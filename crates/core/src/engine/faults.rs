@@ -64,6 +64,10 @@ impl Simulation {
             .reset(nf.index(), self.platform.nfs[nf.index()].arrivals);
         self.ecn.reset(nf.index());
         self.watchdog[nf.index()] = (self.platform.nfs[nf.index()].processed, 0);
+        // Survivors on the core must not keep splitting the core as if
+        // the victim still claimed its share: recompute immediately
+        // instead of waiting out the weight tick.
+        self.recompute_domain_shares(self.platform.core_of(nf), now);
         if self.cfg.faults.recovery {
             let t = now + self.cfg.faults.respawn_delay;
             if t <= self.run_end {
@@ -87,6 +91,10 @@ impl Simulation {
         self.load
             .reset(nf.index(), self.platform.nfs[nf.index()].arrivals);
         self.watchdog[nf.index()] = (self.platform.nfs[nf.index()].processed, 0);
+        // The fresh incarnation rejoins its domain with a reset estimator:
+        // fold it back into the split now, not at the next weight tick
+        // (its neighbors were just re-weighted without it at crash time).
+        self.recompute_domain_shares(self.platform.core_of(nf), now);
     }
 
     /// Manager-side liveness watchdog, run on the monitor tick: a

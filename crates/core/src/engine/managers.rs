@@ -90,7 +90,14 @@ impl Simulation {
         } = self;
         scratch_tcp.clear();
         let bp_on = cfg.nfvnice.backpressure;
-        let mut admit = |chain: ChainId, _flow: FlowId| !bp_on || !bp.is_throttled(chain);
+        // Shed only when a throttling instance lies on the flow's resolved
+        // path (`on_path` is the platform's replica-sharding resolver) —
+        // without replicas every throttler is on every path and this is
+        // exactly `is_throttled(chain)`.
+        // nfv-lint: allow(layering) -- `AdmitFn`'s resolver argument is a plain callback, not a policy/mechanism trait object
+        let mut admit = |chain: ChainId, _flow: FlowId, on_path: &mut dyn FnMut(NfId) -> bool| {
+            !bp_on || !bp.throttlers(chain).any(&mut *on_path)
+        };
         platform.rx_poll(now, &mut admit, scratch_tcp);
         self.dispatch_tcp_events(now);
     }
@@ -217,7 +224,6 @@ impl Simulation {
         if !self.sanitizer.wants_suppression() {
             return;
         }
-        let me = NfId(idx as u32);
         // Disjoint field borrows let the sanitizer record inline while
         // `platform` stays borrowed — no scratch Vec on the dispatch path.
         let Simulation {
@@ -226,16 +232,21 @@ impl Simulation {
             sanitizer,
             ..
         } = self;
+        // Replicas never appear on chain paths: judge one by its base
+        // NF's placement.
+        let me = platform.canonical_of(NfId(idx as u32));
         let nf = &platform.nfs[idx];
         for &c in nf.pending_by_chain.keys() {
-            let Some(my_pos) = platform.chains.first_position(c, me) else {
+            // Judged at the NF's *last* hop — a repeated NF's later hop
+            // sits at/after the bottleneck and must drain it.
+            let Some(my_pos) = platform.chains.last_position(c, me) else {
                 continue;
             };
-            let me_throttler = bp.throttlers(c).any(|b| b == me);
+            let me_throttler = bp.throttlers(c).any(|b| platform.canonical_of(b) == me);
             let downstream = bp.throttlers(c).any(|b| {
                 platform
                     .chains
-                    .first_position(c, b)
+                    .last_position(c, platform.canonical_of(b))
                     .is_some_and(|p| p > my_pos)
             });
             if me_throttler && !downstream {
@@ -250,20 +261,27 @@ impl Simulation {
     /// upstream NF will not execute till the downstream NF gets to consume
     /// its receive buffers"). The bottleneck NF itself — and NFs after it —
     /// must keep running so the congestion can drain.
-    fn nf_suppressed(&self, idx: usize) -> bool {
+    ///
+    /// Positions are compared at the NF's *last* hop on each chain: a
+    /// chain that revisits an NF after the bottleneck (`[a, b, a]` with
+    /// `b` throttling) needs `a`'s later hop awake to drain `b`'s output;
+    /// deciding by `a`'s first hop would park it and deadlock the
+    /// throttle. Replica instances are judged by their base NF's
+    /// placement, on both sides of the comparison.
+    pub(super) fn nf_suppressed(&self, idx: usize) -> bool {
         let nf = &self.platform.nfs[idx];
         if nf.pending_by_chain.is_empty() {
             return false;
         }
-        let me = NfId(idx as u32);
+        let me = self.platform.canonical_of(NfId(idx as u32));
         nf.pending_by_chain.keys().all(|&c| {
-            let Some(my_pos) = self.platform.chains.first_position(c, me) else {
+            let Some(my_pos) = self.platform.chains.last_position(c, me) else {
                 return false;
             };
             self.bp.throttlers(c).any(|b| {
                 self.platform
                     .chains
-                    .first_position(c, b)
+                    .last_position(c, self.platform.canonical_of(b))
                     .is_some_and(|p| p > my_pos)
             })
         })
@@ -289,6 +307,16 @@ impl Simulation {
             && self.monitor_ticks.is_multiple_of(ticks_per_weight_update)
         {
             self.update_weights(now);
+        }
+        // Elastic scaling rides the monitor tick too (no event variants of
+        // its own); an inert config never reaches the controller, keeping
+        // default runs byte-identical to the pre-elastic engine.
+        if self.cfg.elastic.active()
+            && self
+                .monitor_ticks
+                .is_multiple_of(u64::from(self.cfg.elastic.check_period_ticks.max(1)))
+        {
+            self.run_elastic(now);
         }
     }
 
@@ -316,25 +344,41 @@ impl Simulation {
     }
 
     /// Rate-cost proportional weight assignment, one core domain at a
-    /// time: gather each domain's `(nf, load, priority)` rows in its
-    /// scratch buffer and write the resulting `cpu.shares`.
+    /// time.
     fn update_weights(&mut self, now: SimTime) {
-        let mut domains = std::mem::take(&mut self.domains);
-        for d in &mut domains {
-            d.share_scratch.clear();
-            for &i in &d.nfs {
-                if !self.platform.nfs[i].is_up() {
-                    continue; // parked task: no share of the core to claim
-                }
-                d.share_scratch
-                    .push((i, self.load.load(i), self.platform.nfs[i].spec.priority));
+        for core in 0..self.domains.len() {
+            self.recompute_domain_shares(core, now);
+        }
+    }
+
+    /// Recompute one core domain's `cpu.shares`: gather its live
+    /// `(nf, load, priority)` rows in the domain's scratch buffer and
+    /// write the results. Runs on the periodic weight tick for every
+    /// domain, and *immediately* on any domain-membership change (kill,
+    /// respawn, migration, scale-out/in): without the immediate
+    /// recompute, a survivor keeps its departed neighbor's share split —
+    /// and a respawned or migrated NF carries its stale weight — until
+    /// the next 10 ms weight tick.
+    pub(super) fn recompute_domain_shares(&mut self, core: usize, now: SimTime) {
+        if !self.cfg.nfvnice.cgroup_weights {
+            return;
+        }
+        // Take only the scratch buffer out (not the whole domain): this
+        // runs on fault and elastic paths too, where swapping in a freshly
+        // constructed domain would allocate in the dispatch hot path.
+        let mut scratch = std::mem::take(&mut self.domains[core].share_scratch);
+        scratch.clear();
+        for slot in 0..self.domains[core].nfs.len() {
+            let i = self.domains[core].nfs[slot];
+            if !self.platform.nfs[i].is_up() {
+                continue; // parked task: no share of the core to claim
             }
-            if d.share_scratch.len() < 2 {
-                continue; // a lone NF owns its core regardless of weight
-            }
-            for (idx, shares) in
-                compute_shares(&d.share_scratch, self.cfg.nfvnice.load.shares_scale)
-            {
+            scratch.push((i, self.load.load(i), self.platform.nfs[i].spec.priority));
+        }
+        if scratch.len() >= 2 {
+            // A lone NF owns its core regardless of weight, so domains
+            // with fewer than two live NFs are left untouched.
+            for (idx, shares) in compute_shares(&scratch, self.cfg.nfvnice.load.shares_scale) {
                 // Each effective sysfs write costs manager-thread CPU
                 // time (redundant writes are filtered for free).
                 let cost = self.platform.set_nf_shares(NfId(idx as u32), shares);
@@ -350,7 +394,7 @@ impl Simulation {
                 }
             }
         }
-        self.domains = domains;
+        self.domains[core].share_scratch = scratch;
     }
 
     /// One metrics sample column per monitor tick (no-op when metrics are

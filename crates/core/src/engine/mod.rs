@@ -22,6 +22,7 @@
 //! builders, and the main event loop dispatching to the modules above.
 
 mod domain;
+mod elastic;
 mod events;
 mod faults;
 mod managers;
@@ -85,6 +86,26 @@ pub struct Simulation {
     /// Liveness watchdog state per NF: (progress counter at the last
     /// tick, consecutive no-progress ticks with pending work).
     watchdog: Vec<(u64, u32)>,
+    /// Per-core cumulative busy time at the last elastic check.
+    elastic_busy_snapshot: Vec<Duration>,
+    /// Per-core busy time over the last check period (scratch derived
+    /// from the snapshots each check — kept on the struct so the
+    /// controller allocates nothing on the dispatch path).
+    elastic_busy_delta: Vec<Duration>,
+    /// Consecutive elastic checks each base NF spent throttled
+    /// (scale-out dwell); zero and unread for replicas.
+    throttle_streak: Vec<u32>,
+    /// Consecutive elastic checks each replica spent idle (scale-in
+    /// hysteresis); zero and unread for base NFs.
+    idle_streak: Vec<u32>,
+    /// Elastic checks to skip before the next action may fire.
+    elastic_cooldown: u32,
+    /// Scale-out replicas deployed.
+    scale_outs: u64,
+    /// Cross-core migrations performed.
+    migrations: u64,
+    /// Replicas retired by scale-in.
+    scale_ins: u64,
     /// NF crashes applied (injected + watchdog-declared).
     crashes: u64,
     /// NF restarts performed by the recovery policy.
@@ -148,6 +169,14 @@ impl Simulation {
             last_roll: SimTime::ZERO,
             run_end: SimTime::ZERO,
             watchdog: Vec::new(),
+            elastic_busy_snapshot: Vec::new(),
+            elastic_busy_delta: Vec::new(),
+            throttle_streak: Vec::new(),
+            idle_streak: Vec::new(),
+            elastic_cooldown: 0,
+            scale_outs: 0,
+            migrations: 0,
+            scale_ins: 0,
             crashes: 0,
             restarts: 0,
             stalls_detected: 0,
@@ -349,8 +378,15 @@ impl Simulation {
             self.platform.nfs.iter().map(|nf| nf.spec.name.as_str()),
             n_chains,
         );
-        // The NF population is final now: carve it into per-core domains.
+        // The *deployed* NF population is final now: carve it into
+        // per-core domains. (Elastic scale-out may still append replicas
+        // mid-run; every per-NF structure sized here grows in lockstep
+        // via `spawn_replica`.)
         self.domains = CoreDomain::build_all(&self.platform);
+        self.elastic_busy_snapshot = vec![Duration::ZERO; self.domains.len()];
+        self.elastic_busy_delta = vec![Duration::ZERO; self.domains.len()];
+        self.throttle_streak = vec![0; n_nfs];
+        self.idle_streak = vec![0; n_nfs];
         if matches!(self.cfg.platform.policy, Policy::Slo) {
             self.derive_slo_deadlines();
         }

@@ -118,6 +118,9 @@ impl Simulation {
             nf_restarts: self.restarts,
             nf_stalls_detected: self.stalls_detected,
             nf_down_drops: self.platform.stats.nf_down_drops,
+            nf_scale_outs: self.scale_outs,
+            nf_migrations: self.migrations,
+            nf_scale_ins: self.scale_ins,
             trace_digest: self.sanitizer.digest(),
             stale_pops: self.stale_pops,
             queue: self.queue.stats(),

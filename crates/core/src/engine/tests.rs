@@ -498,6 +498,221 @@ fn ecn_disabled_never_marks() {
 }
 
 #[test]
+fn repeated_nf_last_hop_is_not_suppressed_by_an_upstream_throttle() {
+    // Positional-suppression regression: chain [a, b, a] with b
+    // throttling. a's *last* hop sits downstream of the bottleneck and
+    // must stay awake to drain it; judging a by its first hop (upstream
+    // of b) parked the only consumer of b's output and deadlocked the
+    // throttle.
+    let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::full()));
+    let a = sim.add_nf(NfSpec::new("a", 0, 100));
+    let b = sim.add_nf(NfSpec::new("b", 0, 5_000));
+    let chain = sim.add_chain(&[a, b, a]);
+    sim.prime(SimTime::from_millis(1));
+    // Throttle b by hand: ring at 95% with an aged head.
+    sim.bp.evaluate(
+        SimTime::from_micros(100),
+        b,
+        95,
+        100,
+        Some(Duration::from_millis(10)),
+        [chain].iter(),
+    );
+    assert!(
+        matches!(sim.bp.state(b), crate::BpState::Throttle),
+        "setup failed: b not throttled"
+    );
+    sim.platform.nfs[a.index()].note_pending(chain);
+    sim.platform.nfs[b.index()].note_pending(chain);
+    assert!(
+        !sim.nf_suppressed(a.index()),
+        "a's last hop drains b's output and must not be parked"
+    );
+    assert!(
+        !sim.nf_suppressed(b.index()),
+        "the bottleneck itself is never suppressed"
+    );
+}
+
+#[test]
+fn repeated_nf_chain_survives_downstream_throttle() {
+    // End-to-end companion to the positional-suppression regression:
+    // a chain that revisits its entry NF after the bottleneck must keep
+    // delivering at roughly the bottleneck rate. With the first-hop
+    // comparison the pipeline wedged shut a few rings in.
+    let mut sim = Simulation::new(base_cfg(1, Policy::CfsBatch, NfvniceConfig::full()));
+    let a = sim.add_nf(NfSpec::new("a", 0, 100));
+    let b = sim.add_nf(NfSpec::new("b", 0, 5_000)); // ~520 kpps
+    let chain = sim.add_chain(&[a, b, a]);
+    sim.add_udp(chain, 5_000_000.0, 64);
+    let r = sim.run(Duration::from_millis(300));
+    assert!(r.throttle_events > 0, "scenario failed to throttle b");
+    assert!(
+        r.flows[0].delivered_pps > 250_000.0,
+        "repeated-NF chain wedged: {}",
+        r.flows[0].delivered_pps
+    );
+}
+
+#[test]
+fn elastic_off_is_byte_identical() {
+    // The byte-identity contract: while every direction switch is off,
+    // even aggressive elastic tuning values may not perturb a run —
+    // same trace digest, same report, same metrics document.
+    let run = |elastic: crate::ElasticConfig| {
+        let mut cfg = base_cfg(2, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.elastic = elastic;
+        cfg.obs.metrics = true;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp_with(chain, 400_000.0, 64, |f| f.poisson());
+        let r = sim.run(Duration::from_millis(60));
+        (r, sim.take_metrics().to_json())
+    };
+    let (base, base_metrics) = run(crate::ElasticConfig::default());
+    let hair_trigger = crate::ElasticConfig {
+        check_period_ticks: 1,
+        dwell_checks: 1,
+        max_replicas: 8,
+        deploy_cost: 0.0,
+        saturation_pct: 1,
+        spread_margin_pct: 0,
+        idle_load_pct: 100,
+        idle_checks: 1,
+        cooldown_checks: 0,
+        ..crate::ElasticConfig::default()
+    };
+    assert!(!hair_trigger.active(), "all switches must still be off");
+    let (tuned, tuned_metrics) = run(hair_trigger);
+    assert_eq!(base.trace_digest, tuned.trace_digest);
+    assert_eq!(base.flows[0].delivered, tuned.flows[0].delivered);
+    assert_eq!(base.total_wasted_drops, tuned.total_wasted_drops);
+    assert_eq!(base_metrics, tuned_metrics);
+    assert_eq!(
+        tuned.nf_scale_outs + tuned.nf_migrations + tuned.nf_scale_ins,
+        0
+    );
+}
+
+#[test]
+fn scale_out_replicates_the_bottleneck_and_beats_backpressure_alone() {
+    // One heavy NF on core 0, core 1 idle; a pinned flow overloads it
+    // from the start, then a sweep of brand-new flows arrives after the
+    // replica is up. Scale-out shards the new flows across both
+    // instances (in-flight flows stay pinned to the base), so goodput
+    // clearly beats backpressure-only shedding on the same trace.
+    use nfv_pkt::TuplePattern;
+    use nfv_traffic::SweepSource;
+    let run = |elastic: crate::ElasticConfig| {
+        let mut cfg = base_cfg(2, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.elastic = elastic;
+        let mut sim = Simulation::new(cfg);
+        let heavy = sim.add_nf(NfSpec::new("heavy", 0, 26_000)); // 100 kpps
+        let chain = sim.add_chain(&[heavy]);
+        sim.add_udp(chain, 1_000_000.0, 64); // pinned 10x overload
+        sim.add_wildcard(TuplePattern::any(), chain, 0);
+        // 4096 fresh flows at 400 kpps, starting well past the dwell.
+        sim.add_sweep(SweepSource::flash(
+            1 << 16,
+            4096,
+            64,
+            400_000.0,
+            SimTime::from_millis(60),
+            Duration::from_millis(240),
+        ));
+        sim.run(Duration::from_millis(300))
+    };
+    let bp_only = run(crate::ElasticConfig::default());
+    assert_eq!(bp_only.nf_scale_outs, 0);
+    let scaled = run(crate::ElasticConfig {
+        scale_out: true,
+        ..crate::ElasticConfig::default()
+    });
+    assert!(scaled.nf_scale_outs >= 1, "no replica was deployed");
+    let base_total: u64 = bp_only.chains[0].delivered;
+    let scaled_total: u64 = scaled.chains[0].delivered;
+    assert!(
+        scaled_total as f64 > base_total as f64 * 1.2,
+        "scale-out {scaled_total} vs backpressure-only {base_total}"
+    );
+}
+
+#[test]
+fn migration_moves_the_cheapest_nf_off_a_saturated_core() {
+    // Two overloaded single-NF chains share core 0 while core 1 idles.
+    // The controller must detect the saturation, move the cheaper NF to
+    // the idle core, and total goodput must beat the share-split.
+    let run = |elastic: crate::ElasticConfig| {
+        let mut cfg = base_cfg(2, Policy::CfsBatch, NfvniceConfig::full());
+        cfg.elastic = elastic;
+        let mut sim = Simulation::new(cfg);
+        let cheap = sim.add_nf(NfSpec::new("cheap", 0, 120));
+        let costly = sim.add_nf(NfSpec::new("costly", 0, 26_000));
+        let cc = sim.add_chain(&[cheap]);
+        let hc = sim.add_chain(&[costly]);
+        sim.add_udp(cc, 1_000_000.0, 64);
+        sim.add_udp(hc, 1_000_000.0, 64);
+        sim.run(Duration::from_millis(300))
+    };
+    let pinned = run(crate::ElasticConfig::default());
+    assert_eq!(pinned.nf_migrations, 0);
+    let migrated = run(crate::ElasticConfig {
+        migration: true,
+        ..crate::ElasticConfig::default()
+    });
+    assert!(migrated.nf_migrations >= 1, "no migration happened");
+    // The cheap NF ends up homed on core 1 (report reads the live spec).
+    assert_eq!(migrated.nfs[0].core, 1, "cheap NF still on core 0");
+    assert!(
+        migrated.total_delivered_pps > pinned.total_delivered_pps * 1.2,
+        "migration {} vs pinned {}",
+        migrated.total_delivered_pps,
+        pinned.total_delivered_pps
+    );
+}
+
+#[test]
+fn scale_in_retires_the_replica_after_the_surge() {
+    // Windowed overload: pinned pressure plus a fresh-flow surge, both
+    // ending mid-run. The replica deployed during the surge must be
+    // retired once it idles past the hysteresis, returning the layout
+    // to a single live instance.
+    use nfv_pkt::TuplePattern;
+    use nfv_traffic::SweepSource;
+    let mut cfg = base_cfg(2, Policy::CfsBatch, NfvniceConfig::full());
+    cfg.elastic = crate::ElasticConfig {
+        scale_out: true,
+        scale_in: true,
+        ..crate::ElasticConfig::default()
+    };
+    let mut sim = Simulation::new(cfg);
+    let heavy = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+    let chain = sim.add_chain(&[heavy]);
+    sim.add_udp_with(chain, 1_000_000.0, 64, |f| {
+        f.window(SimTime::ZERO, SimTime::from_millis(150))
+    });
+    sim.add_wildcard(TuplePattern::any(), chain, 0);
+    sim.add_sweep(SweepSource::flash(
+        1 << 16,
+        4096,
+        64,
+        400_000.0,
+        SimTime::from_millis(60),
+        Duration::from_millis(80),
+    ));
+    let r = sim.run(Duration::from_millis(400));
+    assert!(r.nf_scale_outs >= 1, "no replica was deployed");
+    assert!(r.nf_scale_ins >= 1, "replica never retired");
+    assert!(
+        sim.platform.replica_group(heavy).is_empty(),
+        "layout did not return to a single live instance"
+    );
+    assert!(invariants::packets_conserved(&sim.platform));
+}
+
+#[test]
 fn tcp_flow_reaches_window_limited_rate() {
     let mut sim = Simulation::new(base_cfg(1, Policy::CfsNormal, NfvniceConfig::off()));
     let nf = sim.add_nf(NfSpec::new("fwd", 0, 200));

@@ -41,6 +41,7 @@
 pub mod backpressure;
 pub mod config;
 pub mod ecn;
+pub mod elastic;
 pub mod engine;
 pub mod faults;
 pub mod invariants;
@@ -51,6 +52,7 @@ pub mod report;
 pub use backpressure::{Backpressure, BackpressureConfig, BpState};
 pub use config::{NfvniceConfig, ObsConfig, SimConfig};
 pub use ecn::{EcnConfig, EcnMarker};
+pub use elastic::ElasticConfig;
 pub use engine::{Action, Simulation};
 pub use faults::{FaultConfig, FaultEvent, FaultKind};
 pub use invariants::{conservation_ledger, packets_conserved, within_pct, ConservationLedger};

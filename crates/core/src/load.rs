@@ -75,6 +75,27 @@ impl LoadMonitor {
         }
     }
 
+    /// Append state for one more NF (elastic scale-out registers replicas
+    /// after the estimator was sized at start-of-run).
+    pub fn grow(&mut self) {
+        self.nfs.push(NfLoad {
+            svc_ns: WindowedMedian::new(self.cfg.window),
+            arrivals: VecDeque::new(),
+            arrivals_in_window: 0,
+            last_arrival_counter: 0,
+        });
+    }
+
+    /// Number of NFs tracked.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True when no NFs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
     /// Ingest one monitor tick for NF `idx`: the latest observed per-packet
     /// time and the NF's cumulative arrival counter.
     pub fn sample(&mut self, idx: usize, now: SimTime, last_ppp: Duration, arrival_counter: u64) {
@@ -121,14 +142,21 @@ impl LoadMonitor {
     /// During warm-up (before one full window has elapsed) the divisor is
     /// the elapsed time, not the window: dividing early counts by the full
     /// 100 ms deflates λ — and therefore the NF's cgroup shares — for the
-    /// entire first window of the run.
+    /// entire first window of the run. "Elapsed" is measured from the
+    /// oldest *retained* sample, not from t=0: after a mid-run
+    /// [`LoadMonitor::reset`] (respawn, migration) the window restarts
+    /// empty, and dividing a few ms of post-reset arrivals by the wall
+    /// time since boot would re-introduce exactly the deflation the
+    /// warm-up rule exists to prevent.
     pub fn arrival_rate_pps(&self, idx: usize) -> f64 {
         let nf = &self.nfs[idx];
-        let Some(&(last, _)) = nf.arrivals.back() else {
+        let (Some(&(first, _)), Some(&(last, _))) = (nf.arrivals.front(), nf.arrivals.back())
+        else {
             return 0.0;
         };
-        let elapsed = last
-            .since(SimTime::ZERO)
+        // Each sample covers the tick *ending* at its timestamp, so the
+        // span of n retained samples is (last − first) + one period.
+        let elapsed = (last.since(first) + self.cfg.sample_period)
             .max(self.cfg.sample_period)
             .min(self.cfg.window);
         nf.arrivals_in_window as f64 / elapsed.as_secs_f64()
@@ -272,6 +300,37 @@ mod tests {
         let nf = &m.nfs[0];
         assert_eq!(nf.arrivals_in_window, 500);
         assert_eq!(m.service_time_ns(0), Some(1000));
+    }
+
+    #[test]
+    fn post_reset_warmup_divides_by_elapsed_since_reset() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        for ms in 1..=500 {
+            m.sample(0, SimTime::from_millis(ms), Duration::ZERO, ms * 1000);
+        }
+        // Respawn/migration at t=500ms re-baselines the estimator...
+        m.reset(0, 500 * 1000);
+        // ...and the next 10 ticks again carry 1000 arrivals each: the
+        // true rate is still 1 Mpps. Measuring "elapsed" from t=0 made the
+        // divisor saturate at the full 100 ms window, reporting a 10×
+        // deflated 100 kpps — the t=0 warm-up bug all over again, for
+        // every warm-up that doesn't start at t=0.
+        for ms in 501..=510 {
+            m.sample(0, SimTime::from_millis(ms), Duration::ZERO, ms * 1000);
+        }
+        let rate = m.arrival_rate_pps(0);
+        assert!((rate - 1_000_000.0).abs() < 20_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn grow_appends_fresh_estimator_state() {
+        let mut m = LoadMonitor::new(LoadConfig::default(), 1);
+        assert_eq!(m.len(), 1);
+        m.grow();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.arrival_rate_pps(1), 0.0);
+        m.sample(1, SimTime::from_millis(1), Duration::from_micros(1), 100);
+        assert!(m.arrival_rate_pps(1) > 0.0);
     }
 
     #[test]

@@ -129,6 +129,12 @@ pub struct Report {
     /// Packets lost to dead NFs: crash drains plus entry/forwarding
     /// shedding for chains routed through a down NF.
     pub nf_down_drops: u64,
+    /// Scale-out replicas deployed by the elastic controller.
+    pub nf_scale_outs: u64,
+    /// Cross-core NF migrations performed by the elastic controller.
+    pub nf_migrations: u64,
+    /// Replicas retired by elastic scale-in.
+    pub nf_scale_ins: u64,
     /// FNV-1a digest of the event trace `(time, event)` pairs. Two runs of
     /// the same scenario with the same seed must produce the same digest —
     /// the determinism tests compare exactly this.
@@ -263,6 +269,9 @@ mod tests {
             nf_restarts: 0,
             nf_stalls_detected: 0,
             nf_down_drops: 0,
+            nf_scale_outs: 0,
+            nf_migrations: 0,
+            nf_scale_ins: 0,
             trace_digest: 0,
             stale_pops: 0,
             queue: QueueStats::default(),

@@ -94,6 +94,25 @@ impl MetricsRecorder {
         self.chains = vec![ChainSeries::default(); num_chains];
     }
 
+    /// Append a series for an NF deployed mid-run (elastic scale-out
+    /// replica). Ticks before its birth are zero-backfilled so every
+    /// column stays aligned on `t_ns` — the CSV exporter indexes each
+    /// series by tick for all NFs.
+    pub fn add_nf_series(&mut self, name: &str) {
+        if !self.on {
+            return;
+        }
+        let n = self.samples();
+        self.nfs.push(NfSeries {
+            name: name.to_string(),
+            qlen: vec![0; n], // nfv-lint: allow(hot-alloc) -- one-time backfill per scale-out action, not per packet
+            throttled: vec![0; n], // nfv-lint: allow(hot-alloc) -- one-time backfill per scale-out action, not per packet
+            shares: vec![0; n], // nfv-lint: allow(hot-alloc) -- one-time backfill per scale-out action, not per packet
+            lambda_pps: vec![0.0; n], // nfv-lint: allow(hot-alloc) -- one-time backfill per scale-out action, not per packet
+            svc_median_ns: vec![0; n], // nfv-lint: allow(hot-alloc) -- one-time backfill per scale-out action, not per packet
+        });
+    }
+
     /// Open a new sample column at time `t`.
     pub fn begin_tick(&mut self, t: SimTime, in_flight: u64) {
         if !self.on {
@@ -266,6 +285,32 @@ mod tests {
         m.record_nf(1, 90, true, 512, 2e6, 550);
         m.record_chain(0, true, 1, 250_000, 900_000);
         m
+    }
+
+    #[test]
+    fn add_nf_backfills_to_current_tick() {
+        let mut m = sample_recorder(); // one completed tick
+        m.add_nf_series("a~1");
+        assert_eq!(m.nfs[2].name, "a~1");
+        assert_eq!(m.nfs[2].qlen, vec![0], "birth tick backfilled");
+        m.begin_tick(SimTime::from_millis(2), 0);
+        m.record_flows(7, 2);
+        m.record_nf(0, 11, false, 1024, 1e6, 100);
+        m.record_nf(1, 80, true, 512, 2e6, 550);
+        m.record_nf(2, 3, false, 1024, 5e5, 90);
+        m.record_chain(0, true, 1, 250_000, 900_000);
+        assert_eq!(m.nfs[2].qlen, vec![0, 3]);
+        assert_eq!(m.nfs[2].qlen.len(), m.samples());
+        // exporters index every series by tick: must not panic
+        let csv = m.to_csv();
+        assert!(csv.contains("a~1"));
+    }
+
+    #[test]
+    fn off_recorder_ignores_add_nf_series() {
+        let mut m = MetricsRecorder::off();
+        m.add_nf_series("x");
+        assert!(m.nfs.is_empty());
     }
 
     #[test]

@@ -175,6 +175,33 @@ pub enum TraceKind {
         /// The restarted NF.
         nf: u32,
     },
+    /// The elastic controller spawned a scale-out replica of a persistent
+    /// bottleneck NF on another core.
+    NfScaleOut {
+        /// The replicated (base) NF.
+        nf: u32,
+        /// The new replica instance.
+        replica: u32,
+        /// The core the replica was placed on.
+        core: u32,
+    },
+    /// The elastic controller migrated an NF from a saturated core to a
+    /// quieter one.
+    NfMigrate {
+        /// The migrated NF.
+        nf: u32,
+        /// Source core.
+        from: u32,
+        /// Destination core.
+        to: u32,
+    },
+    /// The elastic controller retired a drained replica (scale-in).
+    NfScaleIn {
+        /// The base NF whose group shrank.
+        nf: u32,
+        /// The retired replica instance.
+        replica: u32,
+    },
 }
 
 impl TraceKind {
@@ -195,6 +222,9 @@ impl TraceKind {
             TraceKind::NfCrash { .. } => "nf_crash",
             TraceKind::NfStallDetect { .. } => "nf_stall_detect",
             TraceKind::NfRestart { .. } => "nf_restart",
+            TraceKind::NfScaleOut { .. } => "nf_scale_out",
+            TraceKind::NfMigrate { .. } => "nf_migrate",
+            TraceKind::NfScaleIn { .. } => "nf_scale_in",
         }
     }
 }
@@ -256,6 +286,20 @@ impl TraceEvent {
             TraceKind::CtxSwitch { core, task } => {
                 field(&mut s, "core", core);
                 field(&mut s, "task", task);
+            }
+            TraceKind::NfScaleOut { nf, replica, core } => {
+                field(&mut s, "nf", nf);
+                field(&mut s, "replica", replica);
+                field(&mut s, "core", core);
+            }
+            TraceKind::NfMigrate { nf, from, to } => {
+                field(&mut s, "nf", nf);
+                field(&mut s, "from", from);
+                field(&mut s, "to", to);
+            }
+            TraceKind::NfScaleIn { nf, replica } => {
+                field(&mut s, "nf", nf);
+                field(&mut s, "replica", replica);
             }
         }
         s.push('}');
@@ -320,6 +364,24 @@ pub fn trace_to_csv(events: &[TraceEvent]) -> String {
                 String::new(),
                 String::new(),
                 format!("core{core}->task{task}"),
+            ),
+            TraceKind::NfScaleOut { nf, replica, core } => (
+                opt(nf),
+                String::new(),
+                String::new(),
+                format!("replica{replica}@core{core}"),
+            ),
+            TraceKind::NfMigrate { nf, from, to } => (
+                opt(nf),
+                String::new(),
+                String::new(),
+                format!("core{from}->core{to}"),
+            ),
+            TraceKind::NfScaleIn { nf, replica } => (
+                opt(nf),
+                String::new(),
+                String::new(),
+                format!("replica{replica}"),
             ),
         };
         let _ = writeln!(
@@ -492,6 +554,26 @@ mod tests {
                     nf: 2,
                 },
                 r#"{"t_ns":42,"ev":"drop","cause":"nf_down","flow":1,"chain":0,"nf":2}"#,
+            ),
+            (
+                TraceKind::NfScaleOut {
+                    nf: 1,
+                    replica: 4,
+                    core: 1,
+                },
+                r#"{"t_ns":42,"ev":"nf_scale_out","nf":1,"replica":4,"core":1}"#,
+            ),
+            (
+                TraceKind::NfMigrate {
+                    nf: 2,
+                    from: 0,
+                    to: 1,
+                },
+                r#"{"t_ns":42,"ev":"nf_migrate","nf":2,"from":0,"to":1}"#,
+            ),
+            (
+                TraceKind::NfScaleIn { nf: 1, replica: 4 },
+                r#"{"t_ns":42,"ev":"nf_scale_in","nf":1,"replica":4}"#,
             ),
         ];
         for (kind, want) in cases {

@@ -76,11 +76,19 @@ impl ChainRegistry {
         self.chains[chain.index()].contains(&nf)
     }
 
-    /// First hop index at which `nf` appears on `chain`, if any. Used to
-    /// decide whether a bottleneck is *downstream* of an NF — only then is
-    /// the NF's pending work for that chain doomed.
+    /// First hop index at which `nf` appears on `chain`, if any.
     pub fn first_position(&self, chain: ChainId, nf: NfId) -> Option<usize> {
         self.chains[chain.index()].iter().position(|&x| x == nf)
+    }
+
+    /// *Last* hop index at which `nf` appears on `chain`, if any. This is
+    /// the position that decides whether a bottleneck is *downstream* of
+    /// the NF (only then is its pending work for the chain doomed): a
+    /// chain may revisit an NF after the bottleneck, and judging the NF by
+    /// its first hop would park the very instance whose later hop has to
+    /// drain the congestion — a throttle deadlock.
+    pub fn last_position(&self, chain: ChainId, nf: NfId) -> Option<usize> {
+        self.chains[chain.index()].iter().rposition(|&x| x == nf)
     }
 }
 
@@ -117,6 +125,18 @@ mod tests {
         let mut r = ChainRegistry::new();
         let c = r.install(&[NfId(0), NfId(1), NfId(0)]);
         assert_eq!(r.nf_at(c, 2), Some(NfId(0)));
+    }
+
+    #[test]
+    fn first_and_last_position_differ_on_repeated_nfs() {
+        let mut r = ChainRegistry::new();
+        let c = r.install(&[NfId(0), NfId(1), NfId(0)]);
+        assert_eq!(r.first_position(c, NfId(0)), Some(0));
+        assert_eq!(r.last_position(c, NfId(0)), Some(2));
+        // single occurrence: both agree
+        assert_eq!(r.first_position(c, NfId(1)), Some(1));
+        assert_eq!(r.last_position(c, NfId(1)), Some(1));
+        assert_eq!(r.last_position(c, NfId(9)), None);
     }
 
     #[test]

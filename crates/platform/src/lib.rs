@@ -25,5 +25,5 @@ pub use nf::{
     BlockReason, CostModel, ForwardAll, IoMode, NfAction, NfHealth, NfIoSpec, NfRuntime, NfSpec,
     PacketHandler,
 };
-pub use platform::{BatchEffects, BatchPlan, IoCompleteOutcome, Platform, PlatformConfig};
+pub use platform::{AdmitFn, BatchEffects, BatchPlan, IoCompleteOutcome, Platform, PlatformConfig};
 pub use stats::{ChainStats, DropLocation, FlowStats, PlatformStats, TcpEvent, TcpEventKind};

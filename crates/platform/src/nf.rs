@@ -281,6 +281,11 @@ pub struct NfRuntime {
     pub health: NfHealth,
     /// Transient per-packet cost multiplier (slowdown fault; 1 = nominal).
     pub cost_factor: u64,
+    /// `Some(base)` when this instance is an elastic scale-out replica of
+    /// `base`. Replicas never appear on chain paths — the enqueue sites
+    /// resolve through the platform's replica map — and chain-position
+    /// logic (suppression, down-chain shedding) judges them by their base.
+    pub replica_of: Option<nfv_pkt::NfId>,
 
     // ---- counters ----
     /// Packets fully processed by this NF.
@@ -322,11 +327,12 @@ impl NfRuntime {
             blocked: Some(BlockReason::EmptyRx),
             pending_by_chain: ChainCounts::default(),
             outbox: VecDeque::new(),
-            in_progress: Vec::new(),
+            in_progress: Vec::new(), // nfv-lint: allow(hot-alloc) -- empty vec: no allocation; one-time per NF registration
             current_batch: None,
             dbuf,
             health: NfHealth::Up,
             cost_factor: 1,
+            replica_of: None,
             processed: 0,
             wasted_drops: 0,
             arrivals: 0,

@@ -23,6 +23,17 @@ use nfv_pkt::{
 use nfv_sched::{CfsParams, CgroupCpu, OsScheduler, Policy, SchedBackend};
 use std::collections::BTreeSet;
 
+/// Entry-admission hook for [`Platform::rx_poll`]: the NFVnice selective
+/// early discard policy, injected by the engine (always-true without
+/// backpressure). Called as `admit(chain, flow, on_path)`; `on_path(t)`
+/// answers "does instance `t` lie on this flow's resolved path?", so
+/// with replicas the policy sheds only flows that would actually
+/// traverse a congested instance — a flow sharded to a fresh replica is
+/// not punished for its sibling's queue. Without replicas every
+/// instance is on every path and the hook degenerates to the classic
+/// per-chain check.
+pub type AdmitFn<'a> = dyn FnMut(ChainId, FlowId, &mut dyn FnMut(NfId) -> bool) -> bool + 'a;
+
 /// Static platform configuration.
 #[derive(Debug, Clone)]
 pub struct PlatformConfig {
@@ -145,6 +156,21 @@ pub struct Platform {
     /// Number of NFs currently `Down` — lets the per-frame dead-chain
     /// check in `rx_poll` short-circuit to nothing in fault-free runs.
     down_nfs: usize,
+    /// Live replica instances per base NF, in spawn order. Chains always
+    /// name base NFs; [`Platform::resolve_instance`] routes each packet
+    /// to an instance of the group at the enqueue sites. Empty (and
+    /// O(1)-skipped everywhere) unless elastic scale-out spawned one.
+    replicas_of: std::collections::BTreeMap<NfId, Vec<NfId>>,
+    /// Per replica group: flows minted *before* the first replica existed
+    /// (`flow.0 < floor`) stay pinned to the base instance, so per-flow
+    /// state never splits mid-flow. Only flows classified after scale-out
+    /// are RSS-sharded.
+    replica_floor: std::collections::BTreeMap<NfId, u32>,
+    /// RSS consistency across group-size changes: the instance a (post-
+    /// floor) flow was first sharded to, pinned for the flow's lifetime.
+    /// Pins to a retired replica are dropped at scale-in; those flows
+    /// re-shard over the remaining group on their next packet.
+    flow_pins: std::collections::BTreeMap<(NfId, FlowId), NfId>,
 }
 
 impl Platform {
@@ -173,6 +199,9 @@ impl Platform {
             tcp_flows: BTreeSet::new(),
             scratch_frames: Vec::new(),
             down_nfs: 0,
+            replicas_of: std::collections::BTreeMap::new(),
+            replica_floor: std::collections::BTreeMap::new(),
+            flow_pins: std::collections::BTreeMap::new(),
             cfg,
         }
     }
@@ -275,15 +304,10 @@ impl Platform {
     // ------------------------------------------------------------------
 
     /// Poll every pending NIC frame, classify, apply entry admission and
-    /// enqueue to each chain's first NF. `admit` is the NFVnice selective
-    /// early discard hook (always-true without backpressure). TCP
-    /// congestion feedback is appended to `tcp_out`.
-    pub fn rx_poll(
-        &mut self,
-        now: SimTime,
-        admit: &mut dyn FnMut(ChainId, FlowId) -> bool,
-        tcp_out: &mut Vec<TcpEvent>,
-    ) {
+    /// enqueue to each chain's first NF (see [`AdmitFn`] for the
+    /// admission hook contract). TCP congestion feedback is appended to
+    /// `tcp_out`.
+    pub fn rx_poll(&mut self, now: SimTime, admit: &mut AdmitFn<'_>, tcp_out: &mut Vec<TcpEvent>) {
         let mut frames = std::mem::take(&mut self.scratch_frames);
         frames.clear();
         self.nic.take_rx(&mut frames);
@@ -311,9 +335,20 @@ impl Platform {
             // The entry NF's offered load (λ) is measured pre-admission:
             // the RX thread sees every classified frame, and rate-cost
             // shares must reflect demand, not the post-throttle trickle.
+            // With replicas, the flow is first sharded to its instance so
+            // each instance's estimator sees only its own demand.
             let entry = self.chains.entry(chain);
+            let entry = self.resolve_instance(entry, flow);
             self.nfs[entry.index()].note_arrival();
-            if !admit(chain, flow) {
+            let shed = {
+                let this = &mut *self;
+                let mut on_path = |t: NfId| {
+                    let base = this.canonical_of(t);
+                    this.resolve_instance(base, flow) == t
+                };
+                !admit(chain, flow, &mut on_path)
+            };
+            if shed {
                 self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
                 self.trace_drop(now, DropCause::EntryThrottle, flow.0, chain.0, entry.0);
                 self.note_tcp_drop(flow, frame.seq, tcp_out);
@@ -420,6 +455,9 @@ impl Platform {
                         }
                     }
                     Some(next) => {
+                        // Chains name base NFs; shard the flow across the
+                        // hop's replica group (no-op without replicas).
+                        let next = self.resolve_instance(next, flow);
                         // A dead next hop cannot accept the packet; the
                         // upstream NF's processing is wasted, same as a
                         // full-ring drop. (Transient: entry shedding stops
@@ -756,6 +794,192 @@ impl Platform {
         nf.health = NfHealth::Stalled;
     }
 
+    // ------------------------------------------------------------------
+    // Elastic scaling mechanism (replica spawn / migration / retire)
+    // ------------------------------------------------------------------
+
+    /// The base NF an instance stands in for: itself for ordinary NFs,
+    /// its `replica_of` for scale-out replicas. Chain-position logic
+    /// (suppression, audits) always compares canonical ids.
+    pub fn canonical_of(&self, nf: NfId) -> NfId {
+        self.nfs[nf.index()].replica_of.unwrap_or(nf)
+    }
+
+    /// True when `nf` is a scale-out replica (never named on a chain).
+    pub fn is_replica(&self, nf: NfId) -> bool {
+        self.nfs[nf.index()].replica_of.is_some()
+    }
+
+    /// Live replicas of `base`, in spawn order (empty for unreplicated
+    /// NFs).
+    pub fn replica_group(&self, base: NfId) -> &[NfId] {
+        self.replicas_of.get(&base).map_or(&[], |g| g.as_slice())
+    }
+
+    /// Base NFs that currently have at least one live replica.
+    pub fn replicated_bases(&self) -> impl Iterator<Item = NfId> + '_ {
+        self.replicas_of.keys().copied()
+    }
+
+    /// Spawn a replica of `of` on `core`: a fresh NF runtime with the
+    /// base's spec (fresh rings, default forward handler — per-flow state
+    /// never splits because established flows stay pinned to their
+    /// original instance) and a fresh scheduler task, registered at the
+    /// end of the NF table so the task-id/NF-id lockstep invariant holds.
+    /// The first spawn for a base records the established-flow floor:
+    /// every flow minted before it stays on the base.
+    pub fn add_replica(&mut self, of: NfId, core: usize, now: SimTime) -> NfId {
+        assert!(core < self.cfg.nf_cores, "replica pinned to missing core");
+        assert!(
+            self.nfs[of.index()].replica_of.is_none(),
+            "replica of a replica"
+        );
+        let nth = self.replica_group(of).len() + 1;
+        let mut spec = self.nfs[of.index()].spec.clone();
+        spec.core = core;
+        spec.name = format!("{}~{nth}", spec.name); // nfv-lint: allow(hot-alloc) -- one-time per scale-out action, not per packet
+        let id = self.add_nf_with_handler(spec, Box::new(ForwardAll)); // nfv-lint: allow(hot-alloc) -- one-time per scale-out action, not per packet
+        self.nfs[id.index()].replica_of = Some(of);
+        self.replica_floor
+            .entry(of)
+            .or_insert(self.stats.flows.len() as u32);
+        self.replicas_of.entry(of).or_default().push(id);
+        self.trace.record(
+            now,
+            TraceKind::NfScaleOut {
+                nf: of.0,
+                replica: id.0,
+                core: core as u32,
+            },
+        );
+        id
+    }
+
+    /// Re-pin an off-CPU NF to `to_core`: park (a no-op if already
+    /// blocked), re-home the scheduler task, and leave the NF blocked on
+    /// its rings — which move with it untouched — until the wakeup thread
+    /// sees its pending work. The caller must not call this for the task
+    /// currently running on its core (the engine defers to a batch
+    /// boundary); rings, estimator and shares are the engine's to fix up.
+    pub fn migrate_nf(&mut self, nf_id: NfId, to_core: usize, now: SimTime) {
+        assert!(to_core < self.cfg.nf_cores, "migration to missing core");
+        let idx = nf_id.index();
+        let from = self.nfs[idx].spec.core;
+        debug_assert_ne!(from, to_core, "migration to the same core");
+        let task = self.nfs[idx].task;
+        let parked = self.sched.park(task, now);
+        debug_assert!(parked, "migrate_nf of a Running task");
+        self.sched.rehome_task(task, to_core);
+        self.nfs[idx].spec.core = to_core;
+        // Blocked-on-empty-RX is the wakeup thread's cue to re-admit the
+        // NF (on its new core) as soon as it has pending packets.
+        self.nfs[idx].blocked = Some(BlockReason::EmptyRx);
+        self.nfs[idx].yield_flag = false;
+        self.trace.record(
+            now,
+            TraceKind::NfMigrate {
+                nf: nf_id.0,
+                from: from as u32,
+                to: to_core as u32,
+            },
+        );
+    }
+
+    /// Retire a drained replica (scale-in): remove it from its group so
+    /// no further packets route to it, drop its flow pins (those flows
+    /// re-shard over the remaining group), and park its task for good.
+    /// The instance must be empty — the elastic controller only retires
+    /// replicas whose rings and batch are idle, so nothing is dropped.
+    ///
+    /// The runtime slot is marked `Down` but deliberately *not* counted
+    /// in `down_nfs`: replicas never appear on chain paths, so the
+    /// dead-chain scan has nothing to find and fault-free runs keep their
+    /// O(1) short-circuit.
+    pub fn retire_replica(&mut self, replica: NfId, now: SimTime) {
+        let idx = replica.index();
+        let base = self.nfs[idx].replica_of.expect("retire of a base NF");
+        debug_assert!(
+            self.nfs[idx].rx.is_empty()
+                && self.nfs[idx].tx.is_empty()
+                && self.nfs[idx].outbox.is_empty()
+                && self.nfs[idx].in_progress.is_empty(),
+            "retire of a non-drained replica"
+        );
+        self.nfs[idx].health = NfHealth::Down;
+        self.nfs[idx].blocked = None;
+        self.nfs[idx].yield_flag = false;
+        self.nfs[idx].pending_by_chain.clear();
+        let group = self.replicas_of.get_mut(&base).expect("orphan replica");
+        group.retain(|&r| r != replica);
+        if group.is_empty() {
+            self.replicas_of.remove(&base);
+            self.replica_floor.remove(&base);
+        }
+        self.flow_pins.retain(|_, &mut inst| inst != replica);
+        let task = self.nfs[idx].task;
+        self.sched.park(task, now);
+        self.trace.record(
+            now,
+            TraceKind::NfScaleIn {
+                nf: base.0,
+                replica: replica.0,
+            },
+        );
+    }
+
+    /// Route a packet of `flow` bound for chain hop `target` (always a
+    /// base NF) to an instance of the target's replica group:
+    ///
+    /// - no replicas → the base itself (the O(1) fast path for every run
+    ///   without elastic scale-out);
+    /// - flows older than the group (minted before the first replica
+    ///   existed) → the base, always: per-flow state never splits;
+    /// - younger flows → RSS-style tuple-hash modulo the instance count,
+    ///   pinned on first resolution so a later group-size change cannot
+    ///   re-shard an active flow;
+    /// - a pin to an instance that has since died falls back to the base
+    ///   (without re-pinning, so the instance resumes service on respawn).
+    pub fn resolve_instance(&mut self, target: NfId, flow: FlowId) -> NfId {
+        if self.replicas_of.is_empty() {
+            return target;
+        }
+        let Some(group) = self.replicas_of.get(&target) else {
+            return target;
+        };
+        if flow.0 < self.replica_floor[&target] {
+            return target;
+        }
+        let inst = match self.flow_pins.get(&(target, flow)) {
+            Some(&pinned) => pinned,
+            None => {
+                let n = group.len() + 1;
+                let shard = Self::rss_hash(flow) % n as u64;
+                let inst = if shard == 0 {
+                    target
+                } else {
+                    group[shard as usize - 1]
+                };
+                self.flow_pins.insert((target, flow), inst);
+                inst
+            }
+        };
+        if self.nfs[inst.index()].health == NfHealth::Down {
+            return target;
+        }
+        inst
+    }
+
+    /// FNV-1a over the flow key — the sim's stand-in for an RSS tuple
+    /// hash (a flow id is minted per distinct 5-tuple). Cheap,
+    /// deterministic, and spreads consecutive ids across shards.
+    fn rss_hash(flow: FlowId) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in flow.0.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Age of the packet at the head of `nf`'s RX ring (how long it has
     /// been queued) — the backpressure queuing-time input.
     pub fn rx_head_age(&self, nf_id: NfId, now: SimTime) -> Option<Duration> {
@@ -832,7 +1056,7 @@ mod tests {
         let (mut p, _, _) = mini_platform();
         inject(&mut p, 10, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         assert_eq!(p.nfs[0].pending(), 10);
         assert_eq!(p.nfs[0].arrivals, 10);
         assert!(tcp.is_empty());
@@ -844,7 +1068,7 @@ mod tests {
         let (mut p, chain, flow) = mini_platform();
         inject(&mut p, 5, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| false, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| false, &mut tcp);
         assert_eq!(p.nfs[0].pending(), 0);
         assert_eq!(p.stats.entry_throttle_drops, 5);
         assert_eq!(p.stats.chains[chain.index()].entry_drops, 5);
@@ -857,7 +1081,7 @@ mod tests {
         let (mut p, _, flow) = mini_platform();
         inject(&mut p, 40, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         // NF a: one batch of 32
         let plan = p.plan_batch(NfId(0));
         match plan {
@@ -909,7 +1133,7 @@ mod tests {
         let (mut p, _, _) = mini_platform();
         inject(&mut p, 5, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.nfs[0].yield_flag = true;
         assert_eq!(
             p.plan_batch(NfId(0)),
@@ -929,7 +1153,7 @@ mod tests {
         inject(&mut p, 64, SimTime::ZERO);
         let mut tcp = Vec::new();
         let mut woken = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         // a processes two batches of 32
         for _ in 0..2 {
             assert!(matches!(p.plan_batch(a), BatchPlan::Run { .. }));
@@ -957,7 +1181,7 @@ mod tests {
         inject(&mut p, 32, SimTime::ZERO);
         let mut tcp = Vec::new();
         let mut woken = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(a);
         p.finish_batch(a, SimTime::from_micros(1));
         // 16 fit in tx, 16 spilled
@@ -991,7 +1215,7 @@ mod tests {
         let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
         inject(&mut p, 8, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(a);
         p.finish_batch(a, SimTime::from_micros(1));
         assert_eq!(p.mempool.in_use(), 0);
@@ -1017,7 +1241,7 @@ mod tests {
         }
         let mut tcp = Vec::new();
         let mut woken = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(a);
         p.finish_batch(a, SimTime::from_micros(1));
         p.tx_drain(
@@ -1048,7 +1272,7 @@ mod tests {
         });
         let mut tcp = Vec::new();
         let mut woken = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(NfId(0));
         p.finish_batch(NfId(0), SimTime::from_micros(1));
         // mark everything entering NF b
@@ -1082,7 +1306,7 @@ mod tests {
         p.set_io_flow(flow);
         inject(&mut p, 8, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(a);
         let fx = p.finish_batch(a, SimTime::from_micros(1));
         assert_eq!(fx.block, Some(BlockReason::Io));
@@ -1099,7 +1323,7 @@ mod tests {
         let (mut p, _, flow) = mini_platform();
         inject(&mut p, 40, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         // Put packets in every holding spot of NF a: 8 left in rx, 32
         // mid-batch.
         p.plan_batch(NfId(0));
@@ -1122,7 +1346,7 @@ mod tests {
         inject(&mut p, 4, SimTime::ZERO);
         let mut tcp = Vec::new();
         let mut woken = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(NfId(0));
         p.finish_batch(NfId(0), SimTime::from_micros(1));
         // Downstream NF b dies with a's output still in a's TX ring.
@@ -1140,7 +1364,7 @@ mod tests {
         );
         // New arrivals for the dead chain are shed at entry, pre-λ.
         inject(&mut p, 4, SimTime::from_micros(4));
-        p.rx_poll(SimTime::from_micros(4), &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::from_micros(4), &mut |_, _, _| true, &mut tcp);
         assert_eq!(p.nfs[0].pending(), 0);
         assert_eq!(p.nfs[0].arrivals, 4, "shed frames are not offered load");
         assert_eq!(p.stats.nf_down_drops, 8);
@@ -1151,7 +1375,7 @@ mod tests {
         assert!(!p.any_nf_down());
         assert_eq!(p.chain_down_nf(chain), None);
         inject(&mut p, 4, SimTime::from_micros(6));
-        p.rx_poll(SimTime::from_micros(6), &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::from_micros(6), &mut |_, _, _| true, &mut tcp);
         assert_eq!(p.nfs[0].pending(), 4);
     }
 
@@ -1173,7 +1397,7 @@ mod tests {
         let (mut p, _, _) = mini_platform();
         inject(&mut p, 8, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.stall_nf(NfId(0));
         let plan = p.plan_batch(NfId(0));
         match plan {
@@ -1194,7 +1418,7 @@ mod tests {
         let (mut p, _, _) = mini_platform();
         inject(&mut p, 8, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.nfs[0].cost_factor = 4;
         let BatchPlan::Run { duration: slow, .. } = p.plan_batch(NfId(0)) else {
             panic!("expected a batch");
@@ -1217,6 +1441,127 @@ mod tests {
         assert!(diff.abs() <= 1, "slow={slow} base={base}");
     }
 
+    /// Two-core fixture for the elastic-scaling mechanism tests.
+    fn elastic_platform() -> (Platform, ChainId, NfId, NfId, FlowId) {
+        let mut p = Platform::new(PlatformConfig {
+            nf_cores: 2,
+            ..Default::default()
+        });
+        let a = p.add_nf(NfSpec::new("a", 0, 100));
+        let b = p.add_nf(NfSpec::new("b", 0, 200));
+        let chain = p.install_chain(&[a, b]);
+        let flow = p.install_flow(FiveTuple::synthetic(0, Proto::Udp), chain);
+        (p, chain, a, b, flow)
+    }
+
+    #[test]
+    fn established_flows_stay_pinned_to_base_after_scale_out() {
+        let (mut p, _, a, b, old_flow) = elastic_platform();
+        let r = p.add_replica(b, 1, SimTime::ZERO);
+        assert_eq!(p.canonical_of(r), b);
+        assert_eq!(p.canonical_of(b), b);
+        assert!(p.is_replica(r) && !p.is_replica(b));
+        assert_eq!(p.replica_group(b), &[r]);
+        assert_eq!(p.replicated_bases().collect::<Vec<_>>(), vec![b]);
+        assert_eq!(p.nfs[r.index()].spec.core, 1);
+        assert_eq!(p.nfs[r.index()].spec.name, "b~1");
+        // The flow minted before the replica existed keeps its instance —
+        // per-flow state never splits.
+        assert_eq!(p.resolve_instance(b, old_flow), b);
+        // Unreplicated NFs resolve to themselves.
+        assert_eq!(p.resolve_instance(a, old_flow), a);
+    }
+
+    #[test]
+    fn new_flows_shard_across_the_group_with_stable_pins() {
+        let (mut p, chain, _, b, _) = elastic_platform();
+        let r = p.add_replica(b, 1, SimTime::ZERO);
+        let mut hit = std::collections::BTreeSet::new();
+        for i in 1..=8 {
+            let f = p.install_flow(FiveTuple::synthetic(i, Proto::Udp), chain);
+            let inst = p.resolve_instance(b, f);
+            assert_eq!(p.resolve_instance(b, f), inst, "pin is stable");
+            hit.insert(inst);
+        }
+        assert!(
+            hit.contains(&b) && hit.contains(&r),
+            "tuple-hash sharding uses both instances: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn down_replica_falls_back_to_base_without_losing_the_pin() {
+        let (mut p, chain, _, b, _) = elastic_platform();
+        let r = p.add_replica(b, 1, SimTime::ZERO);
+        // Find a flow sharded onto the replica.
+        let mut on_replica = None;
+        for i in 1..=16 {
+            let f = p.install_flow(FiveTuple::synthetic(i, Proto::Udp), chain);
+            if p.resolve_instance(b, f) == r {
+                on_replica = Some(f);
+                break;
+            }
+        }
+        let f = on_replica.expect("some flow shards to the replica");
+        let mut tcp = Vec::new();
+        p.crash_nf(r, SimTime::ZERO, &mut tcp);
+        assert_eq!(p.resolve_instance(b, f), b, "dead instance: serve at base");
+        p.restart_nf(r, SimTime::from_micros(1));
+        assert_eq!(p.resolve_instance(b, f), r, "pin survives the outage");
+    }
+
+    #[test]
+    fn retire_replica_unroutes_it_and_drops_its_pins() {
+        let (mut p, chain, _, b, _) = elastic_platform();
+        let r = p.add_replica(b, 1, SimTime::ZERO);
+        for i in 1..=8 {
+            let f = p.install_flow(FiveTuple::synthetic(i, Proto::Udp), chain);
+            p.resolve_instance(b, f);
+        }
+        assert!(!p.flow_pins.is_empty());
+        p.retire_replica(r, SimTime::from_micros(1));
+        assert!(p.replica_group(b).is_empty());
+        assert!(
+            p.flow_pins.values().all(|&inst| inst != r),
+            "no pin may survive to the retired instance"
+        );
+        assert_eq!(p.nfs[r.index()].health, NfHealth::Down);
+        assert!(!p.any_nf_down(), "a retired replica is not a fault");
+        for i in 1..=8 {
+            // Flow ids are mint-ordered; the pins are gone and so is the
+            // group, so everything lands on the base again.
+            let f = FlowId(1 + i);
+            assert_eq!(p.resolve_instance(b, f), b);
+        }
+    }
+
+    #[test]
+    fn migrate_nf_rehomes_the_blocked_task_and_keeps_rings() {
+        let (mut p, _, a, b, _) = elastic_platform();
+        // Park a's output in b's RX ring, then migrate b to core 1.
+        inject(&mut p, 8, SimTime::ZERO);
+        let mut tcp = Vec::new();
+        let mut woken = Vec::new();
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
+        p.plan_batch(a);
+        p.finish_batch(a, SimTime::from_micros(1));
+        p.tx_drain(
+            SimTime::from_micros(2),
+            &mut |_| false,
+            &mut tcp,
+            &mut woken,
+        );
+        assert_eq!(p.nfs[b.index()].pending(), 8);
+        p.migrate_nf(b, 1, SimTime::from_micros(3));
+        assert_eq!(p.core_of(b), 1);
+        assert_eq!(p.sched.task(p.nfs[b.index()].task).core, 1);
+        assert_eq!(p.nfs[b.index()].blocked, Some(BlockReason::EmptyRx));
+        assert_eq!(p.nfs[b.index()].pending(), 8, "backlog moves with it");
+        // The wakeup path admits it on the new core.
+        assert!(p.wake_nf(b, SimTime::from_micros(4)));
+        assert!(matches!(p.plan_batch(b), BatchPlan::Run { n: 8, .. }));
+    }
+
     #[test]
     fn async_io_overlaps_until_both_buffers_full() {
         use crate::nf::NfIoSpec;
@@ -1231,7 +1576,7 @@ mod tests {
         p.set_io_flow(flow);
         inject(&mut p, 8, SimTime::ZERO);
         let mut tcp = Vec::new();
-        p.rx_poll(SimTime::ZERO, &mut |_, _| true, &mut tcp);
+        p.rx_poll(SimTime::ZERO, &mut |_, _, _| true, &mut tcp);
         p.plan_batch(a);
         let fx = p.finish_batch(a, SimTime::from_micros(1));
         // 8 pkts × 64B = 512B = both buffers: one flush + one blocked

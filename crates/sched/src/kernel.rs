@@ -115,6 +115,28 @@ impl KernelCtx {
         self.tasks[id.index()].weight = weight.max(1);
     }
 
+    /// Re-pin a *blocked* task to another core (cross-core migration,
+    /// `sched_setaffinity` style). The task re-enters competition at the
+    /// destination's current min_vruntime — the same placement a freshly
+    /// added task gets — so it neither starves the incumbents with stale
+    /// credit nor loses its wakeup bonus. Backend-neutral mechanism: both
+    /// backends read `task.core` from this table at wake time.
+    ///
+    /// # Panics
+    /// Panics when `core` is out of range or the task is not blocked
+    /// (callers park first; a Running task defers to its batch boundary).
+    pub fn rehome_task(&mut self, id: TaskId, core: usize) {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        let t = &mut self.tasks[id.index()];
+        assert_eq!(
+            t.state,
+            TaskState::Blocked,
+            "rehome of a task still on a runqueue"
+        );
+        t.core = core;
+        t.vruntime = self.cores[core].rq.min_vruntime();
+    }
+
     /// Currently running task on `core`.
     pub fn current(&self, core: usize) -> Option<TaskId> {
         self.cores[core].current

@@ -172,6 +172,13 @@ impl OsScheduler {
         self.ctx_mut().set_weight(id, weight);
     }
 
+    /// Re-pin a blocked task to another core (cross-core migration). See
+    /// [`KernelCtx::rehome_task`]; identical across backends since both
+    /// consult the shared task table for wake placement.
+    pub fn rehome_task(&mut self, id: TaskId, core: usize) {
+        self.ctx_mut().rehome_task(id, core);
+    }
+
     /// Grant `id` a per-job latency budget: each wakeup's deadline
     /// becomes `now + budget`. Only consulted by the deadline policies
     /// ([`Policy::Edf`] / [`Policy::Slo`]); the engine derives these from
@@ -546,6 +553,51 @@ mod tests {
         assert!(!s.park(a, SimTime::ZERO), "running task defers to boundary");
         s.block_current(0, SimTime::ZERO);
         assert!(s.park(a, SimTime::ZERO), "blocked task stays parked");
+    }
+
+    #[test]
+    fn rehome_moves_blocked_task_and_resets_vruntime_credit() {
+        for backend in BACKENDS {
+            let mut s = sched_with(Policy::CfsNormal, backend);
+            let mover = s.add_task("mover", 0);
+            let incumbent = s.add_task("incumbent", 1);
+            let mut now = SimTime::ZERO;
+            // Build up vruntime on core 1's queue so its floor is nonzero.
+            s.wake(incumbent, now);
+            s.dispatch(1, now);
+            for _ in 0..100 {
+                s.charge_current(1, Duration::from_millis(1));
+            }
+            now = SimTime::from_millis(100);
+            // mover ran nothing: vruntime 0. Rehome to core 1 — it must be
+            // re-placed at the destination floor, not keep 100 ms of credit.
+            assert!(s.is_blocked(mover));
+            s.rehome_task(mover, 1);
+            s.wake(mover, now);
+            assert_eq!(s.queued(1), 1, "mover queued on core 1 ({backend:?})");
+            assert!(s.core_idle(0), "core 0 no longer owns it ({backend:?})");
+            s.requeue_current(1, now, SwitchKind::Involuntary);
+            s.dispatch(1, now);
+            // mover's wakeup bonus is bounded: after latency/2 of execution
+            // the incumbent runs again instead of starving for 100 ms.
+            s.charge_current(1, Duration::from_micros(1_500));
+            now += Duration::from_micros(1_500);
+            s.requeue_current(1, now, SwitchKind::Involuntary);
+            let (next, _) = s.dispatch(1, now).unwrap();
+            assert_eq!(
+                next, incumbent,
+                "migrated task carries no stale credit ({backend:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rehome of a task still on a runqueue")]
+    fn rehome_of_runnable_task_panics() {
+        let mut s = sched(Policy::CfsNormal);
+        let a = s.add_task("a", 0);
+        s.wake(a, SimTime::ZERO);
+        s.rehome_task(a, 1);
     }
 
     #[test]

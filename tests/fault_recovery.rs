@@ -134,6 +134,46 @@ fn faulted_runs_are_deterministic_and_fault_sensitive() {
     assert_ne!(da, healthy, "the fault must be part of the replayed trace");
 }
 
+/// Cgroup shares must reconverge *immediately* on a domain-membership
+/// change, not at the next 10 ms weight tick. Timeline (weight ticks at
+/// 50/60 ms): crash the bottleneck at 52 ms, respawn at 57 ms, end the
+/// run at 59 ms — no weight tick fires after the crash, so every share
+/// movement observed below comes from the immediate recomputes in
+/// `kill_nf` / `do_respawn`. Pre-fix code (periodic tick only) leaves
+/// all three shares frozen at their 50 ms values.
+#[test]
+fn shares_reconverge_immediately_on_crash_and_respawn() {
+    let shares_at = |t_ms: u64| {
+        let mut cfg = faulted_cfg(11, Some(FaultKind::Crash), true);
+        cfg.faults.respawn_delay = Duration::from_millis(5);
+        cfg.faults.events.clear();
+        cfg.faults = cfg
+            .faults
+            .with_fault(SimTime::from_millis(52), NfId(2), FaultKind::Crash);
+        let mut sim = build(cfg);
+        sim.run(Duration::from_millis(t_ms));
+        let p = &sim.platform;
+        [0, 1, 2].map(|i| p.cgroups.shares(p.nfs[i].task))
+    };
+    let pre = shares_at(51); // after the 50 ms weight tick, before the crash
+    let down = shares_at(55); // after the crash, before the respawn
+    let post = shares_at(59); // after the respawn, before the 60 ms tick
+
+    assert_ne!(
+        (down[0], down[1]),
+        (pre[0], pre[1]),
+        "survivors must be re-weighted at crash time, not at the next tick"
+    );
+    assert_eq!(
+        down[2], pre[2],
+        "a parked task claims no share and is skipped by the recompute"
+    );
+    assert_ne!(
+        post[2], down[2],
+        "the respawned NF must be folded back into the split immediately"
+    );
+}
+
 /// The watchdog path: a stalled NF (runnable, burning CPU, zero
 /// progress) is detected from progress counters, killed and respawned —
 /// deterministically.
