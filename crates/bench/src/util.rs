@@ -298,6 +298,7 @@ pub fn timings_json() -> String {
             s,
             ",\"queue\":{{\"pushes\":{},\"pops\":{},\"stale_pops\":{},\"cascades\":{},\
              \"cascaded_entries\":{},\"allocs\":{},\"max_len\":{},\
+             \"coalesced_pops\":{},\"skipped_ticks\":{},\
              \"pops_per_sim_sec\":{:.1},\"allocs_per_sim_sec\":{:.1}}}",
             q.pushes,
             q.pops,
@@ -306,6 +307,8 @@ pub fn timings_json() -> String {
             q.cascaded_entries,
             q.allocs,
             q.max_len,
+            q.coalesced_pops,
+            q.skipped_ticks,
             per_sec(q.pops),
             per_sec(q.allocs),
         );
@@ -316,13 +319,15 @@ pub fn timings_json() -> String {
         let _ = write!(
             s,
             ",\"flow\":{{\"active\":{},\"evicted\":{},\"installs\":{},\"recycled\":{},\
-             \"exact_hits\":{},\"wildcard_hits\":{},\"probe_steps\":{},\"max_probe\":{},\
+             \"exact_hits\":{},\"memo_hits\":{},\"wildcard_hits\":{},\"probe_steps\":{},\
+             \"max_probe\":{},\
              \"avg_probe\":{:.3},\"rehashes\":{},\"shards\":{},\"slots\":{},\"pinned\":{}}}}}",
             c.flows_active,
             c.flows_evicted,
             f.installs,
             f.recycled,
             f.exact_hits,
+            f.memo_hits,
             f.wildcard_hits,
             f.probe_steps,
             f.max_probe,

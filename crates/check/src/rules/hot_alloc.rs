@@ -33,6 +33,7 @@ pub const HOT_ROOTS: &[(&str, &str)] = &[
     ("crates/core/src/engine/mod.rs", "handle"),
     ("crates/des/src/queue.rs", "push"),
     ("crates/des/src/queue.rs", "pop_before"),
+    ("crates/des/src/queue.rs", "pop_batch_before"),
 ];
 
 /// Compute per-fn hotness for every file: BFS over the call graph from
@@ -289,9 +290,10 @@ impl Simulation {
 
     #[test]
     fn with_capacity_is_the_fix_not_a_hit() {
-        // both queue roots must exist or the root audit itself fires
+        // every queue root must exist or the root audit itself fires
         let src = "\
 fn push(&mut self) {}
+fn pop_batch_before(&mut self) {}
 fn pop_before(&mut self) {
     let mut v = Vec::with_capacity(8);
     v.push(1);

@@ -62,6 +62,14 @@ pub struct Backpressure {
     throttled_by: Vec<BTreeSet<NfId>>,
     /// marked[nf] = chains this NF has throttled (for exact clearing).
     marked: Vec<BTreeSet<ChainId>>,
+    /// Total (nf, chain) marks across all chains — an O(1) "is anything
+    /// throttled at all" gate for the per-frame admission path.
+    total_marks: u64,
+    /// NFs currently in [`BpState::Throttle`] — with `total_marks`, an
+    /// O(1) full-quiescence gate ([`Backpressure::quiescent`]). A
+    /// markless throttler is possible (all its pending chains drained
+    /// elsewhere before a scan), so both counts are needed.
+    throttled_states: u64,
     /// Throttle activations over the run.
     pub throttle_events: u64,
     /// Structured-event sink (off unless observability is enabled).
@@ -76,6 +84,8 @@ impl Backpressure {
             state: vec![BpState::Watch; num_nfs],
             throttled_by: vec![BTreeSet::new(); num_chains],
             marked: vec![BTreeSet::new(); num_nfs],
+            total_marks: 0,
+            throttled_states: 0,
             throttle_events: 0,
             trace: TraceSink::off(),
         }
@@ -97,6 +107,23 @@ impl Backpressure {
     /// Is `chain` currently subject to entry-point discard?
     pub fn is_throttled(&self, chain: ChainId) -> bool {
         !self.throttled_by[chain.index()].is_empty()
+    }
+
+    /// Is *any* chain throttled by *any* NF right now? O(1) — the
+    /// per-frame admission path checks this before walking a chain's
+    /// throttler set, and the wakeup scan uses it to skip suppression
+    /// checks entirely in the (common) fully-unthrottled steady state.
+    pub fn any_marks(&self) -> bool {
+        self.total_marks > 0
+    }
+
+    /// Is the whole subsystem in its ground state — no chain marks *and*
+    /// no NF in `Throttle`? O(1). While true, a watermark scan over NFs
+    /// with empty rings is a strict no-op (`Watch` + `qlen == 0` can
+    /// neither transition nor mark), which is what lets the engine's idle
+    /// skip-ahead elide wakeup-tick bodies without observable effect.
+    pub fn quiescent(&self) -> bool {
+        self.total_marks == 0 && self.throttled_states == 0
     }
 
     /// Current state of an NF.
@@ -132,6 +159,7 @@ impl Backpressure {
             BpState::Watch => {
                 if above_high && aged {
                     self.state[nf.index()] = BpState::Throttle;
+                    self.throttled_states += 1;
                     self.throttle_events += 1;
                     self.trace
                         .record(now, TraceKind::ThrottleEnter { nf: nf.0 });
@@ -141,6 +169,7 @@ impl Backpressure {
             BpState::Throttle => {
                 if below_low {
                     self.state[nf.index()] = BpState::Watch;
+                    self.throttled_states -= 1;
                     self.trace.record(now, TraceKind::ThrottleExit { nf: nf.0 });
                     self.clear_chains(now, nf);
                 } else if above_high && aged {
@@ -165,6 +194,7 @@ impl Backpressure {
         for &c in chains {
             if self.marked[nf.index()].insert(c) {
                 self.throttled_by[c.index()].insert(nf);
+                self.total_marks += 1;
                 self.trace.record(
                     now,
                     TraceKind::ChainMark {
@@ -184,6 +214,7 @@ impl Backpressure {
     pub fn clear_nf(&mut self, now: SimTime, nf: NfId) {
         if self.state[nf.index()] == BpState::Throttle {
             self.state[nf.index()] = BpState::Watch;
+            self.throttled_states -= 1;
             self.trace.record(now, TraceKind::ThrottleExit { nf: nf.0 });
         }
         self.clear_chains(now, nf);
@@ -193,6 +224,7 @@ impl Backpressure {
         let marked = std::mem::take(&mut self.marked[nf.index()]);
         for c in marked {
             self.throttled_by[c.index()].remove(&nf);
+            self.total_marks -= 1;
             self.trace.record(
                 now,
                 TraceKind::ChainClear {
@@ -375,6 +407,41 @@ mod tests {
         b.set_trace(sink.clone());
         b.clear_nf(T, NfId(0));
         assert!(sink.take().is_empty(), "nothing to clear, nothing traced");
+    }
+
+    #[test]
+    fn any_marks_tracks_the_global_mark_count() {
+        let mut b = bp();
+        assert!(!b.any_marks());
+        let chains = [ChainId(0), ChainId(1)];
+        b.evaluate(T, NfId(1), 90, CAP, age(200), chains.iter());
+        b.evaluate(T, NfId(2), 90, CAP, age(200), [ChainId(0)].iter());
+        assert!(b.any_marks());
+        // NF1 drains: NF2's mark keeps the gate up.
+        b.evaluate(T, NfId(1), 0, CAP, None, [].iter());
+        assert!(b.any_marks());
+        // A crash clears the last mark.
+        b.clear_nf(T, NfId(2));
+        assert!(!b.any_marks());
+    }
+
+    #[test]
+    fn quiescent_requires_no_marks_and_no_throttlers() {
+        let mut b = bp();
+        assert!(b.quiescent());
+        let chains = [ChainId(0)];
+        b.evaluate(T, NfId(1), 90, CAP, age(200), chains.iter());
+        assert!(!b.quiescent());
+        // NF2 throttles with no pending chains: a markless throttler.
+        b.evaluate(T, NfId(2), 90, CAP, age(200), [].iter());
+        b.evaluate(T, NfId(1), 0, CAP, None, [].iter());
+        assert!(!b.quiescent(), "NF2 still in Throttle with no marks");
+        b.evaluate(T, NfId(2), 0, CAP, None, [].iter());
+        assert!(b.quiescent());
+        // clear_nf path maintains the counter too.
+        b.evaluate(T, NfId(1), 90, CAP, age(200), chains.iter());
+        b.clear_nf(T, NfId(1));
+        assert!(b.quiescent());
     }
 
     #[test]

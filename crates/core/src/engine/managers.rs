@@ -89,14 +89,17 @@ impl Simulation {
             ..
         } = self;
         scratch_tcp.clear();
-        let bp_on = cfg.nfvnice.backpressure;
+        // O(1) whole-poll gate: with zero marks anywhere (the common
+        // steady state) every frame admits, so skip the per-frame
+        // throttler walk entirely.
+        let shed_possible = cfg.nfvnice.backpressure && bp.any_marks();
         // Shed only when a throttling instance lies on the flow's resolved
         // path (`on_path` is the platform's replica-sharding resolver) —
         // without replicas every throttler is on every path and this is
         // exactly `is_throttled(chain)`.
         // nfv-lint: allow(layering) -- `AdmitFn`'s resolver argument is a plain callback, not a policy/mechanism trait object
         let mut admit = |chain: ChainId, _flow: FlowId, on_path: &mut dyn FnMut(NfId) -> bool| {
-            !bp_on || !bp.throttlers(chain).any(&mut *on_path)
+            !shed_possible || !bp.throttlers(chain).any(&mut *on_path)
         };
         platform.rx_poll(now, &mut admit, scratch_tcp);
         self.dispatch_tcp_events(now);
@@ -185,12 +188,15 @@ impl Simulation {
                 sanitizer.note_watermark(idx, now, throttled, cfg.nfvnice.bp.qtime_threshold);
             }
         }
-        // Wake / yield classification.
+        // Wake / yield classification. `any_marks` short-circuits the
+        // per-NF suppression walk when nothing is throttled anywhere
+        // (`nf_suppressed` is vacuously false with no throttlers).
+        let may_suppress = bp_on && self.bp.any_marks();
         for idx in 0..self.platform.nfs.len() {
             if !self.platform.nfs[idx].is_up() {
                 continue; // a dead NF's task stays parked until respawn
             }
-            let suppressed = bp_on && self.nf_suppressed(idx);
+            let suppressed = may_suppress && self.nf_suppressed(idx);
             if suppressed {
                 self.audit_suppression(idx, now);
             }

@@ -117,6 +117,10 @@ pub struct Simulation {
     /// ends). Counted at the discard site, so both queue backends agree
     /// on it by construction.
     stale_pops: u64,
+    /// Periodic ticks whose handler body was elided by idle skip-ahead
+    /// (the event was still popped and digested). Injected into the
+    /// report's `QueueStats` copy — timings-only, per the counter split.
+    skipped_ticks: u64,
     /// `pending_desync` counter value already reported to the sanitizer.
     seen_desync: u64,
     traffic_rotor: usize,
@@ -181,6 +185,7 @@ impl Simulation {
             restarts: 0,
             stalls_detected: 0,
             stale_pops: 0,
+            skipped_ticks: 0,
             seen_desync: 0,
             traffic_rotor: 0,
             flows_evicted: 0,
@@ -338,10 +343,26 @@ impl Simulation {
     pub fn run(&mut self, duration: Duration) -> Report {
         let end = SimTime::ZERO + duration;
         self.prime(end);
-        // `pop_before` folds the old `peek_time` + `pop` pair into one
-        // queue search per event — the hot path of the whole simulator.
-        while let Some((now, ev)) = self.queue.pop_before(end) {
-            self.handle(now, ev, end);
+        if self.cfg.coalesce {
+            // Timer coalescing: drain every same-instant event in one
+            // queue probe and replay the batch in `(time, seq)` order.
+            // Anything a handler pushes at the batch's own instant
+            // carries a higher seq than every batch member, so it lands
+            // in the *next* batch at the same timestamp — the delivered
+            // stream is identical to per-pop operation (DESIGN.md §15).
+            let mut rest: Vec<(SimTime, Ev)> = Vec::new();
+            while let Some((now, ev)) = self.queue.pop_batch_before(end, &mut rest) {
+                self.handle(now, ev, end);
+                for (t, e) in rest.drain(..) {
+                    self.handle(t, e, end);
+                }
+            }
+        } else {
+            // `pop_before` folds the old `peek_time` + `pop` pair into
+            // one queue search per event.
+            while let Some((now, ev)) = self.queue.pop_before(end) {
+                self.handle(now, ev, end);
+            }
         }
         self.platform.roll_meters(end);
         // Close the final (possibly partial) measurement interval.
@@ -463,15 +484,47 @@ impl Simulation {
                 self.reschedule(now, self.cfg.traffic_poll, end, Ev::Traffic);
             }
             Ev::RxPoll => {
-                self.do_rx(now);
+                // Idle skip-ahead (DESIGN.md §15): each elided body is a
+                // *proven* strict no-op — the event is still popped,
+                // digested and rescheduled, so the stream is unchanged.
+                // Empty NIC: `do_rx` would classify, admit and dispatch
+                // nothing.
+                if self.cfg.skip_ahead && self.platform.nic.rx_pending() == 0 {
+                    self.skipped_ticks += 1;
+                } else {
+                    self.do_rx(now);
+                }
                 self.reschedule(now, self.cfg.rx_poll, end, Ev::RxPoll);
             }
             Ev::TxPoll => {
-                self.do_tx(now);
+                // No live packet anywhere: no outbox to drain, and no
+                // TxFull NF to wake (a TxFull block implies a live
+                // outbox entry, hence `in_use > 0`).
+                if self.cfg.skip_ahead && self.platform.mempool.in_use() == 0 {
+                    self.skipped_ticks += 1;
+                } else {
+                    self.do_tx(now);
+                }
                 self.reschedule(now, self.cfg.tx_poll, end, Ev::TxPoll);
             }
             Ev::Wakeup => {
-                self.do_wakeup(now);
+                // Every ring is empty (no live packets) and backpressure
+                // is in its ground state: the watermark scan (`Watch` +
+                // qlen 0 can neither transition nor mark) and the
+                // wake/yield scan (pending is 0 everywhere, nothing
+                // suppressed) are both strict no-ops. Gated off while the
+                // hysteresis audit is live — a skipped scan would shift a
+                // state's first-observation time and change the measured
+                // dwell (`Sanitizer::wants_hysteresis`).
+                if self.cfg.skip_ahead
+                    && self.platform.mempool.in_use() == 0
+                    && (!self.cfg.nfvnice.backpressure || self.bp.quiescent())
+                    && !self.sanitizer.wants_hysteresis()
+                {
+                    self.skipped_ticks += 1;
+                } else {
+                    self.do_wakeup(now);
+                }
                 self.reschedule(now, self.cfg.wakeup_period, end, Ev::Wakeup);
             }
             Ev::Monitor => {

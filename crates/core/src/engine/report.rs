@@ -123,7 +123,14 @@ impl Simulation {
             nf_scale_ins: self.scale_ins,
             trace_digest: self.sanitizer.digest(),
             stale_pops: self.stale_pops,
-            queue: self.queue.stats(),
+            queue: {
+                // The queue itself cannot see engine-level body-skips;
+                // inject the counter here (timings-only, like the rest
+                // of `QueueStats`).
+                let mut q = self.queue.stats();
+                q.skipped_ticks = self.skipped_ticks;
+                q
+            },
             flows_active: self.platform.flow_table.len() as u64,
             flows_evicted: self.flows_evicted,
             flow: self.platform.flow_table.stats(),

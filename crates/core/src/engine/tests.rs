@@ -104,14 +104,70 @@ fn queue_backends_produce_identical_runs() {
         sim.run(Duration::from_millis(60))
     };
     let wheel = run(nfv_des::QueueKind::Wheel);
+    let classic = run(nfv_des::QueueKind::WheelClassic);
     let heap = run(nfv_des::QueueKind::Heap);
-    assert_eq!(wheel.trace_digest, heap.trace_digest);
-    assert_eq!(wheel.flows[0].delivered, heap.flows[0].delivered);
-    assert_eq!(wheel.flows[0].dropped, heap.flows[0].dropped);
-    assert_eq!(wheel.total_wasted_drops, heap.total_wasted_drops);
-    for (w, h) in wheel.nfs.iter().zip(heap.nfs.iter()) {
-        assert_eq!(w.processed, h.processed, "{}", w.name);
+    for other in [&classic, &heap] {
+        assert_eq!(wheel.trace_digest, other.trace_digest);
+        assert_eq!(wheel.flows[0].delivered, other.flows[0].delivered);
+        assert_eq!(wheel.flows[0].dropped, other.flows[0].dropped);
+        assert_eq!(wheel.total_wasted_drops, other.total_wasted_drops);
+        for (w, h) in wheel.nfs.iter().zip(other.nfs.iter()) {
+            assert_eq!(w.processed, h.processed, "{}", w.name);
+        }
     }
+}
+
+#[test]
+fn coalesce_and_skip_ahead_knobs_are_byte_identical() {
+    // The engine-level speed knobs (same-instant batch replay and
+    // no-op-tick body elision) must be invisible in every deterministic
+    // output: same event stream (trace digest), same per-NF/per-flow
+    // counters, for every knob combination — regardless of which way the
+    // build's features flipped the defaults. Poisson arrivals so RNG
+    // draws depend on event order; an idle tail so skip-ahead actually
+    // fires.
+    let run = |coalesce: bool, skip_ahead: bool, rate_pps: f64| {
+        let mut cfg = base_cfg(1, Policy::CfsNormal, NfvniceConfig::full());
+        cfg.coalesce = coalesce;
+        cfg.skip_ahead = skip_ahead;
+        let mut sim = Simulation::new(cfg);
+        let a = sim.add_nf(NfSpec::new("light", 0, 120));
+        let b = sim.add_nf(NfSpec::new("heavy", 0, 26_000));
+        let chain = sim.add_chain(&[a, b]);
+        sim.add_udp_with(chain, rate_pps, 64, |f| f.poisson());
+        sim.run(Duration::from_millis(60))
+    };
+    // Overloaded run (backpressure active) and a lightly loaded one with
+    // idle gaps between packets: both must be knob-invariant.
+    let base = run(false, false, 400_000.0);
+    for (coalesce, skip_ahead) in [(true, false), (false, true), (true, true)] {
+        let fast = run(coalesce, skip_ahead, 400_000.0);
+        assert_eq!(
+            base.trace_digest, fast.trace_digest,
+            "coalesce={coalesce} skip_ahead={skip_ahead}"
+        );
+        assert_eq!(base.total_delivered_pps, fast.total_delivered_pps);
+        assert_eq!(base.total_wasted_drops, fast.total_wasted_drops);
+        assert_eq!(base.throttle_events, fast.throttle_events);
+        for (b, f) in base.nfs.iter().zip(fast.nfs.iter()) {
+            assert_eq!(b.processed, f.processed, "{}", b.name);
+            assert_eq!(b.cpu_time, f.cpu_time, "{}", b.name);
+        }
+        for (b, f) in base.flows.iter().zip(fast.flows.iter()) {
+            assert_eq!(b.delivered, f.delivered);
+            assert_eq!(b.dropped, f.dropped);
+        }
+    }
+    // The light run has idle windows (20k pps ≪ the chain's capacity),
+    // so both knobs must actually engage — and stay byte-invariant.
+    let idle_base = run(false, false, 20_000.0);
+    let idle_fast = run(true, true, 20_000.0);
+    assert_eq!(idle_base.trace_digest, idle_fast.trace_digest);
+    assert_eq!(idle_base.flows[0].delivered, idle_fast.flows[0].delivered);
+    assert!(idle_fast.queue.skipped_ticks > 0, "skip-ahead never fired");
+    assert!(idle_fast.queue.coalesced_pops > 0, "coalescing never fired");
+    assert_eq!(idle_base.queue.skipped_ticks, 0);
+    assert_eq!(idle_base.queue.coalesced_pops, 0);
 }
 
 #[test]

@@ -6,26 +6,30 @@
 //! whole-simulation runs bit-for-bit reproducible for a given seed — a
 //! property the experiment harness relies on.
 //!
-//! Two backing structures implement that contract (see [`QueueKind`]):
+//! Three backing structures implement that contract (see [`QueueKind`]):
 //!
-//! - **Timer wheel** (the default): a hierarchical timer wheel specialized
-//!   for the simulator's event mix — dense near-future periodic ticks
-//!   (manager polls, `CoreRun`/`BatchDone` batch boundaries, NIC
-//!   arrivals) plus a thin tail of far-future timers. 11 levels of 64
-//!   slots cover the full `u64` nanosecond range; each level-0 slot holds
-//!   exactly one timestamp, so same-instant events coalesce into one slot
-//!   and drain FIFO with a single bitmap probe instead of one
-//!   `O(log n)` heap operation each. Slot storage is recycled across
-//!   pops (no per-event allocation once warm). See DESIGN.md §10 for the
-//!   bucket-granularity, overflow and determinism arguments.
+//! - **Arena timer wheel** (the default): a hierarchical timer wheel whose
+//!   entries live in one slab (`Vec` of nodes linked by `u32` indices)
+//!   instead of one `VecDeque` per slot. Slots are `(head, tail)` index
+//!   pairs, so the 704-slot wheel costs ~5.6 KB of slot state plus a
+//!   single recycled node arena — event payloads are bump-allocated into
+//!   the slab once and recycled through a freelist, never freed
+//!   individually (freed wholesale when the `Simulation` drops). Draining
+//!   a level-0 slot — which holds exactly one timestamp, in insertion
+//!   order by construction — is one bitmap probe plus a list walk, which
+//!   is what makes [`EventQueue::pop_batch_before`] (timer coalescing)
+//!   cheap. See DESIGN.md §15.
+//! - **Classic timer wheel**: the previous `VecDeque`-per-slot wheel,
+//!   kept as a differential oracle. The `classic-wheel` cargo feature
+//!   flips the build-wide default back to it.
 //! - **Binary heap**: the original `BinaryHeap<Entry>` implementation,
-//!   kept as a differential oracle. The `heap-queue` cargo feature flips
-//!   the build-wide default back to it, which is how CI byte-diffs the
-//!   full quick suite across the two backends.
+//!   kept as a second oracle. The `heap-queue` cargo feature flips the
+//!   build-wide default to it (and wins over `classic-wheel`).
 //!
-//! Both backends pop identical `(time, seq, event)` streams — the
+//! All backends pop identical `(time, seq, event)` streams — the
 //! property tests in `tests/props.rs` and the unit tests below drive them
-//! in lockstep over adversarial schedules.
+//! in lockstep over adversarial schedules. Wheel placement, cascade and
+//! determinism arguments are in DESIGN.md §10.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -37,27 +41,36 @@ const SLOT_BITS: u32 = 6;
 const SLOTS: usize = 1 << SLOT_BITS;
 /// Wheel levels: `ceil(64 / SLOT_BITS)` covers the whole `u64` range.
 const LEVELS: usize = 11;
+/// Null link in the arena wheel's intrusive lists.
+const NIL: u32 = u32::MAX;
 
-/// Which backing structure an [`EventQueue`] uses. Both deliver the exact
-/// same `(time, seq)` stream; the wheel is faster on the simulator's
-/// event mix.
+/// Which backing structure an [`EventQueue`] uses. All deliver the exact
+/// same `(time, seq)` stream; the arena wheel is fastest on the
+/// simulator's event mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
-    /// Hierarchical timer wheel (the default).
+    /// Arena-backed hierarchical timer wheel (the default).
     Wheel,
+    /// `VecDeque`-per-slot timer wheel — the previous implementation,
+    /// kept for differential testing (`classic-wheel` feature makes it
+    /// the build default).
+    WheelClassic,
     /// Binary heap — the reference implementation, kept for differential
     /// testing (`heap-queue` feature makes it the build default).
     Heap,
 }
 
 impl QueueKind {
-    /// The build's default backend: the timer wheel, unless the
-    /// `heap-queue` cargo feature flips the workspace back to the binary
-    /// heap (used by CI to byte-diff the two implementations over the
-    /// full quick suite).
+    /// The build's default backend: the arena timer wheel, unless the
+    /// `classic-wheel` cargo feature flips the workspace to the
+    /// `VecDeque` wheel or `heap-queue` (which wins) flips it to the
+    /// binary heap — how CI byte-diffs the implementations over the full
+    /// quick suite.
     pub fn default_kind() -> QueueKind {
         if cfg!(feature = "heap-queue") {
             QueueKind::Heap
+        } else if cfg!(feature = "classic-wheel") {
+            QueueKind::WheelClassic
         } else {
             QueueKind::Wheel
         }
@@ -83,11 +96,20 @@ pub struct QueueStats {
     pub cascades: u64,
     /// Entries re-homed by cascades (0 on the heap backend).
     pub cascaded_entries: u64,
-    /// Backing-store (re)allocations: wheel slot growth or heap growth.
-    /// Flat after warm-up — the recycling guarantee.
+    /// Backing-store (re)allocations: wheel slot/arena growth or heap
+    /// growth. Flat after warm-up — the recycling guarantee.
     pub allocs: u64,
     /// Peak number of pending events.
     pub max_len: usize,
+    /// Events delivered as the non-first member of a
+    /// [`EventQueue::pop_batch_before`] batch — same-instant deliveries
+    /// that cost no extra wheel probe. 0 when the engine's coalescing
+    /// knob is off.
+    pub coalesced_pops: u64,
+    /// Periodic ticks whose handler body was skipped by the engine's
+    /// idle skip-ahead (always 0 from the queue itself; the engine
+    /// injects its counter into the report's copy).
+    pub skipped_ticks: u64,
 }
 
 /// A scheduled entry: fires `event` at `at`.
@@ -118,7 +140,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// The hierarchical timer wheel.
+/// Wheel level housing a timestamp `at` relative to cursor `cur`:
+/// the level of the highest differing bit (0 when equal).
+fn level_of(cur: u64, at: u64) -> usize {
+    debug_assert!(at >= cur);
+    let x = cur ^ at;
+    if x == 0 {
+        0
+    } else {
+        ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+/// The classic hierarchical timer wheel (differential oracle).
 ///
 /// Placement: an entry with timestamp `at` lives at the level of the
 /// highest bit in which `at` differs from the cursor `cur` (the timestamp
@@ -131,7 +165,7 @@ impl<E> Ord for Entry<E> {
 /// slot`), kept in seq order; higher-level slots hold a time range and
 /// are re-sorted by `(at, seq)` when cascaded, which restores the
 /// insertion-order tie-break exactly.
-struct Wheel<E> {
+struct ClassicWheel<E> {
     /// `levels[level][slot]` — FIFO of entries; capacity is retained
     /// across drains, so steady-state operation performs no allocation.
     levels: Vec<Vec<VecDeque<WheelEntry<E>>>>,
@@ -154,21 +188,9 @@ struct WheelEntry<E> {
     event: E,
 }
 
-/// Wheel level housing a timestamp `at` relative to cursor `cur`:
-/// the level of the highest differing bit (0 when equal).
-fn level_of(cur: u64, at: u64) -> usize {
-    debug_assert!(at >= cur);
-    let x = cur ^ at;
-    if x == 0 {
-        0
-    } else {
-        ((63 - x.leading_zeros()) / SLOT_BITS) as usize
-    }
-}
-
-impl<E> Wheel<E> {
+impl<E> ClassicWheel<E> {
     fn new() -> Self {
-        Wheel {
+        ClassicWheel {
             levels: (0..LEVELS)
                 .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
                 .collect(),
@@ -295,8 +317,319 @@ impl<E> Wheel<E> {
     }
 }
 
+/// One slab node of the arena wheel: the entry plus its intrusive link.
+/// `event` is `Some` while linked into a slot, `None` on the freelist
+/// (`next` then links the freelist instead).
+struct ArenaNode<E> {
+    at: u64,
+    seq: u64,
+    next: u32,
+    event: Option<E>,
+}
+
+/// The arena-backed hierarchical timer wheel (the default backend).
+///
+/// Same placement/cascade scheme as [`ClassicWheel`] — the determinism
+/// argument (DESIGN.md §10) is unchanged — but entries live in one slab
+/// and slots are `(head, tail)` `u32` pairs linking them intrusively.
+/// Nodes are recycled through a freelist: the arena grows to the
+/// simulation's peak pending-event count once, then steady-state pushes
+/// and pops touch only the slab (event payloads are dropped wholesale
+/// with the arena at teardown). A level-0 slot drain
+/// ([`ArenaWheel::pop_batch_before`]) hands back every same-instant
+/// entry from a single bitmap probe, which is what makes engine-level
+/// timer coalescing cheap (DESIGN.md §15).
+struct ArenaWheel<E> {
+    /// The node slab; grows monotonically to peak occupancy, recycled
+    /// through `free_head`.
+    nodes: Vec<ArenaNode<E>>,
+    /// Head of the freelist threaded through `ArenaNode::next`.
+    free_head: u32,
+    /// `(head, tail)` per slot, row-major `[level][slot]`; `NIL` when
+    /// empty.
+    slots: Vec<(u32, u32)>,
+    /// Per-level slot-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// Cursor: timestamp of the last pop (or a cascaded slot's start,
+    /// transiently inside `pop_before`).
+    cur: u64,
+    len: usize,
+    cascades: u64,
+    cascaded_entries: u64,
+    allocs: u64,
+    /// Reused cascade buffer of `(at, seq, node)` triples.
+    scratch: Vec<(u64, u64, u32)>,
+}
+
+impl<E> ArenaWheel<E> {
+    fn new() -> Self {
+        ArenaWheel {
+            nodes: Vec::new(),
+            free_head: NIL,
+            slots: vec![(NIL, NIL); LEVELS * SLOTS],
+            occupied: [0; LEVELS],
+            cur: 0,
+            len: 0,
+            cascades: 0,
+            cascaded_entries: 0,
+            allocs: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn slot_index(lvl: usize, slot: usize) -> usize {
+        lvl * SLOTS + slot
+    }
+
+    /// Start of `slot` at `lvl`, relative to the cursor's position
+    /// (identical to [`ClassicWheel::slot_start`]).
+    fn slot_start(&self, lvl: usize, slot: usize) -> u64 {
+        let shift = SLOT_BITS * lvl as u32;
+        let above = shift + SLOT_BITS;
+        let base = if above >= 64 {
+            0
+        } else {
+            (self.cur >> above) << above
+        };
+        base | ((slot as u64) << shift)
+    }
+
+    fn first(&self) -> Option<(usize, usize)> {
+        (0..LEVELS)
+            .find(|&k| self.occupied[k] != 0)
+            .map(|k| (k, self.occupied[k].trailing_zeros() as usize))
+    }
+
+    /// Take a node off the freelist or grow the slab.
+    fn alloc_node(&mut self, at: u64, seq: u64, event: E) -> u32 {
+        if self.free_head != NIL {
+            let id = self.free_head;
+            let n = &mut self.nodes[id as usize];
+            debug_assert!(n.event.is_none());
+            self.free_head = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.next = NIL;
+            n.event = Some(event);
+            id
+        } else {
+            if self.nodes.len() == self.nodes.capacity() {
+                self.allocs += 1;
+            }
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ArenaNode {
+                at,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            id
+        }
+    }
+
+    #[inline]
+    fn free_node(&mut self, id: u32) {
+        let head = self.free_head;
+        let n = &mut self.nodes[id as usize];
+        debug_assert!(n.event.is_none());
+        n.next = head;
+        self.free_head = id;
+    }
+
+    /// Append node `id` to the tail of its slot's list (insertion order
+    /// within a slot is therefore `seq` order, same as the classic
+    /// wheel's `push_back`).
+    fn link(&mut self, id: u32) {
+        let at = self.nodes[id as usize].at;
+        let lvl = level_of(self.cur, at);
+        let slot = ((at >> (SLOT_BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+        let si = Self::slot_index(lvl, slot);
+        let (head, tail) = self.slots[si];
+        if head == NIL {
+            self.slots[si] = (id, id);
+        } else {
+            self.nodes[tail as usize].next = id;
+            self.slots[si] = (head, id);
+        }
+        self.occupied[lvl] |= 1 << slot;
+        self.len += 1;
+    }
+
+    fn insert(&mut self, at: u64, seq: u64, event: E) {
+        let id = self.alloc_node(at, seq, event);
+        self.link(id);
+    }
+
+    /// Minimum timestamp in a slot's list.
+    fn slot_min_at(&self, head: u32) -> u64 {
+        let mut min = u64::MAX;
+        let mut id = head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            min = min.min(n.at);
+            id = n.next;
+        }
+        min
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        let (lvl, slot) = self.first()?;
+        if lvl == 0 {
+            Some(self.slot_start(0, slot))
+        } else {
+            Some(self.slot_min_at(self.slots[Self::slot_index(lvl, slot)].0))
+        }
+    }
+
+    /// Detach a lone node (slot's head == tail) and return its payload.
+    fn take_lone(&mut self, lvl: usize, slot: usize, id: u32) -> (u64, u64, E) {
+        let n = &mut self.nodes[id as usize];
+        let at = n.at;
+        let seq = n.seq;
+        let event = n.event.take().expect("linked node has no event");
+        self.slots[Self::slot_index(lvl, slot)] = (NIL, NIL);
+        self.occupied[lvl] &= !(1u64 << slot);
+        self.free_node(id);
+        self.len -= 1;
+        (at, seq, event)
+    }
+
+    /// Cascade a multi-entry high-level slot toward level 0 (same scheme
+    /// and determinism argument as [`ClassicWheel::pop_before`]).
+    fn cascade(&mut self, lvl: usize, slot: usize, start: u64) {
+        let si = Self::slot_index(lvl, slot);
+        let (head, _) = self.slots[si];
+        self.slots[si] = (NIL, NIL);
+        self.occupied[lvl] &= !(1u64 << slot);
+        let mut batch = std::mem::take(&mut self.scratch);
+        debug_assert!(batch.is_empty());
+        let mut id = head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            batch.push((n.at, n.seq, id));
+            id = n.next;
+        }
+        self.len -= batch.len();
+        self.cur = start;
+        self.cascades += 1;
+        self.cascaded_entries += batch.len() as u64;
+        batch.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        for &(_, _, id) in &batch {
+            self.nodes[id as usize].next = NIL;
+            self.link(id);
+        }
+        batch.clear();
+        self.scratch = batch;
+    }
+
+    /// Pop the earliest entry if its timestamp is `<= limit`; same
+    /// no-mutation-on-refusal contract as [`ClassicWheel::pop_before`].
+    fn pop_before(&mut self, limit: u64) -> Option<(u64, u64, E)> {
+        loop {
+            let (lvl, slot) = self.first()?;
+            let si = Self::slot_index(lvl, slot);
+            if lvl == 0 {
+                let t = self.slot_start(0, slot);
+                if t > limit {
+                    return None;
+                }
+                let (head, tail) = self.slots[si];
+                let n = &mut self.nodes[head as usize];
+                let at = n.at;
+                let seq = n.seq;
+                let event = n.event.take().expect("linked node has no event");
+                let next = n.next;
+                if head == tail {
+                    self.slots[si] = (NIL, NIL);
+                    self.occupied[0] &= !(1u64 << slot);
+                } else {
+                    self.slots[si] = (next, tail);
+                }
+                self.free_node(head);
+                self.len -= 1;
+                debug_assert_eq!(at, t);
+                self.cur = t;
+                return Some((at, seq, event));
+            }
+            let (head, tail) = self.slots[si];
+            let min_at = self.slot_min_at(head);
+            if min_at > limit {
+                return None;
+            }
+            // Lone-entry fast path, as in the classic wheel.
+            if head == tail {
+                let (at, seq, event) = self.take_lone(lvl, slot, head);
+                self.cur = at;
+                return Some((at, seq, event));
+            }
+            let start = self.slot_start(lvl, slot);
+            debug_assert!(start >= self.cur && start <= min_at);
+            self.cascade(lvl, slot, start);
+        }
+    }
+
+    /// Pop the earliest entry (if due by `limit`) and spill every *other*
+    /// entry at the same timestamp into `out`, in `(time, seq)` order.
+    /// One bitmap probe per batch: a level-0 slot holds exactly one
+    /// timestamp and its list is already in seq order, so the whole slot
+    /// is the batch — and a single-entry batch (the common case) never
+    /// touches `out` at all.
+    fn pop_batch_before(&mut self, limit: u64, out: &mut Vec<(SimTime, E)>) -> Option<(u64, E)> {
+        loop {
+            let (lvl, slot) = self.first()?;
+            let si = Self::slot_index(lvl, slot);
+            if lvl == 0 {
+                let t = self.slot_start(0, slot);
+                if t > limit {
+                    return None;
+                }
+                let (head, _) = self.slots[si];
+                self.slots[si] = (NIL, NIL);
+                self.occupied[0] &= !(1u64 << slot);
+                let n = &mut self.nodes[head as usize];
+                debug_assert_eq!(n.at, t);
+                let first_ev = n.event.take().expect("linked node has no event");
+                let mut id = n.next;
+                self.free_node(head);
+                self.len -= 1;
+                let st = SimTime::from_nanos(t);
+                while id != NIL {
+                    let n = &mut self.nodes[id as usize];
+                    debug_assert_eq!(n.at, t);
+                    let event = n.event.take().expect("linked node has no event");
+                    let next = n.next;
+                    out.push((st, event));
+                    self.len -= 1;
+                    self.free_node(id);
+                    id = next;
+                }
+                self.cur = t;
+                return Some((t, first_ev));
+            }
+            let (head, tail) = self.slots[si];
+            let min_at = self.slot_min_at(head);
+            if min_at > limit {
+                return None;
+            }
+            if head == tail {
+                // A lone high-level entry is the only entry in its slot's
+                // whole time range, hence the only one at its instant:
+                // a batch of one.
+                let (at, _seq, event) = self.take_lone(lvl, slot, head);
+                self.cur = at;
+                return Some((at, event));
+            }
+            let start = self.slot_start(lvl, slot);
+            debug_assert!(start >= self.cur && start <= min_at);
+            self.cascade(lvl, slot, start);
+        }
+    }
+}
+
 enum Backend<E> {
-    Wheel(Wheel<E>),
+    Arena(ArenaWheel<E>),
+    Classic(ClassicWheel<E>),
     Heap(BinaryHeap<Entry<E>>),
 }
 
@@ -317,6 +650,7 @@ pub struct EventQueue<E> {
     pushes: u64,
     pops: u64,
     heap_allocs: u64,
+    coalesced_pops: u64,
     max_len: usize,
 }
 
@@ -332,7 +666,8 @@ impl<E> EventQueue<E> {
     pub fn with_kind(kind: QueueKind) -> Self {
         EventQueue {
             backend: match kind {
-                QueueKind::Wheel => Backend::Wheel(Wheel::new()),
+                QueueKind::Wheel => Backend::Arena(ArenaWheel::new()),
+                QueueKind::WheelClassic => Backend::Classic(ClassicWheel::new()),
                 QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
             },
             seq: 0,
@@ -340,6 +675,7 @@ impl<E> EventQueue<E> {
             pushes: 0,
             pops: 0,
             heap_allocs: 0,
+            coalesced_pops: 0,
             max_len: 0,
         }
     }
@@ -347,7 +683,8 @@ impl<E> EventQueue<E> {
     /// Which backend this queue runs on.
     pub fn kind(&self) -> QueueKind {
         match &self.backend {
-            Backend::Wheel(_) => QueueKind::Wheel,
+            Backend::Arena(_) => QueueKind::Wheel,
+            Backend::Classic(_) => QueueKind::WheelClassic,
             Backend::Heap(_) => QueueKind::Heap,
         }
     }
@@ -373,7 +710,8 @@ impl<E> EventQueue<E> {
         self.seq += 1;
         self.pushes += 1;
         match &mut self.backend {
-            Backend::Wheel(w) => w.insert(WheelEntry {
+            Backend::Arena(w) => w.insert(at.as_nanos(), seq, event),
+            Backend::Classic(w) => w.insert(WheelEntry {
                 at: at.as_nanos(),
                 seq,
                 event,
@@ -404,7 +742,10 @@ impl<E> EventQueue<E> {
     /// per event instead of twice.
     pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
         let popped = match &mut self.backend {
-            Backend::Wheel(w) => w
+            Backend::Arena(w) => w
+                .pop_before(limit.as_nanos())
+                .map(|(at, _seq, event)| (SimTime::from_nanos(at), event)),
+            Backend::Classic(w) => w
                 .pop_before(limit.as_nanos())
                 .map(|(at, _seq, event)| (SimTime::from_nanos(at), event)),
             Backend::Heap(h) => {
@@ -423,10 +764,58 @@ impl<E> EventQueue<E> {
         popped
     }
 
+    /// Pop the earliest event if its timestamp `t` is `<= limit` — and
+    /// with it, **every other** event at `t`, appended to `out` in
+    /// `(time, seq)` order (`out` is cleared first). The clock advances
+    /// to `t`. `None` means no event was due, with no state change —
+    /// same refusal contract as [`EventQueue::pop_before`].
+    ///
+    /// This is the timer-coalescing primitive: a run loop handling the
+    /// returned event and then draining `out` observes the exact same
+    /// `(time, seq)` stream as one calling `pop_before` per event —
+    /// events pushed while a batch is being processed carry higher
+    /// sequence numbers than every batch member, so they sort after the
+    /// batch at the same instant and are picked up by the next call. On
+    /// the arena wheel a batch costs one bitmap probe, and a
+    /// single-event batch (the common case) never touches `out`; the
+    /// oracle backends fall back to a peek/pop loop.
+    pub fn pop_batch_before(
+        &mut self,
+        limit: SimTime,
+        out: &mut Vec<(SimTime, E)>,
+    ) -> Option<(SimTime, E)> {
+        out.clear();
+        let first = if let Backend::Arena(w) = &mut self.backend {
+            let first = w
+                .pop_batch_before(limit.as_nanos(), out)
+                .map(|(at, event)| (SimTime::from_nanos(at), event));
+            if let Some((t, _)) = &first {
+                debug_assert!(*t >= self.now);
+                self.now = *t;
+                self.pops += 1 + out.len() as u64;
+            }
+            first
+        } else {
+            // Oracle backends: peek/pop loop (correct, not optimized).
+            let first = self.pop_before(limit);
+            if let Some((t, _)) = &first {
+                let t = *t;
+                while self.peek_time() == Some(t) {
+                    let e = self.pop_before(limit).expect("peeked event vanished");
+                    out.push(e);
+                }
+            }
+            first
+        };
+        self.coalesced_pops += out.len() as u64;
+        first
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.backend {
-            Backend::Wheel(w) => w.peek_time().map(SimTime::from_nanos),
+            Backend::Arena(w) => w.peek_time().map(SimTime::from_nanos),
+            Backend::Classic(w) => w.peek_time().map(SimTime::from_nanos),
             Backend::Heap(h) => h.peek().map(|e| e.at),
         }
     }
@@ -434,7 +823,8 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         match &self.backend {
-            Backend::Wheel(w) => w.len,
+            Backend::Arena(w) => w.len,
+            Backend::Classic(w) => w.len,
             Backend::Heap(h) => h.len(),
         }
     }
@@ -447,7 +837,8 @@ impl<E> EventQueue<E> {
     /// Operation counters (see [`QueueStats`]).
     pub fn stats(&self) -> QueueStats {
         let (cascades, cascaded_entries, allocs) = match &self.backend {
-            Backend::Wheel(w) => (w.cascades, w.cascaded_entries, w.allocs),
+            Backend::Arena(w) => (w.cascades, w.cascaded_entries, w.allocs),
+            Backend::Classic(w) => (w.cascades, w.cascaded_entries, w.allocs),
             Backend::Heap(_) => (0, 0, self.heap_allocs),
         };
         QueueStats {
@@ -457,6 +848,8 @@ impl<E> EventQueue<E> {
             cascaded_entries,
             allocs,
             max_len: self.max_len,
+            coalesced_pops: self.coalesced_pops,
+            skipped_ticks: 0,
         }
     }
 }
@@ -472,7 +865,7 @@ mod tests {
     use super::*;
     use crate::time::Duration;
 
-    const KINDS: [QueueKind; 2] = [QueueKind::Wheel, QueueKind::Heap];
+    const KINDS: [QueueKind; 3] = [QueueKind::Wheel, QueueKind::WheelClassic, QueueKind::Heap];
 
     #[test]
     fn pops_in_time_order() {
@@ -623,10 +1016,91 @@ mod tests {
     }
 
     #[test]
-    fn wheel_and_heap_agree_on_lcg_stream() {
+    fn batch_pop_drains_whole_instant_in_seq_order() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos(100);
+            for i in 0..10 {
+                q.push(t, i);
+            }
+            q.push(SimTime::from_nanos(200), 99);
+            let mut out = Vec::new();
+            assert_eq!(
+                q.pop_batch_before(SimTime::from_nanos(500), &mut out),
+                Some((t, 0))
+            );
+            assert_eq!(out, (1..10).map(|i| (t, i)).collect::<Vec<_>>());
+            assert_eq!(q.now(), t);
+            assert_eq!(q.len(), 1);
+            // Next batch picks up the later instant — a singleton batch
+            // never touches `out`.
+            assert_eq!(
+                q.pop_batch_before(SimTime::from_nanos(500), &mut out),
+                Some((SimTime::from_nanos(200), 99))
+            );
+            assert!(out.is_empty());
+            // Refusal: nothing due within the limit, no state change.
+            q.push(SimTime::from_nanos(900), 7);
+            assert_eq!(q.pop_batch_before(SimTime::from_nanos(500), &mut out), None);
+            assert!(out.is_empty());
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.now(), SimTime::from_nanos(200));
+            let s = q.stats();
+            assert_eq!(s.coalesced_pops, 9);
+            assert_eq!(s.pops, 11);
+        }
+    }
+
+    #[test]
+    fn batch_pop_same_instant_pushes_land_in_next_batch() {
+        // Events pushed at the batch's own instant (as a handler would
+        // during processing) carry higher seqs and arrive in the *next*
+        // batch at the same time — exactly the per-pop delivery order.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos(50);
+            q.push(t, 0);
+            q.push(t, 1);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut out), Some((t, 0)));
+            assert_eq!(out, vec![(t, 1)]);
+            // "handler" pushes more work at the same instant:
+            q.push(t, 2);
+            q.push(t, 3);
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut out), Some((t, 2)));
+            assert_eq!(out, vec![(t, 3)]);
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut out), None);
+        }
+    }
+
+    #[test]
+    fn batch_pop_far_future_burst_cascades_first() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let t = SimTime::from_nanos((1 << 25) + 4_321);
+            for i in 0..32 {
+                q.push(t, i);
+            }
+            q.push(SimTime::from_nanos(3), 500);
+            let mut out = Vec::new();
+            assert_eq!(
+                q.pop_batch_before(SimTime::MAX, &mut out),
+                Some((SimTime::from_nanos(3), 500))
+            );
+            assert!(out.is_empty());
+            assert_eq!(q.pop_batch_before(SimTime::MAX, &mut out), Some((t, 0)));
+            assert_eq!(out, (1..32).map(|i| (t, i)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_lcg_stream() {
         // Deterministic pseudo-random interleaving of pushes and pops,
-        // driven in lockstep over both backends.
-        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        // driven in lockstep over all three backends (batched pops
+        // included, so the coalescing primitive is differentially
+        // checked too).
+        let mut arena = EventQueue::with_kind(QueueKind::Wheel);
+        let mut classic = EventQueue::with_kind(QueueKind::WheelClassic);
         let mut heap = EventQueue::with_kind(QueueKind::Heap);
         let mut state = 0x2545_f491_4f6c_dd1du64;
         let mut lcg = move || {
@@ -636,9 +1110,10 @@ mod tests {
             state >> 33
         };
         let mut n = 0u64;
+        let (mut oa, mut oc, mut oh) = (Vec::new(), Vec::new(), Vec::new());
         for _ in 0..5_000 {
             let r = lcg();
-            if r % 3 != 0 || wheel.is_empty() {
+            if r % 3 != 0 || arena.is_empty() {
                 // Mix of near-future, same-tick and far-future offsets.
                 let off = match r % 7 {
                     0 => 0,
@@ -646,54 +1121,95 @@ mod tests {
                     5 => r % 1_000_000,
                     _ => (r % 1_000) << 24,
                 };
-                let at = wheel.now() + Duration::from_nanos(off);
-                wheel.push(at, n);
+                let at = arena.now() + Duration::from_nanos(off);
+                arena.push(at, n);
+                classic.push(at, n);
                 heap.push(at, n);
                 n += 1;
             } else if r % 5 == 0 {
-                let limit = wheel.now() + Duration::from_nanos(lcg() % 10_000);
-                assert_eq!(wheel.pop_before(limit), heap.pop_before(limit));
+                let limit = arena.now() + Duration::from_nanos(lcg() % 10_000);
+                let got = arena.pop_before(limit);
+                assert_eq!(got, classic.pop_before(limit));
+                assert_eq!(got, heap.pop_before(limit));
+            } else if r % 2 == 0 {
+                let ka = arena.pop_batch_before(SimTime::MAX, &mut oa);
+                let kc = classic.pop_batch_before(SimTime::MAX, &mut oc);
+                let kh = heap.pop_batch_before(SimTime::MAX, &mut oh);
+                assert_eq!(ka, kc);
+                assert_eq!(ka, kh);
+                assert_eq!(oa, oc);
+                assert_eq!(oa, oh);
             } else {
-                assert_eq!(wheel.pop(), heap.pop());
+                let got = arena.pop();
+                assert_eq!(got, classic.pop());
+                assert_eq!(got, heap.pop());
             }
         }
         loop {
-            let (a, b) = (wheel.pop(), heap.pop());
-            assert_eq!(a, b);
+            let a = arena.pop();
+            assert_eq!(a, classic.pop());
+            assert_eq!(a, heap.pop());
             if a.is_none() {
                 break;
             }
         }
-        let (ws, hs) = (wheel.stats(), heap.stats());
-        assert_eq!(ws.pushes, hs.pushes);
-        assert_eq!(ws.pops, hs.pops);
-        assert_eq!(ws.pops, ws.pushes);
+        let (sa, sc, sh) = (arena.stats(), classic.stats(), heap.stats());
+        assert_eq!(sa.pushes, sc.pushes);
+        assert_eq!(sa.pushes, sh.pushes);
+        assert_eq!(sa.pops, sc.pops);
+        assert_eq!(sa.pops, sh.pops);
+        assert_eq!(sa.pops, sa.pushes);
+        // Batch membership is a property of the (time, seq) stream, not
+        // the backend.
+        assert_eq!(sa.coalesced_pops, sc.coalesced_pops);
+        assert_eq!(sa.coalesced_pops, sh.coalesced_pops);
     }
 
     #[test]
     fn stats_count_ops_and_recycling() {
+        for kind in [QueueKind::Wheel, QueueKind::WheelClassic] {
+            let mut q = EventQueue::with_kind(kind);
+            for round in 0..3 {
+                for i in 0..100u64 {
+                    q.push(q.now() + Duration::from_nanos(i + 1), i);
+                }
+                while q.pop().is_some() {}
+                if round == 0 {
+                    // Slot/arena storage allocated during the first round...
+                    assert!(q.stats().allocs > 0);
+                }
+            }
+            let s = q.stats();
+            assert_eq!(s.pushes, 300);
+            assert_eq!(s.pops, 300);
+            assert_eq!(s.max_len, 100);
+            // ...is recycled afterwards: warm rounds allocate nothing, so
+            // the count stays well below one per event.
+            assert!(
+                s.allocs < 150,
+                "storage not recycled: {} allocs for {} pushes",
+                s.allocs,
+                s.pushes
+            );
+        }
+    }
+
+    #[test]
+    fn arena_recycles_nodes_through_freelist() {
         let mut q = EventQueue::with_kind(QueueKind::Wheel);
-        for round in 0..3 {
-            for i in 0..100u64 {
-                q.push(q.now() + Duration::from_nanos(i + 1), i);
+        // Fill to peak once, drain, then churn at the same depth: the
+        // slab must not grow past the peak.
+        for i in 0..64u64 {
+            q.push(SimTime::from_nanos(i + 1), i);
+        }
+        while q.pop().is_some() {}
+        let warm = q.stats().allocs;
+        for round in 0..50u64 {
+            for i in 0..64u64 {
+                q.push(q.now() + Duration::from_nanos(i + 1), round * 64 + i);
             }
             while q.pop().is_some() {}
-            if round == 0 {
-                // Slot storage allocated during the first round...
-                assert!(q.stats().allocs > 0);
-            }
         }
-        let s = q.stats();
-        assert_eq!(s.pushes, 300);
-        assert_eq!(s.pops, 300);
-        assert_eq!(s.max_len, 100);
-        // ...is recycled afterwards: warm rounds allocate nothing, so the
-        // count stays well below one per event.
-        assert!(
-            s.allocs < 150,
-            "slot storage not recycled: {} allocs for {} pushes",
-            s.allocs,
-            s.pushes
-        );
+        assert_eq!(q.stats().allocs, warm, "arena grew after warm-up");
     }
 }

@@ -162,6 +162,14 @@ impl Sanitizer {
         self.cfg.enabled && self.cfg.suppression
     }
 
+    /// Whether watermark flips are being dwell-checked. The engine's idle
+    /// skip-ahead must not elide watermark scans while this audit is
+    /// live: a skipped scan would shift a state's first-observation time
+    /// and change the measured dwell.
+    pub fn wants_hysteresis(&self) -> bool {
+        self.cfg.enabled && self.cfg.hysteresis
+    }
+
     /// Observe one event: enforces clock monotonicity and folds
     /// `(time, tag)` into the trace digest. `tag` encodes the event
     /// variant and its payload; any stable encoding works as long as it

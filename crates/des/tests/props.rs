@@ -16,6 +16,9 @@ enum QueueOp {
     /// Pop one event only if due within `horizon` ns of the clock (the
     /// engine's `pop_before` batching path).
     PopBefore { horizon: u64 },
+    /// Drain every event at the earliest pending instant (the engine's
+    /// timer-coalescing `pop_batch_before` path).
+    PopBatch,
 }
 
 fn queue_op() -> impl Strategy<Value = QueueOp> {
@@ -26,55 +29,70 @@ fn queue_op() -> impl Strategy<Value = QueueOp> {
         (1u64 << 20..1u64 << 40, 1u8..3).prop_map(|(delta, count)| QueueOp::Push { delta, count }),
         Just(QueueOp::Pop),
         (0u64..10_000).prop_map(|horizon| QueueOp::PopBefore { horizon }),
+        Just(QueueOp::PopBatch),
     ]
 }
 
 proptest! {
-    /// The timer wheel and the binary heap dequeue bit-identical
-    /// `(time, tag)` streams for arbitrary interleavings of scheduling and
-    /// draining, including same-instant bursts and far-future timers. This
-    /// is the backend-equivalence property the whole-suite differential
-    /// run (CI `queue-diff`) checks end to end.
+    /// The arena wheel, the classic wheel and the binary heap dequeue
+    /// bit-identical `(time, tag)` streams for arbitrary interleavings of
+    /// scheduling and draining, including same-instant bursts, far-future
+    /// timers and whole-instant batch drains. This is the
+    /// backend-equivalence property the whole-suite differential run (CI
+    /// `consolidated-diff` matrix) checks end to end.
     #[test]
-    fn wheel_and_heap_dequeue_identically(
+    fn queue_backends_dequeue_identically(
         ops in prop::collection::vec(queue_op(), 1..200),
     ) {
         let mut wheel: EventQueue<u32> = EventQueue::with_kind(QueueKind::Wheel);
+        let mut classic: EventQueue<u32> = EventQueue::with_kind(QueueKind::WheelClassic);
         let mut heap: EventQueue<u32> = EventQueue::with_kind(QueueKind::Heap);
         let mut tag = 0u32;
+        let (mut ow, mut oc, mut oh) = (Vec::new(), Vec::new(), Vec::new());
         for op in ops {
             match op {
                 QueueOp::Push { delta, count } => {
-                    // Both queues have identical clocks (asserted below),
-                    // so the same absolute time goes to both.
+                    // All queues have identical clocks (asserted below),
+                    // so the same absolute time goes to each.
                     let at = SimTime::from_nanos(wheel.now().as_nanos() + delta);
                     for _ in 0..count {
                         wheel.push(at, tag);
+                        classic.push(at, tag);
                         heap.push(at, tag);
                         tag += 1;
                     }
                 }
                 QueueOp::Pop => {
                     let a = wheel.pop();
-                    let b = heap.pop();
-                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, classic.pop());
+                    prop_assert_eq!(a, heap.pop());
                 }
                 QueueOp::PopBefore { horizon } => {
                     let limit = SimTime::from_nanos(wheel.now().as_nanos() + horizon);
                     let a = wheel.pop_before(limit);
-                    let b = heap.pop_before(limit);
-                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, classic.pop_before(limit));
+                    prop_assert_eq!(a, heap.pop_before(limit));
+                }
+                QueueOp::PopBatch => {
+                    let k = wheel.pop_batch_before(SimTime::MAX, &mut ow);
+                    prop_assert_eq!(k, classic.pop_batch_before(SimTime::MAX, &mut oc));
+                    prop_assert_eq!(k, heap.pop_batch_before(SimTime::MAX, &mut oh));
+                    prop_assert_eq!(&ow, &oc);
+                    prop_assert_eq!(&ow, &oh);
                 }
             }
+            prop_assert_eq!(wheel.now(), classic.now());
             prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.len(), classic.len());
             prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), classic.peek_time());
             prop_assert_eq!(wheel.peek_time(), heap.peek_time());
         }
-        // Drain both to the end: every remaining event must match too.
+        // Drain all to the end: every remaining event must match too.
         loop {
             let a = wheel.pop();
-            let b = heap.pop();
-            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, classic.pop());
+            prop_assert_eq!(a, heap.pop());
             if a.is_none() {
                 break;
             }

@@ -24,8 +24,8 @@
 //!   survives as a differential oracle: select per table via
 //!   [`FlowTable::with_kind`] / [`FlowTableKind`], or build flat-default
 //!   with `--features flat-flowtable`. Ids, classification results and
-//!   eviction order are byte-identical across backends (CI `flow-diff`
-//!   job); only internal probe/rehash counters differ, and those go to
+//!   eviction order are byte-identical across backends (CI
+//!   `bench-variants` matrix); only internal probe/rehash counters differ, and those go to
 //!   `BENCH_timings.json` only.
 //! - **Deterministic aging.** Every entry carries an epoch-granular
 //!   `last_seen` stamp. [`FlowTable::age`] advances the epoch and scans in
@@ -126,6 +126,9 @@ pub struct FlowTableStats {
     pub evicted: u64,
     /// Classify calls answered by the exact-match index.
     pub exact_hits: u64,
+    /// Exact hits answered by the last-flow memo (no hash or probe).
+    /// Subset of `exact_hits`.
+    pub memo_hits: u64,
     /// Classify calls answered by a wildcard rule (installing a cache
     /// entry).
     pub wildcard_hits: u64,
@@ -152,6 +155,11 @@ struct WildcardRule {
     chain: ChainId,
     priority: i32,
 }
+
+/// Memo sentinel: no flow cached (flow ids are dense from 0 and can
+/// never reach `u32::MAX` — the `last_seen` sentinels cap the id space
+/// well below it).
+const NO_MEMO: u32 = u32::MAX;
 
 /// `last_seen` sentinel: explicitly installed, never aged out.
 const PINNED: u32 = u32::MAX;
@@ -379,6 +387,17 @@ pub struct FlowTable {
     index: Index,
     kind: FlowTableKind,
     stats: FlowTableStats,
+    /// Last flow id classified: traffic sources emit per-flow bursts, so
+    /// consecutive classify calls usually repeat a tuple — an inline key
+    /// compare (no slab load, so a miss costs one branch even with a
+    /// million cold flows) skips the hash + probe entirely. The memo is
+    /// invalidated at the only two places its slot's key can stop meaning
+    /// this tuple — eviction ([`FlowTable::age`]) and slot recycling
+    /// ([`FlowTable::intern`]) — so an armed memo always names a live
+    /// slot whose key equals `memo_key`.
+    memo: u32,
+    /// Copy of the armed memo slot's tuple (valid iff `memo != NO_MEMO`).
+    memo_key: FiveTuple,
 }
 
 impl Default for FlowTable {
@@ -409,6 +428,9 @@ impl FlowTable {
             index: Index::with_kind(kind),
             kind,
             stats: FlowTableStats::default(),
+            memo: NO_MEMO,
+            // Placeholder: never read while the memo is disarmed.
+            memo_key: FiveTuple::synthetic(0, crate::Proto::Udp),
         }
     }
 
@@ -452,6 +474,10 @@ impl FlowTable {
         let id = match self.free.pop() {
             Some(id) => {
                 // Recycled slot: fresh key/counters, same dense id space.
+                // The slot changes identity, so a memo naming it is stale.
+                if self.memo == id {
+                    self.memo = NO_MEMO;
+                }
                 self.stats.recycled += 1;
                 self.keys[id as usize] = tuple;
                 self.hot[id as usize] = HotSlot {
@@ -507,10 +533,33 @@ impl FlowTable {
     /// traffic (the RX thread drops it).
     #[inline]
     pub fn classify(&mut self, tuple: &FiveTuple, bytes: u32) -> Option<(FlowId, ChainId)> {
+        // Last-flow memo: a hit here is exactly the exact-match path below
+        // minus the hash + probe. The key copy lives inline so a memo
+        // miss touches no slab memory — with a million cold flows the two
+        // slab loads a slot-indexed check would take are guaranteed cache
+        // misses. Eviction and recycling disarm the memo, so an armed
+        // memo always names a live slot holding `memo_key`.
+        let m = self.memo;
+        if m != NO_MEMO && self.memo_key == *tuple {
+            self.stats.exact_hits += 1;
+            self.stats.memo_hits += 1;
+            let hs = &mut self.hot[m as usize];
+            if hs.last_seen != PINNED {
+                hs.last_seen = self.epoch;
+            }
+            let chain = hs.chain;
+            let c = &mut self.cold[m as usize];
+            c.packets += 1;
+            c.bytes += bytes as u64;
+            self.classified_packets += 1;
+            return Some((FlowId(m), chain));
+        }
         let h = tuple_hash(tuple);
         let (found, steps) = self.index.shard(h).get(h, tuple, &self.keys);
         self.note_probe(steps);
         if let Some(f) = found {
+            self.memo = f;
+            self.memo_key = *tuple;
             self.stats.exact_hits += 1;
             let hs = &mut self.hot[f as usize];
             if hs.last_seen != PINNED {
@@ -530,6 +579,8 @@ impl FlowTable {
             .chain;
         self.stats.wildcard_hits += 1;
         let flow = self.intern(*tuple, chain, self.epoch);
+        self.memo = flow.index() as u32;
+        self.memo_key = *tuple;
         let c = &mut self.cold[flow.index()];
         c.packets += 1;
         c.bytes += bytes as u64;
@@ -558,6 +609,12 @@ impl FlowTable {
             let h = tuple_hash(&tuple);
             self.index.shard_mut(h).remove(h, &tuple, &self.keys);
             self.hot[id as usize].last_seen = DEAD;
+            // An evicted slot keeps its key; disarm a memo naming it so
+            // the next classify goes through the index (which no longer
+            // holds the tuple).
+            if self.memo == id {
+                self.memo = NO_MEMO;
+            }
             let c = self.cold[id as usize];
             self.forgotten_packets += c.packets;
             self.forgotten_bytes += c.bytes;
@@ -869,6 +926,37 @@ mod tests {
             "same churn totals"
         );
         assert!(sharded.stats().shards == SHARDS as u64 && flat.stats().shards == 1);
+    }
+
+    #[test]
+    fn memo_repeats_hit_without_probing_and_never_resurrects_evicted() {
+        let mut ft = aging_table(FlowTableKind::default_kind());
+        let t = FiveTuple::synthetic(1, Proto::Udp);
+        let (f, c) = ft.classify(&t, 64).unwrap();
+        let probes_before = ft.stats().probe_steps;
+        // Back-to-back packets of the same flow: memo path, no probes.
+        assert_eq!(ft.classify(&t, 64), Some((f, c)));
+        assert_eq!(ft.classify(&t, 64), Some((f, c)));
+        assert_eq!(ft.stats().probe_steps, probes_before);
+        assert_eq!(ft.stats().memo_hits, 2);
+        assert_eq!(ft.get(&t).unwrap().packets, 3);
+
+        // Evict the flow: its key stays in the slot, so a stale memo must
+        // not produce a hit — the tuple is gone until re-learned.
+        let mut ev = Vec::new();
+        ft.age(1, &mut ev);
+        ft.age(1, &mut ev);
+        assert_eq!(ev, vec![f]);
+        let (f2, _) = ft.classify(&t, 64).unwrap();
+        assert_eq!(f2, f, "recycled id");
+        assert_eq!(ft.get(&t).unwrap().packets, 1, "fresh counters");
+
+        // A different tuple breaks the memo; the next repeat re-arms it.
+        let other = FiveTuple::synthetic(2, Proto::Udp);
+        ft.classify(&other, 64).unwrap();
+        let memo_before = ft.stats().memo_hits;
+        ft.classify(&other, 64).unwrap();
+        assert_eq!(ft.stats().memo_hits, memo_before + 1);
     }
 
     #[test]

@@ -151,6 +151,9 @@ pub struct Platform {
     /// Structured-event sink (off unless observability is enabled).
     pub trace: TraceSink,
     handlers: Vec<Option<Box<dyn PacketHandler>>>,
+    /// Per-NF: handler is the stock [`ForwardAll`] (stateless, always
+    /// forwards), letting `finish_batch` skip the dynamic dispatch.
+    trivial_handler: Vec<bool>,
     tcp_flows: BTreeSet<FlowId>,
     scratch_frames: Vec<WireFrame>,
     /// Number of NFs currently `Down` — lets the per-frame dead-chain
@@ -196,6 +199,7 @@ impl Platform {
             io_flows: BTreeSet::new(),
             trace: TraceSink::off(),
             handlers: Vec::new(),
+            trivial_handler: Vec::new(),
             tcp_flows: BTreeSet::new(),
             scratch_frames: Vec::new(),
             down_nfs: 0,
@@ -208,7 +212,11 @@ impl Platform {
 
     /// Deploy an NF (with the default forward-everything handler).
     pub fn add_nf(&mut self, spec: NfSpec) -> NfId {
-        self.add_nf_with_handler(spec, Box::new(ForwardAll))
+        let id = self.add_nf_with_handler(spec, Box::new(ForwardAll));
+        // The stock handler is a stateless forward: `finish_batch` skips
+        // the per-packet dynamic dispatch for it (same action, no call).
+        self.trivial_handler[id.index()] = true;
+        id
     }
 
     /// Deploy an NF with a custom packet handler.
@@ -219,6 +227,7 @@ impl Platform {
         let id = NfId(self.nfs.len() as u32);
         self.nfs.push(NfRuntime::new(spec, task));
         self.handlers.push(Some(handler));
+        self.trivial_handler.push(false);
         id
     }
 
@@ -311,48 +320,76 @@ impl Platform {
         let mut frames = std::mem::take(&mut self.scratch_frames);
         frames.clear();
         self.nic.take_rx(&mut frames);
+        // Per-poll decision cache: traffic sources emit per-flow bursts,
+        // so consecutive frames usually repeat a flow — and within one
+        // poll nothing a frame's admission depends on can change (NF
+        // health, backpressure marks and replica pins are only mutated by
+        // other events). Classification itself still runs per frame (it
+        // carries the per-packet counters); the chain-health check, entry
+        // resolution and admission callback run once per flow run.
+        let mut cached_flow = FlowId(u32::MAX);
+        let mut cached_entry = NfId(0);
+        let mut cached_admit = false;
         for frame in frames.drain(..) {
             let Some((flow, chain)) = self.flow_table.classify(&frame.tuple, frame.size) else {
                 self.stats.unclassified += 1;
                 self.trace_drop(now, DropCause::Unclassified, NO_ID, NO_ID, NO_ID);
                 continue;
             };
-            // Wildcard rules can mint new flows at runtime; keep per-flow
-            // stats sized accordingly.
-            self.grow_flow_stats(flow);
-            // Graceful degradation: a chain routed through a dead NF can
-            // never deliver, so shed at entry rather than filling rings
-            // and the mempool with doomed packets. Shed before the λ
-            // accounting — this traffic is not offered load for the (live)
-            // entry NF, and counting it would inflate its weight for the
-            // duration of the outage.
-            if let Some(dead) = self.chain_down_nf(chain) {
-                self.stats.dropped(flow, chain, DropLocation::NfDown(dead));
-                self.trace_drop(now, DropCause::NfDown, flow.0, chain.0, dead.0);
-                self.note_tcp_drop(flow, frame.seq, tcp_out);
-                continue;
-            }
-            // The entry NF's offered load (λ) is measured pre-admission:
-            // the RX thread sees every classified frame, and rate-cost
-            // shares must reflect demand, not the post-throttle trickle.
-            // With replicas, the flow is first sharded to its instance so
-            // each instance's estimator sees only its own demand.
-            let entry = self.chains.entry(chain);
-            let entry = self.resolve_instance(entry, flow);
-            self.nfs[entry.index()].note_arrival();
-            let shed = {
-                let this = &mut *self;
-                let mut on_path = |t: NfId| {
-                    let base = this.canonical_of(t);
-                    this.resolve_instance(base, flow) == t
+            let entry;
+            if flow == cached_flow {
+                entry = cached_entry;
+                self.nfs[entry.index()].note_arrival();
+                if !cached_admit {
+                    self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
+                    self.trace_drop(now, DropCause::EntryThrottle, flow.0, chain.0, entry.0);
+                    self.note_tcp_drop(flow, frame.seq, tcp_out);
+                    continue;
+                }
+            } else {
+                // Wildcard rules can mint new flows at runtime; keep
+                // per-flow stats sized accordingly.
+                self.grow_flow_stats(flow);
+                // Graceful degradation: a chain routed through a dead NF
+                // can never deliver, so shed at entry rather than filling
+                // rings and the mempool with doomed packets. Shed before
+                // the λ accounting — this traffic is not offered load for
+                // the (live) entry NF, and counting it would inflate its
+                // weight for the duration of the outage.
+                if let Some(dead) = self.chain_down_nf(chain) {
+                    self.stats.dropped(flow, chain, DropLocation::NfDown(dead));
+                    self.trace_drop(now, DropCause::NfDown, flow.0, chain.0, dead.0);
+                    self.note_tcp_drop(flow, frame.seq, tcp_out);
+                    continue;
+                }
+                // The entry NF's offered load (λ) is measured
+                // pre-admission: the RX thread sees every classified
+                // frame, and rate-cost shares must reflect demand, not the
+                // post-throttle trickle. With replicas, the flow is first
+                // sharded to its instance so each instance's estimator
+                // sees only its own demand.
+                entry = {
+                    let e = self.chains.entry(chain);
+                    self.resolve_instance(e, flow)
                 };
-                !admit(chain, flow, &mut on_path)
-            };
-            if shed {
-                self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
-                self.trace_drop(now, DropCause::EntryThrottle, flow.0, chain.0, entry.0);
-                self.note_tcp_drop(flow, frame.seq, tcp_out);
-                continue;
+                self.nfs[entry.index()].note_arrival();
+                let shed = {
+                    let this = &mut *self;
+                    let mut on_path = |t: NfId| {
+                        let base = this.canonical_of(t);
+                        this.resolve_instance(base, flow) == t
+                    };
+                    !admit(chain, flow, &mut on_path)
+                };
+                cached_flow = flow;
+                cached_entry = entry;
+                cached_admit = !shed;
+                if shed {
+                    self.stats.dropped(flow, chain, DropLocation::EntryThrottle);
+                    self.trace_drop(now, DropCause::EntryThrottle, flow.0, chain.0, entry.0);
+                    self.note_tcp_drop(flow, frame.seq, tcp_out);
+                    continue;
+                }
             }
             let pkt = Packet {
                 tuple: frame.tuple,
@@ -402,7 +439,9 @@ impl Platform {
     }
 
     fn note_tcp_drop(&mut self, flow: FlowId, seq: u64, tcp_out: &mut Vec<TcpEvent>) {
-        if self.tcp_flows.contains(&flow) {
+        // Emptiness check first: UDP-only runs pay one branch per drop
+        // instead of a tree probe.
+        if !self.tcp_flows.is_empty() && self.tcp_flows.contains(&flow) {
             tcp_out.push(TcpEvent {
                 flow,
                 seq,
@@ -446,7 +485,9 @@ impl Platform {
                         self.mempool.free(pid);
                         self.nic.transmit(size);
                         self.stats.delivered(flow, chain, size, now.since(arrival));
-                        if self.tcp_flows.contains(&flow) {
+                        // Emptiness check first: UDP-only runs skip the
+                        // tree probe on every delivered packet.
+                        if !self.tcp_flows.is_empty() && self.tcp_flows.contains(&flow) {
                             tcp_out.push(TcpEvent {
                                 flow,
                                 seq,
@@ -593,32 +634,42 @@ impl Platform {
             .expect("finish without plan");
         debug_assert_eq!(n, pids.len());
         let mut handler = self.handlers[idx].take().expect("handler re-entry");
+        let trivial = self.trivial_handler[idx];
         let io_spec = self.nfs[idx].spec.io;
+        let io_on = io_spec.is_some() && !self.io_flows.is_empty();
         let mut sync_bytes = 0u64;
         for &pid in &pids {
-            let action = handler.handle(self.mempool.get_mut(pid), now);
-            let (flow, chain) = {
-                let p = self.mempool.get(pid);
-                (p.flow, p.chain)
+            // One slab access covers the handler call, the post-handler
+            // field reads, and the forward hop bump. The stock
+            // [`ForwardAll`] handler is a stateless no-op: skip its
+            // dynamic dispatch and use its (constant) action directly.
+            let p = self.mempool.get_mut(pid);
+            let action = if trivial {
+                NfAction::Forward
+            } else {
+                handler.handle(&mut *p, now)
             };
+            let (flow, chain) = (p.flow, p.chain);
+            if action == NfAction::Forward {
+                p.hops_done += 1;
+            }
             // Storage I/O for registered flows.
-            if let Some(io) = io_spec {
-                if self.io_flows.contains(&flow) {
-                    match io.mode {
-                        IoMode::Sync => sync_bytes += io.bytes_per_packet,
-                        IoMode::Async { .. } => {
-                            let dbuf = self.nfs[idx].dbuf.as_mut().expect("async io w/o dbuf");
-                            match dbuf.write(now, io.bytes_per_packet, &mut self.storage) {
-                                WriteOutcome::Buffered => {}
-                                WriteOutcome::Flushing { completion } => {
-                                    fx.flush_completions.push(completion);
-                                }
-                                WriteOutcome::Blocked => {
-                                    // Both buffers busy: the NF suspends
-                                    // after this batch; it is woken by the
-                                    // in-flight flush's completion event.
-                                    fx.block = Some(BlockReason::Io);
-                                }
+            if io_on && self.io_flows.contains(&flow) {
+                let io = io_spec.expect("io_on implies io_spec");
+                match io.mode {
+                    IoMode::Sync => sync_bytes += io.bytes_per_packet,
+                    IoMode::Async { .. } => {
+                        let dbuf = self.nfs[idx].dbuf.as_mut().expect("async io w/o dbuf");
+                        match dbuf.write(now, io.bytes_per_packet, &mut self.storage) {
+                            WriteOutcome::Buffered => {}
+                            WriteOutcome::Flushing { completion } => {
+                                fx.flush_completions.push(completion);
+                            }
+                            WriteOutcome::Blocked => {
+                                // Both buffers busy: the NF suspends
+                                // after this batch; it is woken by the
+                                // in-flight flush's completion event.
+                                fx.block = Some(BlockReason::Io);
                             }
                         }
                     }
@@ -632,7 +683,6 @@ impl Platform {
                     self.trace_drop(now, DropCause::Handler, flow.0, chain.0, nf_id.0);
                 }
                 NfAction::Forward => {
-                    self.mempool.get_mut(pid).hops_done += 1;
                     let nf = &mut self.nfs[idx];
                     match nf.tx.enqueue(pid) {
                         Enqueue::Ok { .. } => {}
@@ -640,9 +690,10 @@ impl Platform {
                     }
                 }
             }
-            self.nfs[idx].processed += 1;
-            self.nfs[idx].processed_meter.add(1);
         }
+        let nf = &mut self.nfs[idx];
+        nf.processed += pids.len() as u64;
+        nf.processed_meter.add(pids.len() as u64);
         self.handlers[idx] = Some(handler);
         pids.clear();
         self.nfs[idx].in_progress = pids;
@@ -839,6 +890,7 @@ impl Platform {
         spec.core = core;
         spec.name = format!("{}~{nth}", spec.name); // nfv-lint: allow(hot-alloc) -- one-time per scale-out action, not per packet
         let id = self.add_nf_with_handler(spec, Box::new(ForwardAll)); // nfv-lint: allow(hot-alloc) -- one-time per scale-out action, not per packet
+        self.trivial_handler[id.index()] = true;
         self.nfs[id.index()].replica_of = Some(of);
         self.replica_floor
             .entry(of)
@@ -939,10 +991,18 @@ impl Platform {
     ///   re-shard an active flow;
     /// - a pin to an instance that has since died falls back to the base
     ///   (without re-pinning, so the instance resumes service on respawn).
+    #[inline]
     pub fn resolve_instance(&mut self, target: NfId, flow: FlowId) -> NfId {
+        // Fast path kept inlinable: replica-free runs (the default) pay
+        // one emptiness branch per resolution, not an outlined call.
         if self.replicas_of.is_empty() {
             return target;
         }
+        self.resolve_instance_sharded(target, flow)
+    }
+
+    /// Replica-sharding slow path of [`Platform::resolve_instance`].
+    fn resolve_instance_sharded(&mut self, target: NfId, flow: FlowId) -> NfId {
         let Some(group) = self.replicas_of.get(&target) else {
             return target;
         };

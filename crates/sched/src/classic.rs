@@ -10,7 +10,7 @@
 //! min_vruntime staleness fix and the stale `resched_pending` clear on
 //! park) and the EDF/SLO policies are implemented here too, so the full
 //! quick suite runs under `--features classic-sched` and CI's
-//! `sched-diff` job can byte-compare the two backends.
+//! `bench-variants` matrix can byte-compare the two backends.
 
 use crate::kernel::KernelCtx;
 use crate::params::{CfsParams, Policy, SLO_DEFAULT_BUDGET};

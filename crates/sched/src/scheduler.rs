@@ -24,7 +24,7 @@
 //! [`PolicyDispatch`], or the pre-trait monolithic
 //! [`ClassicScheduler`](crate::classic::ClassicScheduler) kept as a
 //! differential oracle. Both must produce byte-identical runs — CI's
-//! `sched-diff` job enforces it the same way `queue-diff` pins the event
+//! `bench-variants` matrix enforces it the same way it pins the event
 //! queue backends.
 
 use crate::classic::ClassicScheduler;
